@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test bench cover figures examples
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+cover:
+	go test -cover ./internal/...
+
+# Regenerate every evaluation figure (text). Use FIGURE=fig-25 to filter.
+figures:
+	go run ./cmd/benchgen $(if $(FIGURE),-figure $(FIGURE),)
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/segmentedhose
+	go run ./examples/drill
+	go run ./examples/misbehaving
+	go run ./examples/agents
+	go run ./examples/capacityplanning

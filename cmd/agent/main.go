@@ -1,0 +1,102 @@
+// Command agent runs one standalone enforcement agent (Figure 9) against
+// live contractdb and kvstore servers over TCP. It synthesizes this host's
+// egress measurements (or reads them from a real meter in a production
+// deployment), publishes rates, queries the contract, and prints each
+// cycle's decision.
+//
+// Run contractdb -demo and kvstore first, then one agent per simulated host:
+//
+//	agent -host cold-001 -npg Coldstorage -class c4_low -region TEST \
+//	      -db 127.0.0.1:7001 -kv 127.0.0.1:7002 -rate-gbps 40 -cycles 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"entitlement/internal/bpf"
+	"entitlement/internal/contract"
+	"entitlement/internal/contractdb"
+	"entitlement/internal/enforce"
+	"entitlement/internal/kvstore"
+	"entitlement/internal/topology"
+)
+
+func main() {
+	host := flag.String("host", "host-001", "host ID")
+	npg := flag.String("npg", "Coldstorage", "network product group")
+	className := flag.String("class", "c4_low", "QoS class")
+	region := flag.String("region", "TEST", "source region")
+	dbAddr := flag.String("db", "127.0.0.1:7001", "contractdb address")
+	kvAddr := flag.String("kv", "127.0.0.1:7002", "kvstore address")
+	rateGbps := flag.Float64("rate-gbps", 40, "this host's synthetic egress rate")
+	period := flag.Duration("period", time.Second, "enforcement cycle period")
+	cycles := flag.Int("cycles", 0, "stop after N cycles (0 = run forever)")
+	policyName := flag.String("policy", "host", "remark policy: host or flow")
+	flag.Parse()
+
+	if err := run(*host, *npg, *className, *region, *dbAddr, *kvAddr, *rateGbps, *period, *cycles, *policyName); err != nil {
+		fmt.Fprintf(os.Stderr, "agent: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(host, npg, className, region, dbAddr, kvAddr string, rateGbps float64, period time.Duration, cycles int, policyName string) error {
+	class, err := contract.ParseClass(className)
+	if err != nil {
+		return err
+	}
+	db, err := contractdb.Dial(dbAddr)
+	if err != nil {
+		return fmt.Errorf("contractdb at %s: %w", dbAddr, err)
+	}
+	defer db.Close()
+	kv, err := kvstore.Dial(kvAddr)
+	if err != nil {
+		return fmt.Errorf("kvstore at %s: %w", kvAddr, err)
+	}
+	defer kv.Close()
+
+	policy := enforce.HostBased
+	if policyName == "flow" {
+		policy = enforce.FlowBased
+	}
+	prog := bpf.NewProgram(bpf.NewMap())
+	agent, err := enforce.NewAgent(enforce.AgentConfig{
+		Host: host, NPG: contract.NPG(npg), Class: class, Region: topology.Region(region),
+		DB: db, Rates: kv, Meter: enforce.NewStateful(), Prog: prog,
+		Policy: policy, RateTTL: 10 * period,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("agent %s: %s/%s/%s, %s remarking, %.0f Gbps local egress\n",
+		host, npg, class, region, policy, rateGbps)
+	localTotal := rateGbps * 1e9
+	localConform := localTotal
+	for n := 0; cycles == 0 || n < cycles; n++ {
+		rep, err := agent.Cycle(time.Now().UTC(), localTotal, localConform)
+		if err != nil {
+			return err
+		}
+		marked := "conforming"
+		if rep.NonConformGroups > 0 && bpf.HostGroup(host) < rep.NonConformGroups {
+			marked = "REMARKED"
+		}
+		fmt.Printf("cycle %3d: entitled=%.1fG total=%.1fG conform=%.1fG ratio=%.3f groups=%d enforced=%v host=%s\n",
+			n, rep.EntitledRate/1e9, rep.TotalRate/1e9, rep.ConformRate/1e9,
+			rep.ConformRatio, rep.NonConformGroups, rep.Enforced, marked)
+		// Feed the marking decision back into the synthetic measurement:
+		// if this host is remarked, its conforming egress drops to zero.
+		if rep.NonConformGroups > 0 && bpf.HostGroup(host) < rep.NonConformGroups {
+			localConform = 0
+		} else {
+			localConform = localTotal
+		}
+		time.Sleep(period)
+	}
+	return nil
+}

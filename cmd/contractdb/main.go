@@ -1,0 +1,83 @@
+// Command contractdb serves the centralized contract database over TCP
+// (§3.2 step 4: "all contracts are stored in a database"). Optionally seeds
+// a demo contract so agents can be pointed at it immediately.
+//
+// Usage:
+//
+//	contractdb [-addr HOST:PORT] [-demo]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"entitlement/internal/contract"
+	"entitlement/internal/contractdb"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
+	demo := flag.Bool("demo", false, "seed a demo Coldstorage contract")
+	snapshot := flag.String("snapshot", "", "JSON snapshot file: loaded at startup if present, written at shutdown")
+	flag.Parse()
+
+	store := contractdb.NewStore()
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			if err := store.LoadFrom(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "contractdb: load snapshot: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("loaded %d contracts from %s\n", len(store.List()), *snapshot)
+		}
+	}
+	if *demo {
+		now := time.Now().UTC()
+		err := store.Put(contract.Contract{
+			NPG: "Coldstorage", SLO: 0.999, Approved: true,
+			Entitlements: []contract.Entitlement{{
+				NPG: "Coldstorage", Class: contract.C4Low, Region: "TEST",
+				Direction: contract.Egress, Rate: 1e12,
+				Start: now.Add(-time.Hour), End: now.Add(90 * 24 * time.Hour),
+			}},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "contractdb: demo contract: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("seeded demo contract: Coldstorage c4_low TEST egress 1 Tbps")
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "contractdb: %v\n", err)
+		os.Exit(1)
+	}
+	srv := contractdb.NewServer(l, store)
+	fmt.Printf("contractdb listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("contractdb shutting down")
+	srv.Close()
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "contractdb: save snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		if err := store.SaveTo(f); err != nil {
+			fmt.Fprintf(os.Stderr, "contractdb: save snapshot: %v\n", err)
+		}
+		f.Close()
+		fmt.Printf("saved %d contracts to %s\n", len(store.List()), *snapshot)
+	}
+}

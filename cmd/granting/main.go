@@ -1,0 +1,153 @@
+// Command granting runs the full entitlement-granting pipeline (§3.2 steps
+// 1–3) on a synthetic WAN and workload: demand forecast → segmented-hose
+// contract representation → SLO-aware approval. It prints the resulting
+// contracts and any counter-proposals.
+//
+// Usage:
+//
+//	granting [-regions N] [-tail N] [-days N] [-rate Tbps] [-slo X] [-seed N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"entitlement/internal/approval"
+	"entitlement/internal/contract"
+	"entitlement/internal/contractdb"
+	"entitlement/internal/core"
+	"entitlement/internal/forecast"
+	"entitlement/internal/risk"
+	"entitlement/internal/topology"
+	"entitlement/internal/trace"
+)
+
+func main() {
+	regions := flag.Int("regions", 6, "backbone regions")
+	tail := flag.Int("tail", 20, "long-tail services beyond the dominant ones")
+	days := flag.Int("days", 120, "days of demand history to synthesize")
+	rateTbps := flag.Float64("rate", 20, "aggregate WAN demand in Tbps")
+	slo := flag.Float64("slo", 0.999, "default availability SLO")
+	scenarios := flag.Int("scenarios", 100, "risk-simulation failure scenarios")
+	seed := flag.Int64("seed", 1, "random seed")
+	traceFile := flag.String("trace", "", "CSV traffic history (npg,class,src,dst,offset_seconds,bits_per_second) instead of synthetic demand")
+	verbose := flag.Bool("v", false, "print per-hose approvals")
+	flag.Parse()
+
+	if err := run(*regions, *tail, *days, *rateTbps, *slo, *scenarios, *seed, *traceFile, *verbose); err != nil {
+		fmt.Fprintf(os.Stderr, "granting: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(regions, tail, days int, rateTbps, slo float64, scenarios int, seed int64, traceFile string, verbose bool) error {
+	topoOpts := topology.DefaultBackboneOptions()
+	topoOpts.Regions = regions
+	topoOpts.Seed = seed
+	topoOpts.MinCapGbps = 4000
+	topoOpts.MaxCapGbps = 12000
+	topo, err := topology.Backbone(topoOpts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("backbone: %d regions, %d links, %.1f Tbps total capacity\n",
+		topo.NumRegions(), topo.NumLinks(), topo.TotalCapacity()/1e12)
+
+	highTouch := make(map[contract.NPG]bool)
+	var ds *trace.DemandSet
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		ds, err = trace.ReadCSV(f, trace.DefaultStart)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		for _, npg := range ds.NPGs() {
+			highTouch[npg] = true // user-supplied traces: entitle every NPG
+		}
+		// The topology must cover the trace's regions; add any missing ones
+		// so validation fails loudly later rather than silently dropping.
+		fmt.Printf("workload: %d flow aggregates loaded from %s\n", len(ds.Flows), traceFile)
+	} else {
+		specs := trace.DefaultOntology(tail)
+		for _, s := range specs {
+			if s.HighTouch {
+				highTouch[s.Name] = true
+			}
+		}
+		var err error
+		ds, err = trace.GenerateDemands(specs, trace.MatrixOptions{
+			Regions: topo.RegionsSorted(), TotalRate: rateTbps * 1e12,
+			Days: days, Step: time.Hour, Seed: seed + 1,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workload: %d services (%d high-touch), %d flow aggregates, %d days history\n",
+			len(specs), len(highTouch), len(ds.Flows), days)
+	}
+
+	start := time.Date(2026, 5, 1, 0, 0, 0, 0, time.UTC)
+	opts := core.DefaultOptions(start)
+	opts.HighTouch = highTouch
+	opts.DefaultSLO = contract.SLO(slo)
+	opts.SLIKind = map[contract.NPG]forecast.SLIKind{
+		"Warmstorage": forecast.SLIMaxAvg6h,
+		"Coldstorage": forecast.SLIMaxAvg6h,
+		"Ads":         forecast.SLIDailyP99,
+	}
+	opts.MinPipeRate = 1e9
+	opts.Approval = approval.Options{
+		RepresentativeTMs: 4,
+		Risk:              risk.Options{Scenarios: scenarios, Seed: seed + 2},
+		Seed:              seed + 3,
+	}
+
+	db := contractdb.NewStore()
+	fw := core.New(topo, db)
+	t0 := time.Now()
+	rep, err := fw.EstablishContracts(ds, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pipeline: %d pipes -> %d hoses -> %d contracts in %v\n",
+		len(rep.Pipes), len(rep.Hoses), len(rep.Contracts), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("approval fraction: %.1f%%\n", 100*rep.Approval.ApprovalFraction())
+
+	if verbose {
+		fmt.Println("\nper-hose approvals:")
+		for i := range rep.Approval.Approvals {
+			a := &rep.Approval.Approvals[i]
+			status := "FULL"
+			if !a.FullyApproved {
+				status = "PARTIAL"
+			}
+			fmt.Printf("  %-48s %8.1fG of %8.1fG  %s\n",
+				a.Request.Key(), a.ApprovedRate/1e9, a.Request.Rate/1e9, status)
+		}
+	}
+
+	fmt.Println("\ncontracts:")
+	for _, c := range rep.Contracts {
+		total := 0.0
+		for _, e := range c.Entitlements {
+			total += e.Rate
+		}
+		fmt.Printf("  %-16s SLO %.4f  %2d entitlements  %8.1fG total\n",
+			c.NPG, float64(c.SLO), len(c.Entitlements), total/1e9)
+	}
+
+	if len(rep.Proposals) > 0 {
+		fmt.Println("\ncounter-proposals (under-approved requests):")
+		for _, p := range rep.Proposals {
+			fmt.Printf("  %-48s admittable %8.1fG (short %8.1fG), alternatives: %v\n",
+				p.Hose.Key(), p.AdmittableRate/1e9, p.Shortfall/1e9, p.AlternativeRegions)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// Command kvstore serves the distributed rate-aggregation store the
+// enforcement agents publish through (§5.1). Expired rate entries are
+// compacted in the background.
+//
+// Usage:
+//
+//	kvstore [-addr HOST:PORT] [-compact-every DUR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"entitlement/internal/kvstore"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7002", "listen address")
+	compactEvery := flag.Duration("compact-every", 30*time.Second, "expired-entry compaction interval")
+	flag.Parse()
+
+	store := kvstore.New()
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvstore: %v\n", err)
+		os.Exit(1)
+	}
+	srv := kvstore.NewServer(l, store)
+	fmt.Printf("kvstore listening on %s\n", srv.Addr())
+
+	stop := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(*compactEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if n := store.Compact(); n > 0 {
+					fmt.Printf("compacted %d expired entries\n", n)
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	fmt.Println("kvstore shutting down")
+	srv.Close()
+}

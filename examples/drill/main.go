@@ -1,0 +1,73 @@
+// Enforcement drill example: reproduces the paper's §6 real-world test on
+// the simulated WAN and narrates what each stage demonstrates.
+//
+//	go run ./examples/drill
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"entitlement/internal/netsim"
+	"entitlement/internal/stats"
+)
+
+func main() {
+	opts := netsim.DefaultDrillOptions()
+	opts.Hosts = 30
+	opts.StageTicks = 50
+	rep, err := netsim.RunDrill(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("September-2021 drill reproduction (compressed):")
+	fmt.Printf("  service: Coldstorage, %d hosts, %.1f Tbps demand, entitled %.1f Tbps\n\n",
+		opts.Hosts, opts.Demand/1e12, opts.Entitled/1e12)
+
+	confLoss, nonLoss := rep.LossSeries()
+	total, conform, _ := rep.ServiceRates()
+
+	for _, stage := range rep.Stages {
+		lo := stage.Start + (stage.End-stage.Start)/2
+		hi := stage.End
+		avgConfLoss := stats.Mean(confLoss[lo:hi])
+		avgNonLoss := stats.Mean(nonLoss[lo:hi])
+		avgTotal := stats.Mean(total[lo:hi])
+		avgConform := stats.Mean(conform[lo:hi])
+		fmt.Printf("stage %-22s conforming loss %5.2f%%, non-conforming loss %6.2f%%, total %.2fT, conforming %.2fT\n",
+			stage.Name, 100*avgConfLoss, 100*avgNonLoss, avgTotal/1e12, avgConform/1e12)
+	}
+
+	fmt.Println("\nwhat the drill demonstrates (§6):")
+	fmt.Println("  - conforming traffic sees ~0% loss at every ACL stage (Figure 11)")
+	fmt.Println("  - total rate descends to the entitled rate as drops intensify (Figure 12)")
+	fmt.Println("  - host-based remarking lets the app fail over, so reads barely notice")
+	fmt.Printf("    (read latency at 12.5%% drop: %.0f ms vs %.0f ms baseline)\n",
+		1000*appAvg(rep, "acl-12.5"), 1000*appAvg(rep, "baseline"))
+
+	blockErrs := 0
+	for _, a := range rep.App.Series {
+		blockErrs += a.BlockErrors
+	}
+	fmt.Printf("  - stateful writes suffer: %d block errors, peaking at the 100%% stage (Figure 17)\n", blockErrs)
+}
+
+func appAvg(rep *netsim.DrillReport, stage string) float64 {
+	for _, s := range rep.Stages {
+		if s.Name != stage {
+			continue
+		}
+		lo := s.Start + (s.End-s.Start)/2
+		hi := s.End
+		if hi > len(rep.App.Series) {
+			hi = len(rep.App.Series)
+		}
+		sum := 0.0
+		for _, a := range rep.App.Series[lo:hi] {
+			sum += a.AvgReadLatency.Seconds()
+		}
+		return sum / float64(hi-lo)
+	}
+	return 0
+}

@@ -1,0 +1,3 @@
+module entitlement
+
+go 1.22

@@ -1,0 +1,250 @@
+// Package contractdb is the centralized contract database of §3.2/§5: "all
+// contracts are stored in a database and the approved contracts of the
+// current period need to be enforced on the production traffic". Agents
+// query it for the entitled rate matching their host's flow set.
+//
+// Like kvstore, it offers an in-process Store and a TCP Server/Client pair;
+// both satisfy Database.
+package contractdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"entitlement/internal/contract"
+	"entitlement/internal/topology"
+	"entitlement/internal/wire"
+)
+
+// Database is what enforcement agents depend on.
+type Database interface {
+	// EntitledRate returns the total approved entitled rate for the flow
+	// set at time at, and whether any matching entitlement exists.
+	EntitledRate(npg contract.NPG, class contract.Class, region topology.Region, dir contract.Direction, at time.Time) (float64, bool, error)
+}
+
+// Store is the in-memory contract database.
+type Store struct {
+	mu        sync.RWMutex
+	contracts map[contract.NPG]contract.Contract
+}
+
+// NewStore creates an empty database.
+func NewStore() *Store {
+	return &Store{contracts: make(map[contract.NPG]contract.Contract)}
+}
+
+// Put validates and stores (or replaces) a contract.
+func (s *Store) Put(c contract.Contract) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.contracts[c.NPG] = c
+	return nil
+}
+
+// Get returns the contract for npg.
+func (s *Store) Get(npg contract.NPG) (contract.Contract, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.contracts[npg]
+	return c, ok
+}
+
+// Delete removes a contract.
+func (s *Store) Delete(npg contract.NPG) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.contracts, npg)
+}
+
+// List returns every stored contract sorted by NPG.
+func (s *Store) List() []contract.Contract {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]contract.Contract, 0, len(s.contracts))
+	for _, c := range s.contracts {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].NPG < out[j].NPG })
+	return out
+}
+
+// EntitledRate implements Database. Only approved contracts are enforced;
+// an unapproved contract's flow sets report no entitlement.
+func (s *Store) EntitledRate(npg contract.NPG, class contract.Class, region topology.Region, dir contract.Direction, at time.Time) (float64, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.contracts[npg]
+	if !ok || !c.Approved {
+		return 0, false, nil
+	}
+	rate := c.EntitledRate(class, region, dir, at)
+	if rate == 0 {
+		// Distinguish "no entitlement row" from "entitled to zero": scan.
+		found := false
+		for i := range c.Entitlements {
+			e := &c.Entitlements[i]
+			if e.Class == class && e.Region == region && e.Direction == dir && e.ActiveAt(at) {
+				found = true
+				break
+			}
+		}
+		return 0, found, nil
+	}
+	return rate, true, nil
+}
+
+// --- TCP server/client ----------------------------------------------------
+
+type rateArgs struct {
+	NPG    string `json:"npg"`
+	Class  string `json:"class"`
+	Region string `json:"region"`
+	Dir    string `json:"dir"`
+	AtUnix int64  `json:"at_unix"`
+}
+
+type rateReply struct {
+	Rate  float64 `json:"rate"`
+	Found bool    `json:"found"`
+}
+
+// Server exposes a Store over TCP.
+type Server struct {
+	store *Store
+	srv   *wire.Server
+}
+
+// NewServer serves store on l.
+func NewServer(l net.Listener, store *Store) *Server {
+	s := &Server{store: store}
+	s.srv = wire.NewServer(l, s.handle)
+	return s
+}
+
+// Addr returns the server address.
+func (s *Server) Addr() string { return s.srv.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handle(method string, payload json.RawMessage) (interface{}, error) {
+	switch method {
+	case "entitled_rate":
+		var a rateArgs
+		if err := json.Unmarshal(payload, &a); err != nil {
+			return nil, err
+		}
+		class, err := contract.ParseClass(a.Class)
+		if err != nil {
+			return nil, err
+		}
+		dir := contract.Egress
+		if a.Dir == contract.Ingress.String() {
+			dir = contract.Ingress
+		}
+		rate, found, err := s.store.EntitledRate(
+			contract.NPG(a.NPG), class, topology.Region(a.Region), dir, time.Unix(a.AtUnix, 0).UTC())
+		if err != nil {
+			return nil, err
+		}
+		return rateReply{Rate: rate, Found: found}, nil
+	case "put_contract":
+		var c contract.Contract
+		if err := json.Unmarshal(payload, &c); err != nil {
+			return nil, err
+		}
+		return nil, s.store.Put(c)
+	case "list":
+		return s.store.List(), nil
+	default:
+		return nil, fmt.Errorf("contractdb: unknown method %q", method)
+	}
+}
+
+// Client is the remote Database.
+type Client struct {
+	c *wire.Client
+}
+
+// Dial connects to a contractdb server.
+func Dial(addr string) (*Client, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// EntitledRate implements Database.
+func (c *Client) EntitledRate(npg contract.NPG, class contract.Class, region topology.Region, dir contract.Direction, at time.Time) (float64, bool, error) {
+	var r rateReply
+	err := c.c.Call("entitled_rate", rateArgs{
+		NPG: string(npg), Class: class.String(), Region: string(region),
+		Dir: dir.String(), AtUnix: at.Unix(),
+	}, &r)
+	if err != nil {
+		return 0, false, err
+	}
+	return r.Rate, r.Found, nil
+}
+
+// Put uploads a contract.
+func (c *Client) Put(ct contract.Contract) error {
+	return c.c.Call("put_contract", ct, nil)
+}
+
+// List fetches every contract.
+func (c *Client) List() ([]contract.Contract, error) {
+	var out []contract.Contract
+	if err := c.c.Call("list", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+var (
+	_ Database = (*Store)(nil)
+	_ Database = (*Client)(nil)
+)
+
+// SaveTo writes a JSON snapshot of every contract, for durability across
+// restarts (the production database is replicated; a snapshot suffices for
+// the single-node reproduction).
+func (s *Store) SaveTo(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.List())
+}
+
+// LoadFrom replaces the store's contents with a snapshot written by SaveTo.
+// Every contract is validated; on any error the store is left unchanged.
+func (s *Store) LoadFrom(r io.Reader) error {
+	var contracts []contract.Contract
+	if err := json.NewDecoder(r).Decode(&contracts); err != nil {
+		return fmt.Errorf("contractdb: decode snapshot: %w", err)
+	}
+	for i := range contracts {
+		if err := contracts[i].Validate(); err != nil {
+			return fmt.Errorf("contractdb: snapshot contract %d: %w", i, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.contracts = make(map[contract.NPG]contract.Contract, len(contracts))
+	for _, c := range contracts {
+		s.contracts[c.NPG] = c
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package enforce
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"entitlement/internal/bpf"
+	"entitlement/internal/contract"
+	"entitlement/internal/contractdb"
+	"entitlement/internal/kvstore"
+	"entitlement/internal/topology"
+)
+
+// Policy selects the remarking granularity (§5.3).
+type Policy int
+
+// Policies. Host-based is the production default: "many applications have
+// builtin mechanisms to react to host failures, but not individual flow
+// failures".
+const (
+	HostBased Policy = iota
+	FlowBased
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == FlowBased {
+		return "flow-based"
+	}
+	return "host-based"
+}
+
+// markMode converts a policy to its BPF action mode.
+func (p Policy) markMode() bpf.MarkMode {
+	if p == FlowBased {
+		return bpf.MarkFlows
+	}
+	return bpf.MarkHosts
+}
+
+// NonConformGroups converts a conform ratio to the number of non-conforming
+// buckets out of bpf.NumGroups (Figure 10: NonConformRatio 0.02 → 2 groups).
+func NonConformGroups(conformRatio float64) uint32 {
+	n := int(math.Round((1 - conformRatio) * bpf.NumGroups))
+	if n < 0 {
+		n = 0
+	}
+	if n > bpf.NumGroups {
+		n = bpf.NumGroups
+	}
+	return uint32(n)
+}
+
+// AgentConfig wires one enforcement agent. Every field is required unless
+// noted.
+type AgentConfig struct {
+	Host   string // this host's ID
+	NPG    contract.NPG
+	Class  contract.Class
+	Region topology.Region
+
+	DB    contractdb.Database // contract queries
+	Rates kvstore.RateStore   // distributed rate aggregation
+	Meter Meter
+	Prog  *bpf.Program // this host's egress classifier
+
+	Policy Policy
+	// RateTTL bounds staleness of published rates; entries from dead hosts
+	// age out. Default 30s.
+	RateTTL time.Duration
+	// RotatePeriod, when positive, rotates WHICH hosts (or flow groups) are
+	// marked: the marking salt changes every period, derived from the
+	// shared clock so every agent in the fleet agrees without coordination.
+	// Zero disables rotation (the marked set is pinned, maximally visible).
+	RotatePeriod time.Duration
+}
+
+// Agent is the per-host enforcement agent of Figure 9's user-space
+// component: it publishes this host's rates, reads the service aggregate,
+// queries the contract, runs the meter, and programs the BPF map. Agents
+// are fully distributed — no controller exists in the second-generation
+// architecture (§5.1).
+type Agent struct {
+	cfg AgentConfig
+	key bpf.MapKey
+}
+
+// NewAgent validates the configuration and builds an agent.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Host == "" || cfg.NPG == "" || cfg.Region == "" {
+		return nil, fmt.Errorf("enforce: agent config missing identity: %+v", cfg)
+	}
+	if cfg.DB == nil || cfg.Rates == nil || cfg.Meter == nil || cfg.Prog == nil {
+		return nil, fmt.Errorf("enforce: agent config missing dependencies")
+	}
+	if cfg.RateTTL <= 0 {
+		cfg.RateTTL = 30 * time.Second
+	}
+	return &Agent{
+		cfg: cfg,
+		key: bpf.MapKey{NPG: cfg.NPG, Class: cfg.Class, Region: cfg.Region},
+	}, nil
+}
+
+// CycleReport captures one enforcement cycle's observations and decision.
+type CycleReport struct {
+	EntitledRate     float64
+	TotalRate        float64 // aggregate across all hosts of the service
+	ConformRate      float64
+	ConformRatio     float64
+	NonConformGroups uint32
+	Enforced         bool // false when no entitlement applies
+}
+
+// Cycle runs one enforcement iteration at time now. localTotal and
+// localConform are this host's measured egress rates (bits/s) for the flow
+// set, total and conforming respectively.
+func (a *Agent) Cycle(now time.Time, localTotal, localConform float64) (CycleReport, error) {
+	var rep CycleReport
+	// 1. Publish this host's rates.
+	npg, class, region := string(a.cfg.NPG), a.cfg.Class.String(), string(a.cfg.Region)
+	if err := a.cfg.Rates.Put(kvstore.RateKey(npg, class, region, a.cfg.Host), localTotal, a.cfg.RateTTL); err != nil {
+		return rep, fmt.Errorf("enforce: publish total: %w", err)
+	}
+	if err := a.cfg.Rates.Put(conformRateKey(npg, class, region, a.cfg.Host), localConform, a.cfg.RateTTL); err != nil {
+		return rep, fmt.Errorf("enforce: publish conform: %w", err)
+	}
+	// 2. Read the service-wide aggregates.
+	total, err := a.cfg.Rates.SumPrefix(kvstore.RatePrefix(npg, class, region))
+	if err != nil {
+		return rep, fmt.Errorf("enforce: aggregate total: %w", err)
+	}
+	conform, err := a.cfg.Rates.SumPrefix(conformRatePrefix(npg, class, region))
+	if err != nil {
+		return rep, fmt.Errorf("enforce: aggregate conform: %w", err)
+	}
+	rep.TotalRate, rep.ConformRate = total, conform
+	// 3. Query the contract.
+	entitled, found, err := a.cfg.DB.EntitledRate(a.cfg.NPG, a.cfg.Class, a.cfg.Region, contract.Egress, now)
+	if err != nil {
+		return rep, fmt.Errorf("enforce: contract query: %w", err)
+	}
+	if !found {
+		// No contract: fail open — delete any action and remark nothing.
+		a.cfg.Prog.Actions.Delete(a.key)
+		a.cfg.Meter.Reset()
+		rep.ConformRatio = 1
+		return rep, nil
+	}
+	rep.Enforced = true
+	rep.EntitledRate = entitled
+	// 4. Meter.
+	ratio := a.cfg.Meter.ConformRatio(entitled, total, conform)
+	rep.ConformRatio = ratio
+	rep.NonConformGroups = NonConformGroups(ratio)
+	// 5. Program the kernel map.
+	a.cfg.Prog.Actions.Update(a.key, bpf.Action{
+		Mode:             a.cfg.Policy.markMode(),
+		NonConformGroups: rep.NonConformGroups,
+		Salt:             a.rotationSalt(now),
+	})
+	return rep, nil
+}
+
+// rotationSalt derives the fleet-consistent marking salt for time now.
+func (a *Agent) rotationSalt(now time.Time) uint32 {
+	if a.cfg.RotatePeriod <= 0 {
+		return 0
+	}
+	return uint32(now.Unix() / int64(a.cfg.RotatePeriod.Seconds()))
+}
+
+func conformRateKey(npg, class, region, host string) string {
+	return fmt.Sprintf("conform/%s/%s/%s/%s", npg, class, region, host)
+}
+
+func conformRatePrefix(npg, class, region string) string {
+	return fmt.Sprintf("conform/%s/%s/%s/", npg, class, region)
+}
+
+// --- Ingress metering (§8) -------------------------------------------------
+
+// IngressMeters translates an ingress entitlement at a destination into
+// per-source egress meters: "since metering can only be performed at the
+// source, we need to translate the ingress entitlement Hose for a
+// destination to a distributed set of meters at the sources". The
+// entitlement is divided among sources in proportion to their current
+// offered rates (sources with no traffic receive no share); when nothing is
+// offered the entitlement splits evenly.
+func IngressMeters(ingressEntitled float64, perSourceRate map[topology.Region]float64) map[topology.Region]float64 {
+	out := make(map[topology.Region]float64, len(perSourceRate))
+	if len(perSourceRate) == 0 || ingressEntitled <= 0 {
+		return out
+	}
+	total := 0.0
+	for _, r := range perSourceRate {
+		total += r
+	}
+	if total <= 0 {
+		per := ingressEntitled / float64(len(perSourceRate))
+		for src := range perSourceRate {
+			out[src] = per
+		}
+		return out
+	}
+	for src, r := range perSourceRate {
+		out[src] = ingressEntitled * r / total
+	}
+	return out
+}

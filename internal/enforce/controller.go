@@ -1,0 +1,109 @@
+package enforce
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"entitlement/internal/contract"
+	"entitlement/internal/contractdb"
+	"entitlement/internal/topology"
+)
+
+// Controller is the FIRST-GENERATION centralized bandwidth manager of §5.1:
+// "a Controller that connected to a centralized contract database and all
+// agents. The controller made enforcement decisions by querying the contract
+// database and collecting traffic stats from each agent", with the agents
+// applying source rate limits (see internal/qdisc).
+//
+// It is retained so the architecture evolution can be reproduced: computing
+// per-host rates centrally scales poorly, and source rate-limiting wastes
+// capacity the network actually has (the co-flow completion issues the
+// paper reports). The production path is the distributed Agent.
+type Controller struct {
+	DB     contractdb.Database
+	NPG    contract.NPG
+	Class  contract.Class
+	Region topology.Region
+}
+
+// NewController validates and builds a first-generation controller.
+func NewController(db contractdb.Database, npg contract.NPG, class contract.Class, region topology.Region) (*Controller, error) {
+	if db == nil {
+		return nil, fmt.Errorf("enforce: controller needs a contract database")
+	}
+	if npg == "" || region == "" {
+		return nil, fmt.Errorf("enforce: controller missing flow-set identity")
+	}
+	return &Controller{DB: db, NPG: npg, Class: class, Region: region}, nil
+}
+
+// WaterfillLimits divides the entitled rate across hosts with max-min
+// fairness against their demands: every host gets min(demand, fair share),
+// with unused share redistributed. The returned limits sum to
+// min(entitled, Σdemand).
+func WaterfillLimits(entitled float64, demands map[string]float64) map[string]float64 {
+	limits := make(map[string]float64, len(demands))
+	if entitled <= 0 || len(demands) == 0 {
+		for h := range demands {
+			limits[h] = 0
+		}
+		return limits
+	}
+	type hd struct {
+		host   string
+		demand float64
+	}
+	hosts := make([]hd, 0, len(demands))
+	for h, d := range demands {
+		if d < 0 {
+			d = 0
+		}
+		hosts = append(hosts, hd{h, d})
+	}
+	// Ascending by demand: small demands are satisfied first, freeing share.
+	sort.Slice(hosts, func(i, j int) bool {
+		if hosts[i].demand != hosts[j].demand {
+			return hosts[i].demand < hosts[j].demand
+		}
+		return hosts[i].host < hosts[j].host
+	})
+	remaining := entitled
+	for i, h := range hosts {
+		share := remaining / float64(len(hosts)-i)
+		grant := h.demand
+		if grant > share {
+			grant = share
+		}
+		limits[h.host] = grant
+		remaining -= grant
+	}
+	return limits
+}
+
+// Cycle runs one centralized decision round: query the contract, waterfill
+// the entitlement across the reported per-host demands, and return the
+// per-host rate limits to push. enforced is false when no entitlement is
+// active (hosts should then be unshaped).
+func (c *Controller) Cycle(now time.Time, hostDemands map[string]float64) (limits map[string]float64, enforced bool, err error) {
+	entitled, found, err := c.DB.EntitledRate(c.NPG, c.Class, c.Region, contract.Egress, now)
+	if err != nil {
+		return nil, false, fmt.Errorf("enforce: controller contract query: %w", err)
+	}
+	if !found {
+		return nil, false, nil
+	}
+	total := 0.0
+	for _, d := range hostDemands {
+		total += d
+	}
+	if total <= entitled {
+		// Within entitlement: no throttling; grant each host its demand.
+		limits = make(map[string]float64, len(hostDemands))
+		for h, d := range hostDemands {
+			limits[h] = d
+		}
+		return limits, true, nil
+	}
+	return WaterfillLimits(entitled, hostDemands), true, nil
+}

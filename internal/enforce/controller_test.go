@@ -1,0 +1,136 @@
+package enforce
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"entitlement/internal/contract"
+	"entitlement/internal/contractdb"
+)
+
+func TestWaterfillAllSatisfiable(t *testing.T) {
+	limits := WaterfillLimits(100, map[string]float64{"a": 20, "b": 30})
+	if limits["a"] != 20 || limits["b"] != 30 {
+		t.Errorf("limits = %v", limits)
+	}
+}
+
+func TestWaterfillMaxMin(t *testing.T) {
+	// Entitled 90 across demands 10, 50, 100: small host satisfied, the
+	// rest split the remainder equally (40 each).
+	limits := WaterfillLimits(90, map[string]float64{"small": 10, "mid": 50, "big": 100})
+	if limits["small"] != 10 {
+		t.Errorf("small = %v", limits["small"])
+	}
+	if math.Abs(limits["mid"]-40) > 1e-9 || math.Abs(limits["big"]-40) > 1e-9 {
+		t.Errorf("mid/big = %v/%v, want 40/40", limits["mid"], limits["big"])
+	}
+}
+
+func TestWaterfillEdgeCases(t *testing.T) {
+	if got := WaterfillLimits(0, map[string]float64{"a": 5}); got["a"] != 0 {
+		t.Errorf("zero entitlement = %v", got)
+	}
+	if got := WaterfillLimits(100, nil); len(got) != 0 {
+		t.Errorf("no hosts = %v", got)
+	}
+	// Negative demands treated as zero.
+	got := WaterfillLimits(10, map[string]float64{"a": -5, "b": 20})
+	if got["a"] != 0 || got["b"] != 10 {
+		t.Errorf("negative demand handling = %v", got)
+	}
+}
+
+// Property: limits never exceed demands, never go negative, and sum to
+// min(entitled, total demand).
+func TestWaterfillInvariantProperty(t *testing.T) {
+	f := func(entRaw uint16, demandsRaw []uint16) bool {
+		if len(demandsRaw) == 0 || len(demandsRaw) > 20 {
+			return true
+		}
+		entitled := float64(entRaw)
+		demands := make(map[string]float64, len(demandsRaw))
+		total := 0.0
+		for i, d := range demandsRaw {
+			demands[string(rune('a'+i))] = float64(d)
+			total += float64(d)
+		}
+		limits := WaterfillLimits(entitled, demands)
+		sum := 0.0
+		for h, l := range limits {
+			if l < 0 || l > demands[h]+1e-9 {
+				return false
+			}
+			sum += l
+		}
+		want := math.Min(entitled, total)
+		return math.Abs(sum-want) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func controllerFixture(t *testing.T) *Controller {
+	t.Helper()
+	db := contractdb.NewStore()
+	err := db.Put(contract.Contract{
+		NPG: "Cold", SLO: 0.999, Approved: true,
+		Entitlements: []contract.Entitlement{{
+			NPG: "Cold", Class: contract.C4Low, Region: "A",
+			Direction: contract.Egress, Rate: 100, Start: tStart, End: tEnd,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(db, "Cold", contract.C4Low, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestControllerCycleThrottles(t *testing.T) {
+	c := controllerFixture(t)
+	limits, enforced, err := c.Cycle(tStart.Add(time.Hour), map[string]float64{"h1": 80, "h2": 80})
+	if err != nil || !enforced {
+		t.Fatalf("err=%v enforced=%v", err, enforced)
+	}
+	if math.Abs(limits["h1"]-50) > 1e-9 || math.Abs(limits["h2"]-50) > 1e-9 {
+		t.Errorf("limits = %v, want 50/50", limits)
+	}
+}
+
+func TestControllerCycleWithinEntitlement(t *testing.T) {
+	c := controllerFixture(t)
+	limits, enforced, err := c.Cycle(tStart.Add(time.Hour), map[string]float64{"h1": 30, "h2": 40})
+	if err != nil || !enforced {
+		t.Fatalf("err=%v enforced=%v", err, enforced)
+	}
+	if limits["h1"] != 30 || limits["h2"] != 40 {
+		t.Errorf("limits = %v, want demands", limits)
+	}
+}
+
+func TestControllerCycleNoContract(t *testing.T) {
+	c := controllerFixture(t)
+	_, enforced, err := c.Cycle(tEnd.Add(time.Hour), map[string]float64{"h1": 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enforced {
+		t.Error("expired contract enforced")
+	}
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(nil, "X", contract.C1Low, "A"); err == nil {
+		t.Error("nil DB accepted")
+	}
+	if _, err := NewController(contractdb.NewStore(), "", contract.C1Low, "A"); err == nil {
+		t.Error("missing NPG accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package enforce
+
+import (
+	"fmt"
+	"time"
+
+	"entitlement/internal/contract"
+	"entitlement/internal/contractdb"
+	"entitlement/internal/kvstore"
+	"entitlement/internal/topology"
+)
+
+// This file implements the §8 "ingress metering" extension end-to-end:
+// "since metering can only be performed at the source, we need to translate
+// the ingress entitlement Hose for a destination to a distributed set of
+// meters at the sources. This requires both new algorithm design and more
+// sophisticated centralized control."
+//
+// The translation runs through the same distributed KV store the agents
+// already use: source regions publish their offered rate toward the
+// destination; an IngressCoordinator (one per destination flow set, running
+// anywhere) divides the destination's ingress entitlement across sources in
+// proportion to offers and publishes per-source meters; source-side agents
+// read their meter and enforce it like a local egress entitlement.
+
+// ingressOfferKey is where a source region publishes its offered rate
+// toward a destination's flow set.
+func ingressOfferKey(npg contract.NPG, class contract.Class, dst, src topology.Region) string {
+	return fmt.Sprintf("ingress-offer/%s/%s/%s/%s", npg, class, dst, src)
+}
+
+func ingressOfferPrefix(npg contract.NPG, class contract.Class, dst topology.Region) string {
+	return fmt.Sprintf("ingress-offer/%s/%s/%s/", npg, class, dst)
+}
+
+// ingressMeterKey is where the coordinator publishes a source's share of
+// the destination's ingress entitlement.
+func ingressMeterKey(npg contract.NPG, class contract.Class, dst, src topology.Region) string {
+	return fmt.Sprintf("ingress-meter/%s/%s/%s/%s", npg, class, dst, src)
+}
+
+// PublishIngressOffer records a source region's offered rate toward the
+// destination flow set. Source agents call this each cycle with their
+// region's aggregate rate toward dst.
+func PublishIngressOffer(rates kvstore.RateStore, npg contract.NPG, class contract.Class, dst, src topology.Region, rate float64, ttl time.Duration) error {
+	return rates.Put(ingressOfferKey(npg, class, dst, src), rate, ttl)
+}
+
+// FetchIngressMeter returns the source's currently assigned share of the
+// destination's ingress entitlement, and whether one is published.
+func FetchIngressMeter(rates kvstore.RateStore, npg contract.NPG, class contract.Class, dst, src topology.Region) (float64, bool, error) {
+	return rates.Get(ingressMeterKey(npg, class, dst, src))
+}
+
+// IngressCoordinator translates one destination flow set's ingress
+// entitlement into per-source meters.
+type IngressCoordinator struct {
+	NPG     contract.NPG
+	Class   contract.Class
+	Dst     topology.Region
+	Sources []topology.Region // candidate source regions
+	DB      contractdb.Database
+	Rates   kvstore.RateStore
+	// MeterTTL bounds meter staleness; default 30s.
+	MeterTTL time.Duration
+}
+
+// NewIngressCoordinator validates and builds a coordinator.
+func NewIngressCoordinator(db contractdb.Database, rates kvstore.RateStore, npg contract.NPG, class contract.Class, dst topology.Region, sources []topology.Region) (*IngressCoordinator, error) {
+	if db == nil || rates == nil {
+		return nil, fmt.Errorf("enforce: ingress coordinator missing dependencies")
+	}
+	if npg == "" || dst == "" || len(sources) == 0 {
+		return nil, fmt.Errorf("enforce: ingress coordinator missing identity")
+	}
+	return &IngressCoordinator{
+		NPG: npg, Class: class, Dst: dst, Sources: sources,
+		DB: db, Rates: rates, MeterTTL: 30 * time.Second,
+	}, nil
+}
+
+// IngressReport captures one coordination cycle.
+type IngressReport struct {
+	Entitled float64
+	Offers   map[topology.Region]float64
+	Meters   map[topology.Region]float64
+	Enforced bool
+}
+
+// Cycle reads the current per-source offers, splits the destination's
+// ingress entitlement proportionally (IngressMeters), and publishes the
+// per-source meters.
+func (c *IngressCoordinator) Cycle(now time.Time) (IngressReport, error) {
+	var rep IngressReport
+	entitled, found, err := c.DB.EntitledRate(c.NPG, c.Class, c.Dst, contract.Ingress, now)
+	if err != nil {
+		return rep, fmt.Errorf("enforce: ingress contract query: %w", err)
+	}
+	rep.Offers = make(map[topology.Region]float64, len(c.Sources))
+	for _, src := range c.Sources {
+		v, ok, err := c.Rates.Get(ingressOfferKey(c.NPG, c.Class, c.Dst, src))
+		if err != nil {
+			return rep, fmt.Errorf("enforce: ingress offer read: %w", err)
+		}
+		if ok {
+			rep.Offers[src] = v
+		}
+	}
+	if !found {
+		// No ingress entitlement: remove any stale meters (fail open).
+		for _, src := range c.Sources {
+			if err := c.Rates.Delete(ingressMeterKey(c.NPG, c.Class, c.Dst, src)); err != nil {
+				return rep, err
+			}
+		}
+		return rep, nil
+	}
+	rep.Enforced = true
+	rep.Entitled = entitled
+	rep.Meters = IngressMeters(entitled, rep.Offers)
+	for src, meter := range rep.Meters {
+		if err := c.Rates.Put(ingressMeterKey(c.NPG, c.Class, c.Dst, src), meter, c.MeterTTL); err != nil {
+			return rep, fmt.Errorf("enforce: ingress meter publish: %w", err)
+		}
+	}
+	return rep, nil
+}

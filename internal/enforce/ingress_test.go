@@ -1,0 +1,129 @@
+package enforce
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"entitlement/internal/contract"
+	"entitlement/internal/contractdb"
+	"entitlement/internal/kvstore"
+	"entitlement/internal/topology"
+)
+
+func ingressFixture(t *testing.T, entitled float64) (*IngressCoordinator, *kvstore.Store) {
+	t.Helper()
+	db := contractdb.NewStore()
+	err := db.Put(contract.Contract{
+		NPG: "Sink", SLO: 0.999, Approved: true,
+		Entitlements: []contract.Entitlement{{
+			NPG: "Sink", Class: contract.ClassB, Region: "D",
+			Direction: contract.Ingress, Rate: entitled, Start: tStart, End: tEnd,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := kvstore.New()
+	c, err := NewIngressCoordinator(db, rates, "Sink", contract.ClassB, "D",
+		[]topology.Region{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, rates
+}
+
+func TestIngressCoordinatorSplitsProportionally(t *testing.T) {
+	c, rates := ingressFixture(t, 100)
+	// Sources publish offers: A wants 60, B wants 140, C silent.
+	if err := PublishIngressOffer(rates, "Sink", contract.ClassB, "D", "A", 60, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := PublishIngressOffer(rates, "Sink", contract.ClassB, "D", "B", 140, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Cycle(tStart.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Enforced || rep.Entitled != 100 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Proportional: A gets 30, B gets 70.
+	if math.Abs(rep.Meters["A"]-30) > 1e-9 || math.Abs(rep.Meters["B"]-70) > 1e-9 {
+		t.Errorf("meters = %v", rep.Meters)
+	}
+	// Sources can read their meters.
+	got, ok, err := FetchIngressMeter(rates, "Sink", contract.ClassB, "D", "A")
+	if err != nil || !ok || math.Abs(got-30) > 1e-9 {
+		t.Errorf("fetched meter = %v %v %v", got, ok, err)
+	}
+	// Silent source has no meter entry.
+	if _, ok, _ := FetchIngressMeter(rates, "Sink", contract.ClassB, "D", "C"); ok {
+		t.Error("silent source has a meter")
+	}
+	// Conservation: meters sum to the entitlement.
+	sum := 0.0
+	for _, m := range rep.Meters {
+		sum += m
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Errorf("meters sum to %v", sum)
+	}
+}
+
+func TestIngressCoordinatorRebalancesAsOffersShift(t *testing.T) {
+	c, rates := ingressFixture(t, 100)
+	PublishIngressOffer(rates, "Sink", contract.ClassB, "D", "A", 100, time.Minute)
+	PublishIngressOffer(rates, "Sink", contract.ClassB, "D", "B", 100, time.Minute)
+	rep1, err := c.Cycle(tStart.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep1.Meters["A"]-50) > 1e-9 {
+		t.Fatalf("initial split = %v", rep1.Meters)
+	}
+	// A's demand vanishes: the agility the hose model promises — B can use
+	// the freed share without renegotiating the contract.
+	PublishIngressOffer(rates, "Sink", contract.ClassB, "D", "A", 0, time.Minute)
+	rep2, err := c.Cycle(tStart.Add(2 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep2.Meters["B"]-100) > 1e-9 {
+		t.Errorf("rebalanced meters = %v", rep2.Meters)
+	}
+}
+
+func TestIngressCoordinatorFailOpen(t *testing.T) {
+	c, rates := ingressFixture(t, 100)
+	PublishIngressOffer(rates, "Sink", contract.ClassB, "D", "A", 50, time.Minute)
+	if _, err := c.Cycle(tStart.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// After the period the entitlement is gone: meters are removed.
+	rep, err := c.Cycle(tEnd.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Enforced {
+		t.Error("expired ingress entitlement enforced")
+	}
+	if _, ok, _ := FetchIngressMeter(rates, "Sink", contract.ClassB, "D", "A"); ok {
+		t.Error("stale meter not removed")
+	}
+}
+
+func TestNewIngressCoordinatorValidation(t *testing.T) {
+	db := contractdb.NewStore()
+	rates := kvstore.New()
+	if _, err := NewIngressCoordinator(nil, rates, "S", contract.ClassB, "D", []topology.Region{"A"}); err == nil {
+		t.Error("nil db accepted")
+	}
+	if _, err := NewIngressCoordinator(db, rates, "S", contract.ClassB, "D", nil); err == nil {
+		t.Error("no sources accepted")
+	}
+	if _, err := NewIngressCoordinator(db, rates, "", contract.ClassB, "D", []topology.Region{"A"}); err == nil {
+		t.Error("missing NPG accepted")
+	}
+}

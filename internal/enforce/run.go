@@ -1,0 +1,57 @@
+package enforce
+
+import (
+	"context"
+	"time"
+)
+
+// Measure supplies a host's local egress measurements for one enforcement
+// cycle: the total and conforming bits/s of the agent's flow set since the
+// previous cycle.
+type Measure func() (localTotal, localConform float64)
+
+// RunOptions configures a long-running agent loop.
+type RunOptions struct {
+	// Period between cycles; default 1s (the agents are lightweight — one
+	// KV publish, two aggregations, one DB query, one map update).
+	Period time.Duration
+	// OnCycle, if set, observes every cycle's report (logging, metrics).
+	OnCycle func(CycleReport)
+	// OnError, if set, observes per-cycle failures; the loop continues
+	// regardless (transient KV/DB outages must not stop enforcement — the
+	// existing BPF actions keep applying in the meantime, which is the
+	// fail-static behavior a marking-only datapath affords).
+	OnError func(error)
+	// Now supplies the cycle timestamp; defaults to time.Now. Simulations
+	// inject their clock.
+	Now func() time.Time
+}
+
+// Run drives the agent until ctx is canceled: every Period it measures the
+// host's rates, runs one Cycle, and reports. It returns ctx.Err().
+func (a *Agent) Run(ctx context.Context, measure Measure, opts RunOptions) error {
+	if opts.Period <= 0 {
+		opts.Period = time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	ticker := time.NewTicker(opts.Period)
+	defer ticker.Stop()
+	for {
+		total, conform := measure()
+		rep, err := a.Cycle(opts.Now(), total, conform)
+		if err != nil {
+			if opts.OnError != nil {
+				opts.OnError(err)
+			}
+		} else if opts.OnCycle != nil {
+			opts.OnCycle(rep)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"entitlement/internal/contract"
+	"entitlement/internal/enforce"
+	"entitlement/internal/netsim"
+	"entitlement/internal/stats"
+)
+
+// DrillScale tunes experiment size (benchmarks shrink it, benchgen uses the
+// default).
+type DrillScale struct {
+	Hosts      int
+	StageTicks int
+}
+
+// DefaultDrillScale mirrors the compressed §6 drill.
+func DefaultDrillScale() DrillScale { return DrillScale{Hosts: 40, StageTicks: 60} }
+
+func runDrill(scale DrillScale, policy enforce.Policy) *netsim.DrillReport {
+	opts := netsim.DefaultDrillOptions()
+	if scale.Hosts > 0 {
+		opts.Hosts = scale.Hosts
+	}
+	if scale.StageTicks > 0 {
+		opts.StageTicks = scale.StageTicks
+	}
+	opts.Policy = policy
+	rep, err := netsim.RunDrill(opts)
+	if err != nil {
+		panic(err) // deterministic configuration; cannot fail
+	}
+	return rep
+}
+
+func stageAvg(rep *netsim.DrillReport, name string, series []float64) float64 {
+	for _, s := range rep.Stages {
+		if s.Name == name {
+			lo := s.Start + (s.End-s.Start)/2
+			if lo >= len(series) || s.End > len(series) {
+				return 0
+			}
+			return stats.Mean(series[lo:s.End])
+		}
+	}
+	return 0
+}
+
+// --- Figures 4 & 5: misbehaving service incident ---------------------------
+
+// MisbehavingSpike reproduces Figure 4: the buggy release's traffic rate vs
+// its predicted volume, the spike forming within minutes.
+func MisbehavingSpike() *Result {
+	rep, err := netsim.RunIncident(netsim.DefaultIncidentOptions())
+	if err != nil {
+		panic(err)
+	}
+	r := &Result{
+		Name:    "fig-04-misbehaving-spike",
+		Caption: "service-bug traffic spike vs predicted volume",
+	}
+	r.addSeries("actual bits/s", indexes(len(rep.CulpritRate)), rep.CulpritRate)
+	r.addSeries("predicted bits/s", indexes(len(rep.Predicted)), rep.Predicted)
+	peak := stats.Max(rep.CulpritRate)
+	r.metric("peak_over_predicted", peak/rep.Predicted[0])
+	r.metric("ramp_ticks", float64(netsim.DefaultIncidentOptions().RampTicks))
+	return r
+}
+
+// InducedLoss reproduces Figure 5: loss induced on the two QoS classes the
+// misbehaving service occupies.
+func InducedLoss() *Result {
+	rep, err := netsim.RunIncident(netsim.DefaultIncidentOptions())
+	if err != nil {
+		panic(err)
+	}
+	r := &Result{
+		Name:    "fig-05-induced-loss",
+		Caption: "network-wide loss per QoS class during the incident",
+	}
+	r.addSeries("class A loss", indexes(len(rep.LossA)), rep.LossA)
+	r.addSeries("class B loss", indexes(len(rep.LossB)), rep.LossB)
+	r.metric("peak_loss_A", rep.PeakLoss(contract.ClassA))
+	r.metric("peak_loss_B", rep.PeakLoss(contract.ClassB))
+	return r
+}
+
+// --- Figures 11-17: the enforcement drill ----------------------------------
+
+// DrillLoss reproduces Figure 11: conforming loss pinned near zero while
+// non-conforming loss steps through the ACL stages.
+func DrillLoss(scale DrillScale) *Result {
+	rep := runDrill(scale, enforce.HostBased)
+	conf, non := rep.LossSeries()
+	r := &Result{
+		Name:    "fig-11-drill-loss",
+		Caption: "packet loss, conforming vs non-conforming",
+	}
+	r.addSeries("conforming loss", indexes(len(conf)), conf)
+	r.addSeries("non-conforming loss", indexes(len(non)), non)
+	r.metric("max_conforming_loss", stats.Max(conf))
+	// Loss per stage is traffic-weighted: at 100% drop the flows collapse
+	// and most ticks carry no non-conforming traffic at all.
+	nonTS := rep.Sim.Metrics.Series(netsim.GroupKey{Class: contract.C4Low, Conforming: false})
+	weightedLoss := func(stage string) float64 {
+		for _, s := range rep.Stages {
+			if s.Name != stage {
+				continue
+			}
+			lo := s.Start + (s.End-s.Start)/2
+			var sent, lost float64
+			for i := lo; i < s.End && i < len(nonTS); i++ {
+				sent += nonTS[i].SentRate
+				lost += nonTS[i].SentRate * nonTS[i].LossRatio
+			}
+			if sent == 0 {
+				return 0
+			}
+			return lost / sent
+		}
+		return 0
+	}
+	r.metric("nonconf_loss_acl12.5", weightedLoss("acl-12.5"))
+	r.metric("nonconf_loss_acl50", weightedLoss("acl-50"))
+	r.metric("nonconf_loss_acl100", weightedLoss("acl-100"))
+	return r
+}
+
+// DrillRate reproduces Figure 12: total, conforming, and entitled rates.
+func DrillRate(scale DrillScale) *Result {
+	rep := runDrill(scale, enforce.HostBased)
+	total, conform, entitled := rep.ServiceRates()
+	r := &Result{
+		Name:    "fig-12-drill-rate",
+		Caption: "service total / conforming / entitled rate",
+	}
+	r.addSeries("total bits/s", indexes(len(total)), total)
+	r.addSeries("conforming bits/s", indexes(len(conform)), conform)
+	r.addSeries("entitled bits/s", indexes(len(entitled)), entitled)
+	r.metric("baseline_total", stageAvg(rep, "baseline", total))
+	r.metric("acl100_total_over_entitled",
+		stageAvg(rep, "acl-100", total)/rep.Options.Entitled)
+	r.metric("rollback_total", stageAvg(rep, "rollback", total))
+	return r
+}
+
+// DrillRTT reproduces Figure 13.
+func DrillRTT(scale DrillScale) *Result {
+	rep := runDrill(scale, enforce.HostBased)
+	conf, non := rep.RTTSeries()
+	r := &Result{
+		Name:    "fig-13-drill-rtt",
+		Caption: "average RTT, conforming vs non-conforming",
+	}
+	r.addSeries("conforming rtt s", indexes(len(conf)), conf)
+	r.addSeries("non-conforming rtt s", indexes(len(non)), non)
+	base := stageAvg(rep, "baseline", conf)
+	r.metric("conforming_rtt_change", stageAvg(rep, "acl-50", conf)/base)
+	nonAt50 := stageAvg(rep, "acl-50", non)
+	if base > 0 {
+		r.metric("nonconforming_rtt_over_base", nonAt50/base)
+	}
+	return r
+}
+
+// DrillSYN reproduces Figure 14.
+func DrillSYN(scale DrillScale) *Result {
+	rep := runDrill(scale, enforce.HostBased)
+	conf, non := rep.SYNSeries()
+	toF := func(xs []int) []float64 {
+		out := make([]float64, len(xs))
+		for i, v := range xs {
+			out[i] = float64(v)
+		}
+		return out
+	}
+	confF, nonF := toF(conf), toF(non)
+	r := &Result{
+		Name:    "fig-14-drill-syn",
+		Caption: "TCP SYN transmissions, conforming vs non-conforming",
+	}
+	r.addSeries("conforming SYN/tick", indexes(len(confF)), confF)
+	r.addSeries("non-conforming SYN/tick", indexes(len(nonF)), nonF)
+	quiet := stageAvg(rep, "entitlement-reduced", nonF)
+	storm := stageAvg(rep, "acl-100", nonF)
+	r.metric("syn_storm_ratio", safeDiv(storm, quiet))
+	return r
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return a
+	}
+	return a / b
+}
+
+func appSeries(rep *netsim.DrillReport, fn func(netsim.AppTick) float64) []float64 {
+	out := make([]float64, len(rep.App.Series))
+	for i, a := range rep.App.Series {
+		out[i] = fn(a)
+	}
+	return out
+}
+
+// DrillReadLatency reproduces Figure 15.
+func DrillReadLatency(scale DrillScale) *Result {
+	rep := runDrill(scale, enforce.HostBased)
+	lat := appSeries(rep, func(a netsim.AppTick) float64 { return a.AvgReadLatency.Seconds() })
+	r := &Result{
+		Name:    "fig-15-read-latency",
+		Caption: "storage read latency through the drill",
+	}
+	r.addSeries("read latency s", indexes(len(lat)), lat)
+	base := stageAvg(rep, "baseline", lat)
+	r.metric("latency_ratio_acl12.5", safeDiv(stageAvg(rep, "acl-12.5", lat), base))
+	r.metric("latency_ratio_acl50", safeDiv(stageAvg(rep, "acl-50", lat), base))
+	r.metric("latency_ratio_acl100", safeDiv(stageAvg(rep, "acl-100", lat), base))
+	return r
+}
+
+// DrillWriteLatency reproduces Figure 16.
+func DrillWriteLatency(scale DrillScale) *Result {
+	rep := runDrill(scale, enforce.HostBased)
+	lat := appSeries(rep, func(a netsim.AppTick) float64 { return a.AvgWriteLatency.Seconds() })
+	r := &Result{
+		Name:    "fig-16-write-latency",
+		Caption: "storage write latency through the drill",
+	}
+	r.addSeries("write latency s", indexes(len(lat)), lat)
+	base := stageAvg(rep, "baseline", lat)
+	r.metric("latency_ratio_acl12.5", safeDiv(stageAvg(rep, "acl-12.5", lat), base))
+	r.metric("latency_ratio_acl50", safeDiv(stageAvg(rep, "acl-50", lat), base))
+	return r
+}
+
+// DrillBlockErrors reproduces Figure 17.
+func DrillBlockErrors(scale DrillScale) *Result {
+	rep := runDrill(scale, enforce.HostBased)
+	errs := appSeries(rep, func(a netsim.AppTick) float64 { return float64(a.BlockErrors) })
+	r := &Result{
+		Name:    "fig-17-block-errors",
+		Caption: "block write errors through the drill",
+	}
+	r.addSeries("block errors/tick", indexes(len(errs)), errs)
+	// Errors burst when connections first break and subside once sessions
+	// move away, so sum whole stages rather than averaging steady state.
+	stageSum := func(name string) float64 {
+		for _, s := range rep.Stages {
+			if s.Name == name {
+				sum := 0.0
+				for i := s.Start; i < s.End && i < len(errs); i++ {
+					sum += errs[i]
+				}
+				return sum
+			}
+		}
+		return 0
+	}
+	r.metric("errors_acl100_total", stageSum("acl-100"))
+	r.metric("errors_baseline_total", stageSum("baseline"))
+	return r
+}
+
+// --- Ablations --------------------------------------------------------------
+
+// AblationRemarkPolicy compares host-based and flow-based remarking on the
+// application metrics — the §5.3 design choice.
+func AblationRemarkPolicy(scale DrillScale) *Result {
+	r := &Result{
+		Name:    "ablation-remark-policy",
+		Caption: "host-based vs flow-based remarking (application view)",
+	}
+	for _, p := range []enforce.Policy{enforce.HostBased, enforce.FlowBased} {
+		rep := runDrill(scale, p)
+		lat := appSeries(rep, func(a netsim.AppTick) float64 { return a.AvgReadLatency.Seconds() })
+		r.addSeries(p.String()+" read latency s", indexes(len(lat)), lat)
+		r.metric(p.String()+"_read_latency_acl50", stageAvg(rep, "acl-50", lat))
+	}
+	r.metric("host_over_flow_latency",
+		safeDiv(r.Headline["host-based_read_latency_acl50"], r.Headline["flow-based_read_latency_acl50"]))
+	return r
+}
+
+// AblationMeter compares the stateless and stateful meters inside the full
+// drill (not just the §7.4 closed loop).
+func AblationMeter(scale DrillScale) *Result {
+	r := &Result{
+		Name:    "ablation-meter",
+		Caption: "stateless vs stateful metering in the drill",
+	}
+	run := func(name string, mk func() enforce.Meter) {
+		opts := netsim.DefaultDrillOptions()
+		opts.Hosts = scale.Hosts
+		opts.StageTicks = scale.StageTicks
+		opts.NewMeter = mk
+		rep, err := netsim.RunDrill(opts)
+		if err != nil {
+			panic(err)
+		}
+		total, _, _ := rep.ServiceRates()
+		r.addSeries(name+" total bits/s", indexes(len(total)), total)
+		r.metric(name+"_acl100_total_over_entitled",
+			stageAvg(rep, "acl-100", total)/opts.Entitled)
+	}
+	run("stateful", func() enforce.Meter { return enforce.NewStateful() })
+	run("stateless", func() enforce.Meter { return enforce.Stateless{} })
+	return r
+}

@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"testing"
+
+	"entitlement/internal/contract"
+)
+
+// smallScale keeps drill-based experiments fast under `go test`.
+var smallScale = DrillScale{Hosts: 16, StageTicks: 30}
+
+func checkResult(t *testing.T, r *Result, wantSeries int) {
+	t.Helper()
+	if r.Name == "" || r.Caption == "" {
+		t.Errorf("missing name/caption: %+v", r)
+	}
+	if len(r.Series) < wantSeries {
+		t.Fatalf("%s: %d series, want >= %d", r.Name, len(r.Series), wantSeries)
+	}
+	for _, s := range r.Series {
+		if len(s.X) != len(s.Y) {
+			t.Errorf("%s/%s: X/Y length mismatch %d/%d", r.Name, s.Label, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			t.Errorf("%s/%s: empty series", r.Name, s.Label)
+		}
+	}
+	if len(r.Headline) == 0 {
+		t.Errorf("%s: no headline metrics", r.Name)
+	}
+}
+
+func TestServiceDistributionShapes(t *testing.T) {
+	for _, class := range []contract.Class{contract.ClassA, contract.ClassB} {
+		r := ServiceDistribution(class, 60)
+		checkResult(t, r, 1)
+		// §2.1: "each QoS has a few dominating services (<10) that account
+		// for the majority of network usage".
+		if r.Headline["top5_share"] < 0.5 {
+			t.Errorf("%v top5 = %v", class, r.Headline["top5_share"])
+		}
+		if r.Headline["services_for_80pct"] > 10 {
+			t.Errorf("%v services for 80%% = %v, want < 10", class, r.Headline["services_for_80pct"])
+		}
+		// Shares sorted descending.
+		y := r.Series[0].Y
+		for i := 1; i < len(y); i++ {
+			if y[i] > y[i-1]+1e-12 {
+				t.Fatalf("%v distribution not sorted at %d", class, i)
+			}
+		}
+	}
+}
+
+func TestStoragePatternsShape(t *testing.T) {
+	r := StoragePatterns(3)
+	checkResult(t, r, 2)
+	// Figure 3: Coldstorage visibly spikier.
+	if r.Headline["cv_ratio"] < 1.5 {
+		t.Errorf("cv ratio = %v, want >= 1.5", r.Headline["cv_ratio"])
+	}
+}
+
+func TestSourceConcentrationShape(t *testing.T) {
+	r := SourceConcentration(8)
+	checkResult(t, r, 1)
+	// Figure 7: ~67% of traffic from the top 3 source regions.
+	top3 := r.Headline["top3_share"]
+	if top3 < 0.5 || top3 > 0.85 {
+		t.Errorf("top3 share = %v, want ~0.67", top3)
+	}
+}
+
+func TestMisbehavingSpikeShape(t *testing.T) {
+	r := MisbehavingSpike()
+	checkResult(t, r, 2)
+	// Figure 4: peak ~50% above predicted.
+	peak := r.Headline["peak_over_predicted"]
+	if peak < 1.3 || peak > 1.7 {
+		t.Errorf("peak/predicted = %v, want ~1.5", peak)
+	}
+}
+
+func TestInducedLossShape(t *testing.T) {
+	r := InducedLoss()
+	checkResult(t, r, 2)
+	// Figure 5: both classes see loss, the culprit's dominant class (A)
+	// more than the other (the paper reports up to 8% for A, 2% for B).
+	if r.Headline["peak_loss_A"] <= 0 || r.Headline["peak_loss_B"] <= 0 {
+		t.Errorf("peak losses A=%v B=%v", r.Headline["peak_loss_A"], r.Headline["peak_loss_B"])
+	}
+	if r.Headline["peak_loss_A"] <= r.Headline["peak_loss_B"] {
+		t.Errorf("class A loss %v not above class B %v",
+			r.Headline["peak_loss_A"], r.Headline["peak_loss_B"])
+	}
+}
+
+func TestDrillLossShape(t *testing.T) {
+	r := DrillLoss(smallScale)
+	checkResult(t, r, 2)
+	if r.Headline["max_conforming_loss"] > 0.02 {
+		t.Errorf("conforming loss = %v", r.Headline["max_conforming_loss"])
+	}
+	// Non-conforming loss steps up with the ACL stages.
+	if !(r.Headline["nonconf_loss_acl12.5"] < r.Headline["nonconf_loss_acl50"]) {
+		t.Error("loss not increasing 12.5 -> 50")
+	}
+	if r.Headline["nonconf_loss_acl100"] < 0.8 {
+		t.Errorf("loss at 100%% = %v", r.Headline["nonconf_loss_acl100"])
+	}
+}
+
+func TestDrillRateShape(t *testing.T) {
+	r := DrillRate(smallScale)
+	checkResult(t, r, 3)
+	ratio := r.Headline["acl100_total_over_entitled"]
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("acl-100 total/entitled = %v, want ~1", ratio)
+	}
+}
+
+func TestDrillRTTShape(t *testing.T) {
+	r := DrillRTT(smallScale)
+	checkResult(t, r, 2)
+	// Figure 13: conforming RTT unaffected.
+	if c := r.Headline["conforming_rtt_change"]; c > 1.2 {
+		t.Errorf("conforming RTT changed by %v", c)
+	}
+}
+
+func TestDrillSYNShape(t *testing.T) {
+	r := DrillSYN(smallScale)
+	checkResult(t, r, 2)
+	if r.Headline["syn_storm_ratio"] <= 1 {
+		t.Errorf("SYN storm ratio = %v", r.Headline["syn_storm_ratio"])
+	}
+}
+
+func TestDrillAppShapes(t *testing.T) {
+	read := DrillReadLatency(smallScale)
+	checkResult(t, read, 1)
+	// Figure 15: little impact below 50% drop.
+	if read.Headline["latency_ratio_acl12.5"] > 2 {
+		t.Errorf("read latency at 12.5%% = %vx", read.Headline["latency_ratio_acl12.5"])
+	}
+	write := DrillWriteLatency(smallScale)
+	checkResult(t, write, 1)
+	// Figure 16: writes degrade even at small drops.
+	if write.Headline["latency_ratio_acl12.5"] <= 1 {
+		t.Errorf("write latency at 12.5%% = %vx, want > 1", write.Headline["latency_ratio_acl12.5"])
+	}
+	errs := DrillBlockErrors(smallScale)
+	checkResult(t, errs, 1)
+	// Figure 17: errors peak during full drop, absent at baseline.
+	if errs.Headline["errors_acl100_total"] <= 0 {
+		t.Error("no block errors at 100% drop")
+	}
+	if errs.Headline["errors_baseline_total"] > 0 {
+		t.Error("block errors at baseline")
+	}
+}
+
+func TestAblationRemarkPolicyShape(t *testing.T) {
+	r := AblationRemarkPolicy(smallScale)
+	checkResult(t, r, 2)
+	// §5.3: host-based remarking yields better application performance.
+	if r.Headline["host_over_flow_latency"] >= 1 {
+		t.Errorf("host/flow latency = %v, want < 1", r.Headline["host_over_flow_latency"])
+	}
+}
+
+func TestAblationMeterShape(t *testing.T) {
+	r := AblationMeter(smallScale)
+	checkResult(t, r, 2)
+	stateful := r.Headline["stateful_acl100_total_over_entitled"]
+	stateless := r.Headline["stateless_acl100_total_over_entitled"]
+	// §7.4: stateless overshoots the entitlement, stateful holds it.
+	if stateful > 1.3 {
+		t.Errorf("stateful total/entitled = %v", stateful)
+	}
+	if stateless <= stateful {
+		t.Errorf("stateless (%v) not above stateful (%v)", stateless, stateful)
+	}
+}
+
+func TestForecastAccuracyShape(t *testing.T) {
+	r := ForecastAccuracy(contract.ClassA, 16, 3)
+	checkResult(t, r, 3)
+	// §7.1: "majority of sMAPE is lower than 0.4".
+	if r.Headline["fraction_below_0.4"] < 0.5 {
+		t.Errorf("fraction below 0.4 = %v", r.Headline["fraction_below_0.4"])
+	}
+	// Anomalous services (region moves) produce sMAPE > 1 outliers.
+	if r.Headline["anomalies_above_1"] < 1 {
+		t.Error("no anomalous sMAPE > 1 despite injected changes")
+	}
+}
+
+func TestSegmentedHoseEfficiencyShape(t *testing.T) {
+	r := SegmentedHoseEfficiency(6, 6, 150, 3000, 11)
+	checkResult(t, r, 1)
+	// §7.2: segmented hose needs fewer TMs; the paper reports ~60% fewer in
+	// 90% of cases. Accept any solid reduction on the synthetic polytope.
+	if r.Headline["median_reduction"] < 0.3 {
+		t.Errorf("median TM reduction = %v, want >= 0.3", r.Headline["median_reduction"])
+	}
+	if r.Headline["mean_segmented_tms"] >= r.Headline["mean_general_tms"] {
+		t.Error("segmented needs more TMs than general")
+	}
+}
+
+func TestCoverageVsTMsShape(t *testing.T) {
+	r := CoverageVsTMs(6, 200, 3000, 13)
+	checkResult(t, r, 2)
+	for _, s := range r.Series {
+		// Monotone non-decreasing coverage.
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1]-1e-12 {
+				t.Fatalf("%s: coverage decreased at %d", s.Label, i)
+			}
+		}
+		// §7.3: diminishing returns — the second half of the curve adds
+		// less than the first half.
+		mid := len(s.Y) / 2
+		firstGain := s.Y[mid] - s.Y[0]
+		secondGain := s.Y[len(s.Y)-1] - s.Y[mid]
+		if secondGain > firstGain {
+			t.Errorf("%s: no saturation (%.3f then %.3f)", s.Label, firstGain, secondGain)
+		}
+	}
+}
+
+func TestApprovalVsSLOShape(t *testing.T) {
+	r := ApprovalVsSLO(60, 17)
+	checkResult(t, r, 2)
+	for _, s := range r.Series {
+		// Figure 22: approval fraction non-increasing in the SLO.
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]+0.02 {
+				t.Errorf("%s: approval increased with SLO at %d (%v -> %v)",
+					s.Label, i, s.Y[i-1], s.Y[i])
+			}
+		}
+	}
+	if r.Headline["drop_low_to_high"] < 0 {
+		t.Errorf("drop = %v", r.Headline["drop_low_to_high"])
+	}
+}
+
+func TestMarkingFigures(t *testing.T) {
+	inst := StatelessInstant()
+	checkResult(t, inst, 5)
+	// Figure 23: oscillation between 5 and 10 Tbps at 100% loss.
+	if inst.Headline["oscillation_amplitude"] < 4e12 {
+		t.Errorf("oscillation amplitude = %v", inst.Headline["oscillation_amplitude"])
+	}
+	avg := StatelessAverage()
+	checkResult(t, avg, 5)
+	// Figure 24: the average stays above the entitled rate under loss.
+	if avg.Headline["avg_over_entitled_loss_1.000"] <= 1.2 {
+		t.Errorf("stateless average/entitled = %v", avg.Headline["avg_over_entitled_loss_1.000"])
+	}
+	st := StatefulConvergence()
+	checkResult(t, st, 5)
+	// Figure 25: converged by iteration 10 at every loss level.
+	for _, loss := range []string{"0.000", "0.125", "0.250", "0.500", "1.000"} {
+		if got := st.Headline["converged_by_loss_"+loss]; got > 10 {
+			t.Errorf("loss %s converged at iteration %v, want <= 10", loss, got)
+		}
+	}
+}
+
+func TestAblationSegmentsShape(t *testing.T) {
+	r := AblationSegments(19)
+	checkResult(t, r, 2)
+	// More segments, less reserved capacity.
+	if !(r.Headline["reserved_n2"] < r.Headline["reserved_n1"]) {
+		t.Error("2 segments did not reduce reservation")
+	}
+	if r.Headline["reserved_n4"] > r.Headline["reserved_n2"]+1e-6 {
+		t.Error("4 segments reserved more than 2")
+	}
+}
+
+func TestAblationReservationFigureSix(t *testing.T) {
+	r := AblationReservation()
+	checkResult(t, r, 1)
+	if r.Headline["pipe_reserved"] != 900e9 {
+		t.Errorf("pipe = %v", r.Headline["pipe_reserved"])
+	}
+	if r.Headline["hose_reserved"] != 3600e9 {
+		t.Errorf("hose = %v", r.Headline["hose_reserved"])
+	}
+	if got := r.Headline["segmented_reserved"]; got < 1799e9 || got > 1801e9 {
+		t.Errorf("segmented = %v, want 1800e9", got)
+	}
+	// "only half of the general Hose model".
+	if got := r.Headline["segmented_over_hose"]; got < 0.49 || got > 0.51 {
+		t.Errorf("segmented/hose = %v, want 0.5", got)
+	}
+}
+
+func TestAblationArchitectureShape(t *testing.T) {
+	r := AblationArchitecture(200, 2000, 23)
+	checkResult(t, r, 2)
+	// Distributed agents always at least as fresh as the centralized stack.
+	if r.Headline["distributed_stale_at_0.01"] > r.Headline["central_stale_at_0.01"] {
+		t.Error("distributed staler than centralized")
+	}
+}
+
+func TestAblationGenerationsShape(t *testing.T) {
+	r := AblationGenerations(10, 29)
+	checkResult(t, r, 2)
+	// §5.1: source rate-limiting caps throughput at the entitlement even
+	// though the network is uncongested; marking delivers full demand.
+	if r.Headline["gen2_over_gen1_utilization"] < 1.3 {
+		t.Errorf("utilization gain = %v, want >= 1.3 (demand is 1.5x entitlement)",
+			r.Headline["gen2_over_gen1_utilization"])
+	}
+	// Co-flow completion suffers under per-host limits.
+	if r.Headline["coflow_slowdown"] <= 1 {
+		t.Errorf("coflow slowdown = %v, want > 1", r.Headline["coflow_slowdown"])
+	}
+	// gen1 steady throughput ~ the entitlement.
+	steady := r.Headline["gen1_steady_throughput"]
+	if steady > 1.1e12 || steady < 0.8e12 {
+		t.Errorf("gen1 steady throughput = %v, want ~1e12", steady)
+	}
+}
+
+func TestAblationJointRealizationsShape(t *testing.T) {
+	r := AblationJointRealizations(31)
+	checkResult(t, r, 1)
+	// Joint realizations avoid double-counting, so they approve at least
+	// as large a fraction of the asks.
+	if r.Headline["joint_over_independent"] < 1 {
+		t.Errorf("joint/independent = %v, want >= 1", r.Headline["joint_over_independent"])
+	}
+	if r.Headline["joint_fraction"] <= 0 || r.Headline["joint_fraction"] > 1 {
+		t.Errorf("joint fraction = %v", r.Headline["joint_fraction"])
+	}
+}

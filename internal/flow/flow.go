@@ -1,0 +1,459 @@
+// Package flow implements the routing and admission engine the approval
+// pipeline runs on: Dinic max-flow, Dijkstra shortest paths and Yen
+// k-shortest paths over a (possibly failed) topology, and a priority-aware
+// multi-commodity progressive-filling allocator that determines how much of
+// each pipe demand the network can admit under a given failure state.
+//
+// The allocator is the substitute for the LP-based engines Meta runs in
+// production: it routes each QoS class in strict priority order (c1 before
+// c2, §4.3) and water-fills demands within a class, which yields the
+// approximately max-min fair admissions the availability curves need.
+package flow
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"entitlement/internal/topology"
+)
+
+// Network is a mutable view of residual capacity over a topology under a
+// failure state. A nil state means all links are up.
+type Network struct {
+	Topo     *topology.Topology
+	State    *topology.FailureState
+	residual []float64
+}
+
+// NewNetwork creates a residual network with full link capacities for every
+// operational link and zero for failed ones.
+func NewNetwork(t *topology.Topology, state *topology.FailureState) *Network {
+	n := &Network{Topo: t, State: state, residual: make([]float64, t.NumLinks())}
+	for i := range n.residual {
+		if state.IsUp(i) {
+			n.residual[i] = t.Links[i].Capacity
+		}
+	}
+	return n
+}
+
+// Residual returns the remaining capacity of link id.
+func (n *Network) Residual(id int) float64 { return n.residual[id] }
+
+// Use consumes amount capacity along the path (a sequence of link IDs).
+// It panics if any link lacks the capacity; callers must bound the amount by
+// PathBottleneck first.
+func (n *Network) Use(path []int, amount float64) {
+	for _, id := range path {
+		if n.residual[id] < amount-1e-9 {
+			panic(fmt.Sprintf("flow: overcommit on link %d: %v < %v", id, n.residual[id], amount))
+		}
+		n.residual[id] -= amount
+		if n.residual[id] < 0 {
+			n.residual[id] = 0
+		}
+	}
+}
+
+// Release returns amount capacity along the path.
+func (n *Network) Release(path []int, amount float64) {
+	for _, id := range path {
+		n.residual[id] += amount
+	}
+}
+
+// PathBottleneck returns the minimum residual along the path.
+func (n *Network) PathBottleneck(path []int) float64 {
+	if len(path) == 0 {
+		return 0
+	}
+	m := n.residual[path[0]]
+	for _, id := range path[1:] {
+		if n.residual[id] < m {
+			m = n.residual[id]
+		}
+	}
+	return m
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	region topology.Region
+	dist   float64
+	index  int
+}
+
+type pq []*pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *pq) Push(x interface{}) { it := x.(*pqItem); it.index = len(*q); *q = append(*q, it) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath returns the minimum-metric path (as link IDs) from src to dst
+// over links with residual capacity strictly greater than minResidual, along
+// with its total metric. ok is false when dst is unreachable.
+//
+// bannedLinks and bannedRegions (either may be nil) are excluded; Yen's
+// algorithm uses them for spur-path computation.
+func (n *Network) ShortestPath(src, dst topology.Region, minResidual float64, bannedLinks map[int]bool, bannedRegions map[topology.Region]bool) (path []int, metric float64, ok bool) {
+	if src == dst {
+		return nil, 0, true
+	}
+	dist := make(map[topology.Region]float64)
+	prevLink := make(map[topology.Region]int)
+	visited := make(map[topology.Region]bool)
+	q := &pq{}
+	heap.Push(q, &pqItem{region: src, dist: 0})
+	dist[src] = 0
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(*pqItem)
+		if visited[cur.region] {
+			continue
+		}
+		visited[cur.region] = true
+		if cur.region == dst {
+			break
+		}
+		for _, id := range n.Topo.Outgoing(cur.region) {
+			if bannedLinks[id] || n.residual[id] <= minResidual {
+				continue
+			}
+			l := n.Topo.Link(id)
+			if bannedRegions[l.Dst] && l.Dst != dst {
+				continue
+			}
+			nd := cur.dist + l.Metric
+			if old, seen := dist[l.Dst]; !seen || nd < old {
+				dist[l.Dst] = nd
+				prevLink[l.Dst] = id
+				heap.Push(q, &pqItem{region: l.Dst, dist: nd})
+			}
+		}
+	}
+	if !visited[dst] {
+		return nil, 0, false
+	}
+	// Reconstruct.
+	var rev []int
+	at := dst
+	for at != src {
+		id := prevLink[at]
+		rev = append(rev, id)
+		at = n.Topo.Link(id).Src
+	}
+	path = make([]int, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path, dist[dst], true
+}
+
+// KShortestPaths implements Yen's algorithm over the residual network,
+// returning up to k loopless paths from src to dst ordered by metric.
+func (n *Network) KShortestPaths(src, dst topology.Region, k int) [][]int {
+	if k <= 0 {
+		return nil
+	}
+	first, _, ok := n.ShortestPath(src, dst, 0, nil, nil)
+	if !ok {
+		return nil
+	}
+	paths := [][]int{first}
+	var candidates []yenCandidate
+	for len(paths) < k {
+		last := paths[len(paths)-1]
+		// Spur from each node of the previous path.
+		for i := 0; i <= len(last)-1; i++ {
+			rootPath := last[:i]
+			spurNode := src
+			if i > 0 {
+				spurNode = n.Topo.Link(last[i-1]).Dst
+			}
+			banned := make(map[int]bool)
+			for _, p := range paths {
+				if len(p) > i && pathEqual(p[:i], rootPath) {
+					banned[p[i]] = true
+				}
+			}
+			bannedRegions := make(map[topology.Region]bool)
+			at := src
+			for _, id := range rootPath {
+				bannedRegions[at] = true
+				at = n.Topo.Link(id).Dst
+			}
+			spur, _, ok := n.ShortestPath(spurNode, dst, 0, banned, bannedRegions)
+			if !ok {
+				continue
+			}
+			total := append(append([]int{}, rootPath...), spur...)
+			if containsPath(paths, total) || containsCandidate(candidates, total) {
+				continue
+			}
+			candidates = append(candidates, yenCandidate{path: total, metric: n.pathMetric(total)})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.SliceStable(candidates, func(i, j int) bool {
+			if candidates[i].metric != candidates[j].metric {
+				return candidates[i].metric < candidates[j].metric
+			}
+			return len(candidates[i].path) < len(candidates[j].path)
+		})
+		paths = append(paths, candidates[0].path)
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func (n *Network) pathMetric(path []int) float64 {
+	m := 0.0
+	for _, id := range path {
+		m += n.Topo.Link(id).Metric
+	}
+	return m
+}
+
+func pathEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(paths [][]int, p []int) bool {
+	for _, q := range paths {
+		if pathEqual(q, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// yenCandidate is a spur path awaiting promotion in Yen's algorithm.
+type yenCandidate struct {
+	path   []int
+	metric float64
+}
+
+func containsCandidate(cs []yenCandidate, p []int) bool {
+	for _, c := range cs {
+		if pathEqual(c.path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxFlow computes the maximum src→dst flow over the residual network using
+// Dinic's algorithm. The network's residual capacities are not modified.
+func (n *Network) MaxFlow(src, dst topology.Region) float64 {
+	if src == dst {
+		return math.Inf(1)
+	}
+	// Build Dinic arc structure: each topology link becomes a forward arc
+	// with residual capacity plus a zero-capacity reverse arc.
+	type arc struct {
+		to  topology.Region
+		cap float64
+		rev int // index of the reverse arc in adj[to]
+	}
+	adj := make(map[topology.Region][]arc)
+	addArc := func(u, v topology.Region, c float64) {
+		adj[u] = append(adj[u], arc{to: v, cap: c, rev: len(adj[v])})
+		adj[v] = append(adj[v], arc{to: u, cap: 0, rev: len(adj[u]) - 1})
+	}
+	for i := range n.Topo.Links {
+		if n.residual[i] > 0 {
+			l := n.Topo.Link(i)
+			addArc(l.Src, l.Dst, n.residual[i])
+		}
+	}
+	level := make(map[topology.Region]int)
+	bfs := func() bool {
+		for k := range level {
+			delete(level, k)
+		}
+		queue := []topology.Region{src}
+		level[src] = 0
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range adj[u] {
+				if a.cap > 1e-9 {
+					if _, seen := level[a.to]; !seen {
+						level[a.to] = level[u] + 1
+						queue = append(queue, a.to)
+					}
+				}
+			}
+		}
+		_, ok := level[dst]
+		return ok
+	}
+	iter := make(map[topology.Region]int)
+	var dfs func(u topology.Region, f float64) float64
+	dfs = func(u topology.Region, f float64) float64 {
+		if u == dst {
+			return f
+		}
+		for ; iter[u] < len(adj[u]); iter[u]++ {
+			a := &adj[u][iter[u]]
+			if a.cap > 1e-9 && level[a.to] == level[u]+1 {
+				d := dfs(a.to, math.Min(f, a.cap))
+				if d > 1e-9 {
+					a.cap -= d
+					adj[a.to][a.rev].cap += d
+					return d
+				}
+			}
+		}
+		return 0
+	}
+	total := 0.0
+	for bfs() {
+		for k := range iter {
+			delete(iter, k)
+		}
+		for {
+			f := dfs(src, math.Inf(1))
+			if f <= 1e-9 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// Demand is one pipe's bandwidth request for the allocator.
+type Demand struct {
+	Key      string // caller-defined identity (e.g. "Ads/c2/A->B")
+	Src, Dst topology.Region
+	Rate     float64 // requested bits/s
+	Class    int     // QoS class; lower allocates first (c1=0 ... c4=3)
+}
+
+// Allocation reports the admitted rate per demand key.
+type Allocation struct {
+	Admitted map[string]float64
+	// LinkUsed holds the total allocated bandwidth per link ID.
+	LinkUsed []float64
+}
+
+// AdmittedFraction returns admitted/requested for the demand, or 1 for a
+// zero-rate demand.
+func (a *Allocation) AdmittedFraction(d Demand) float64 {
+	if d.Rate <= 0 {
+		return 1
+	}
+	return a.Admitted[d.Key] / d.Rate
+}
+
+// AllocateOptions tunes the progressive-filling allocator.
+type AllocateOptions struct {
+	// Rounds is the number of water-filling rounds per class; more rounds
+	// produce finer max-min fairness at linear cost. Default 16.
+	Rounds int
+	// MaxPathLen bounds path metric stretch: a demand only uses paths with
+	// metric <= MaxPathLen. Zero means unbounded.
+	MaxPathLen float64
+}
+
+// Allocate routes demands over the topology under the failure state,
+// respecting strict priority between classes and approximate max-min
+// fairness within a class. The returned allocation maps demand keys to the
+// admitted rate (<= requested).
+func Allocate(t *topology.Topology, state *topology.FailureState, demands []Demand, opts AllocateOptions) *Allocation {
+	if opts.Rounds <= 0 {
+		opts.Rounds = 16
+	}
+	net := NewNetwork(t, state)
+	alloc := &Allocation{Admitted: make(map[string]float64, len(demands)), LinkUsed: make([]float64, t.NumLinks())}
+
+	// Group by class, preserving deterministic order.
+	byClass := make(map[int][]Demand)
+	classes := make([]int, 0, 4)
+	for _, d := range demands {
+		if _, ok := byClass[d.Class]; !ok {
+			classes = append(classes, d.Class)
+		}
+		byClass[d.Class] = append(byClass[d.Class], d)
+	}
+	sort.Ints(classes)
+
+	for _, c := range classes {
+		ds := byClass[c]
+		remaining := make([]float64, len(ds))
+		maxRem := 0.0
+		for i, d := range ds {
+			remaining[i] = d.Rate
+			if d.Rate > maxRem {
+				maxRem = d.Rate
+			}
+		}
+		if maxRem <= 0 {
+			continue
+		}
+		quantum := maxRem / float64(opts.Rounds)
+		for progress := true; progress; {
+			progress = false
+			for i := range ds {
+				if remaining[i] <= 1e-6 {
+					continue
+				}
+				want := math.Min(remaining[i], quantum)
+				pushed := pushDemand(net, ds[i], want, opts.MaxPathLen)
+				if pushed > 1e-9 {
+					remaining[i] -= pushed
+					alloc.Admitted[ds[i].Key] += pushed
+					progress = true
+				}
+			}
+		}
+	}
+	for i := range alloc.LinkUsed {
+		if state.IsUp(i) {
+			alloc.LinkUsed[i] = t.Links[i].Capacity - net.Residual(i)
+		}
+	}
+	return alloc
+}
+
+// pushDemand routes up to want bits/s of the demand along shortest available
+// paths, possibly splitting across several, and returns the amount placed.
+func pushDemand(net *Network, d Demand, want, maxPathLen float64) float64 {
+	placed := 0.0
+	for placed < want-1e-9 {
+		path, metric, ok := net.ShortestPath(d.Src, d.Dst, 0, nil, nil)
+		if !ok || len(path) == 0 {
+			break
+		}
+		if maxPathLen > 0 && metric > maxPathLen {
+			break
+		}
+		amt := math.Min(want-placed, net.PathBottleneck(path))
+		if amt <= 1e-9 {
+			break
+		}
+		net.Use(path, amt)
+		placed += amt
+	}
+	return placed
+}

@@ -1,0 +1,363 @@
+package flow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"entitlement/internal/topology"
+)
+
+// lineTopo builds A -> B -> C with the given capacities.
+func lineTopo(t *testing.T, capAB, capBC float64) *topology.Topology {
+	t.Helper()
+	topo := topology.New()
+	if _, err := topo.AddLink("A", "B", capAB, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.AddLink("B", "C", capBC, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// diamondTopo builds A->B->D and A->C->D.
+func diamondTopo(t *testing.T, caps [4]float64) *topology.Topology {
+	t.Helper()
+	topo := topology.New()
+	mustAdd := func(a, b topology.Region, c float64) int {
+		id, err := topo.AddLink(a, b, c, 0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	mustAdd("A", "B", caps[0])
+	mustAdd("B", "D", caps[1])
+	mustAdd("A", "C", caps[2])
+	mustAdd("C", "D", caps[3])
+	return topo
+}
+
+func TestNetworkResidualAndUse(t *testing.T) {
+	topo := lineTopo(t, 100, 50)
+	net := NewNetwork(topo, topo.AllUp())
+	if net.Residual(0) != 100 || net.Residual(1) != 50 {
+		t.Errorf("residuals = %v %v", net.Residual(0), net.Residual(1))
+	}
+	path := []int{0, 1}
+	if got := net.PathBottleneck(path); got != 50 {
+		t.Errorf("bottleneck = %v, want 50", got)
+	}
+	net.Use(path, 30)
+	if net.Residual(0) != 70 || net.Residual(1) != 20 {
+		t.Errorf("after Use: %v %v", net.Residual(0), net.Residual(1))
+	}
+	net.Release(path, 10)
+	if net.Residual(1) != 30 {
+		t.Errorf("after Release: %v", net.Residual(1))
+	}
+}
+
+func TestNetworkUseOvercommitPanics(t *testing.T) {
+	topo := lineTopo(t, 10, 10)
+	net := NewNetwork(topo, topo.AllUp())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overcommit did not panic")
+		}
+	}()
+	net.Use([]int{0}, 20)
+}
+
+func TestNetworkFailedLinksHaveZeroResidual(t *testing.T) {
+	topo := lineTopo(t, 100, 50)
+	st := topo.AllUp()
+	st.FailLink(0)
+	net := NewNetwork(topo, st)
+	if net.Residual(0) != 0 {
+		t.Errorf("failed link residual = %v", net.Residual(0))
+	}
+}
+
+func TestShortestPathBasic(t *testing.T) {
+	topo := diamondTopo(t, [4]float64{10, 10, 10, 10})
+	net := NewNetwork(topo, topo.AllUp())
+	path, metric, ok := net.ShortestPath("A", "D", 0, nil, nil)
+	if !ok || len(path) != 2 || metric != 2 {
+		t.Errorf("path=%v metric=%v ok=%v", path, metric, ok)
+	}
+	// Same source/dest.
+	path, metric, ok = net.ShortestPath("A", "A", 0, nil, nil)
+	if !ok || len(path) != 0 || metric != 0 {
+		t.Error("self path wrong")
+	}
+	// Unreachable.
+	if _, _, ok := net.ShortestPath("D", "A", 0, nil, nil); ok {
+		t.Error("reverse path should not exist in this DAG")
+	}
+}
+
+func TestShortestPathAvoidsSaturatedLinks(t *testing.T) {
+	topo := diamondTopo(t, [4]float64{10, 10, 10, 10})
+	net := NewNetwork(topo, topo.AllUp())
+	first, _, _ := net.ShortestPath("A", "D", 0, nil, nil)
+	net.Use(first, 10) // saturate
+	second, _, ok := net.ShortestPath("A", "D", 0, nil, nil)
+	if !ok {
+		t.Fatal("alternate path not found")
+	}
+	if pathEqual(first, second) {
+		t.Error("shortest path reused a saturated link")
+	}
+}
+
+func TestShortestPathPrefersLowMetric(t *testing.T) {
+	topo := topology.New()
+	ab, _ := topo.AddLink("A", "B", 10, 0, -1)
+	bc, _ := topo.AddLink("B", "C", 10, 0, -1)
+	ac, _ := topo.AddLink("A", "C", 10, 0, -1)
+	// Make the direct link expensive.
+	topo.Link(ac).Metric = 5
+	net := NewNetwork(topo, topo.AllUp())
+	path, metric, ok := net.ShortestPath("A", "C", 0, nil, nil)
+	if !ok || metric != 2 || len(path) != 2 || path[0] != ab || path[1] != bc {
+		t.Errorf("path=%v metric=%v", path, metric)
+	}
+}
+
+func TestKShortestPaths(t *testing.T) {
+	topo := diamondTopo(t, [4]float64{10, 10, 10, 10})
+	net := NewNetwork(topo, topo.AllUp())
+	paths := net.KShortestPaths("A", "D", 3)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2 (diamond has exactly 2)", len(paths))
+	}
+	if pathEqual(paths[0], paths[1]) {
+		t.Error("duplicate paths returned")
+	}
+	for _, p := range paths {
+		if len(p) != 2 {
+			t.Errorf("path %v has unexpected length", p)
+		}
+	}
+	if got := net.KShortestPaths("A", "D", 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := net.KShortestPaths("D", "A", 2); got != nil {
+		t.Error("unreachable should return nil")
+	}
+}
+
+func TestKShortestPathsOrdering(t *testing.T) {
+	// A->C direct (metric 1), A->B->C (2), A->B->D->C (3).
+	topo := topology.New()
+	topo.AddLink("A", "C", 10, 0, -1)
+	topo.AddLink("A", "B", 10, 0, -1)
+	topo.AddLink("B", "C", 10, 0, -1)
+	topo.AddLink("B", "D", 10, 0, -1)
+	topo.AddLink("D", "C", 10, 0, -1)
+	net := NewNetwork(topo, topo.AllUp())
+	paths := net.KShortestPaths("A", "C", 5)
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	for i := 1; i < len(paths); i++ {
+		if net.pathMetric(paths[i]) < net.pathMetric(paths[i-1]) {
+			t.Error("paths not ordered by metric")
+		}
+	}
+}
+
+func TestMaxFlowLine(t *testing.T) {
+	topo := lineTopo(t, 100, 50)
+	net := NewNetwork(topo, topo.AllUp())
+	if got := net.MaxFlow("A", "C"); got != 50 {
+		t.Errorf("MaxFlow = %v, want 50", got)
+	}
+}
+
+func TestMaxFlowDiamond(t *testing.T) {
+	topo := diamondTopo(t, [4]float64{30, 20, 15, 25})
+	net := NewNetwork(topo, topo.AllUp())
+	// Top path min(30,20)=20, bottom min(15,25)=15 → 35.
+	if got := net.MaxFlow("A", "D"); got != 35 {
+		t.Errorf("MaxFlow = %v, want 35", got)
+	}
+}
+
+func TestMaxFlowUnreachableAndSelf(t *testing.T) {
+	topo := lineTopo(t, 10, 10)
+	net := NewNetwork(topo, topo.AllUp())
+	if got := net.MaxFlow("C", "A"); got != 0 {
+		t.Errorf("unreachable MaxFlow = %v", got)
+	}
+	if got := net.MaxFlow("A", "A"); !math.IsInf(got, 1) {
+		t.Errorf("self MaxFlow = %v, want +Inf", got)
+	}
+}
+
+func TestMaxFlowUnderFailure(t *testing.T) {
+	topo := diamondTopo(t, [4]float64{30, 20, 15, 25})
+	st := topo.AllUp()
+	st.FailLink(0) // kill A->B
+	net := NewNetwork(topo, st)
+	if got := net.MaxFlow("A", "D"); got != 15 {
+		t.Errorf("MaxFlow under failure = %v, want 15", got)
+	}
+}
+
+func TestAllocateSingleDemand(t *testing.T) {
+	topo := lineTopo(t, 100, 50)
+	a := Allocate(topo, topo.AllUp(), []Demand{{Key: "d", Src: "A", Dst: "C", Rate: 80, Class: 0}}, AllocateOptions{})
+	if got := a.Admitted["d"]; math.Abs(got-50) > 1e-6 {
+		t.Errorf("admitted = %v, want 50 (bottleneck)", got)
+	}
+	if f := a.AdmittedFraction(Demand{Key: "d", Rate: 80}); math.Abs(f-50.0/80) > 1e-6 {
+		t.Errorf("fraction = %v", f)
+	}
+}
+
+func TestAllocateFullySatisfiable(t *testing.T) {
+	topo := lineTopo(t, 100, 100)
+	a := Allocate(topo, topo.AllUp(), []Demand{{Key: "d", Src: "A", Dst: "C", Rate: 60, Class: 0}}, AllocateOptions{})
+	if got := a.Admitted["d"]; math.Abs(got-60) > 1e-6 {
+		t.Errorf("admitted = %v, want 60", got)
+	}
+	// LinkUsed reflects the allocation.
+	if math.Abs(a.LinkUsed[0]-60) > 1e-6 {
+		t.Errorf("LinkUsed = %v", a.LinkUsed)
+	}
+}
+
+func TestAllocatePriorityStrictness(t *testing.T) {
+	// One 50-capacity path, high-priority demand wants all of it.
+	topo := lineTopo(t, 50, 50)
+	demands := []Demand{
+		{Key: "low", Src: "A", Dst: "C", Rate: 50, Class: 3},
+		{Key: "high", Src: "A", Dst: "C", Rate: 50, Class: 0},
+	}
+	a := Allocate(topo, topo.AllUp(), demands, AllocateOptions{})
+	if got := a.Admitted["high"]; math.Abs(got-50) > 1e-6 {
+		t.Errorf("high admitted = %v, want 50", got)
+	}
+	if got := a.Admitted["low"]; got > 1e-6 {
+		t.Errorf("low admitted = %v, want 0", got)
+	}
+}
+
+func TestAllocateFairWithinClass(t *testing.T) {
+	topo := lineTopo(t, 100, 100)
+	demands := []Demand{
+		{Key: "x", Src: "A", Dst: "C", Rate: 100, Class: 0},
+		{Key: "y", Src: "A", Dst: "C", Rate: 100, Class: 0},
+	}
+	a := Allocate(topo, topo.AllUp(), demands, AllocateOptions{Rounds: 32})
+	x, y := a.Admitted["x"], a.Admitted["y"]
+	if math.Abs(x+y-100) > 1e-6 {
+		t.Errorf("total admitted = %v, want 100", x+y)
+	}
+	// Approximate fairness: neither gets more than ~60%.
+	if x > 62 || y > 62 {
+		t.Errorf("unfair split: x=%v y=%v", x, y)
+	}
+}
+
+func TestAllocateMultipath(t *testing.T) {
+	topo := diamondTopo(t, [4]float64{30, 30, 30, 30})
+	a := Allocate(topo, topo.AllUp(), []Demand{{Key: "d", Src: "A", Dst: "D", Rate: 60, Class: 0}}, AllocateOptions{})
+	if got := a.Admitted["d"]; math.Abs(got-60) > 1e-6 {
+		t.Errorf("multipath admitted = %v, want 60", got)
+	}
+}
+
+func TestAllocateZeroDemand(t *testing.T) {
+	topo := lineTopo(t, 10, 10)
+	a := Allocate(topo, topo.AllUp(), []Demand{{Key: "z", Src: "A", Dst: "C", Rate: 0, Class: 0}}, AllocateOptions{})
+	if a.Admitted["z"] != 0 {
+		t.Errorf("zero demand admitted %v", a.Admitted["z"])
+	}
+	if a.AdmittedFraction(Demand{Key: "z", Rate: 0}) != 1 {
+		t.Error("zero demand fraction should be 1")
+	}
+}
+
+// Property: allocation never admits more than requested, never overcommits a
+// link, and respects class priority (total admitted for class 0 with the
+// network to itself >= what it gets sharing with lower classes).
+func TestAllocateInvariantsProperty(t *testing.T) {
+	f := func(seed int64, nDemandsRaw uint8) bool {
+		opts := topology.DefaultBackboneOptions()
+		opts.Seed = seed
+		opts.Regions = 6
+		opts.Chords = 3
+		topo, err := topology.Backbone(opts)
+		if err != nil {
+			return false
+		}
+		regions := topo.RegionsSorted()
+		nDemands := 1 + int(nDemandsRaw)%8
+		demands := make([]Demand, 0, nDemands)
+		r := seed
+		next := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int((r >> 33) % int64(n))
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		for i := 0; i < nDemands; i++ {
+			s := regions[next(len(regions))]
+			d := regions[next(len(regions))]
+			if s == d {
+				continue
+			}
+			demands = append(demands, Demand{
+				Key: string(s) + ">" + string(d) + string(rune('0'+i)),
+				Src: s, Dst: d,
+				Rate:  float64(1+next(2000)) * 1e9,
+				Class: next(4),
+			})
+		}
+		if len(demands) == 0 {
+			return true
+		}
+		a := Allocate(topo, topo.AllUp(), demands, AllocateOptions{Rounds: 8})
+		for _, d := range demands {
+			if a.Admitted[d.Key] > d.Rate+1e-3 {
+				return false
+			}
+			if a.Admitted[d.Key] < 0 {
+				return false
+			}
+		}
+		for i, used := range a.LinkUsed {
+			if used > topo.Links[i].Capacity+1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MaxFlow from A to C on the line topology always equals
+// min(capAB, capBC).
+func TestMaxFlowLineProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		capAB, capBC := float64(a)+1, float64(b)+1
+		topo := topology.New()
+		topo.AddLink("A", "B", capAB, 0, -1)
+		topo.AddLink("B", "C", capBC, 0, -1)
+		net := NewNetwork(topo, topo.AllUp())
+		got := net.MaxFlow("A", "C")
+		want := math.Min(capAB, capBC)
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

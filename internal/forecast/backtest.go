@@ -1,0 +1,41 @@
+package forecast
+
+import (
+	"errors"
+
+	"entitlement/internal/stats"
+	"entitlement/internal/timeseries"
+)
+
+// Backtest runs rolling-origin cross-validation of the organic model: for
+// each fold the model trains on a growing prefix of the daily series and
+// forecasts the next horizon days; the per-fold sMAPE scores are returned
+// (oldest fold first). This is how a deployment validates its forecast
+// configuration before trusting it for entitlement requests.
+func Backtest(daily *timeseries.Series, folds, horizon int, opts ProphetOptions) ([]float64, error) {
+	if folds <= 0 || horizon <= 0 {
+		return nil, errors.New("forecast: folds and horizon must be positive")
+	}
+	// The earliest fold still needs enough history to fit.
+	minTrain := daily.Len() - folds*horizon
+	if minTrain < 2*horizon {
+		return nil, errors.New("forecast: series too short for the requested folds")
+	}
+	scores := make([]float64, 0, folds)
+	for f := 0; f < folds; f++ {
+		trainEnd := minTrain + f*horizon
+		train := daily.Slice(0, trainEnd)
+		test := daily.Slice(trainEnd, trainEnd+horizon)
+		m, err := FitProphet(train, opts)
+		if err != nil {
+			return nil, err
+		}
+		pred := m.Forecast(horizon)
+		s, err := stats.SMAPE(test.Values, pred.Values)
+		if err != nil {
+			return nil, err
+		}
+		scores = append(scores, s)
+	}
+	return scores, nil
+}

@@ -1,0 +1,311 @@
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"entitlement/internal/stats"
+)
+
+// TreeOptions bounds a single regression tree.
+type TreeOptions struct {
+	MaxDepth int // default 3
+	MinLeaf  int // minimum samples per leaf, default 4
+}
+
+// GBDTOptions configures the gradient-boosted tree model the paper uses for
+// inorganic changes: "these regressors are fit into a tree-based model with
+// quantile loss (e.g., alpha = 0.5)" (§4.1).
+type GBDTOptions struct {
+	Trees        int     // boosting rounds, default 100
+	LearningRate float64 // shrinkage, default 0.1
+	Quantile     float64 // pinball-loss alpha, default 0.5
+	Tree         TreeOptions
+}
+
+func (o GBDTOptions) withDefaults() GBDTOptions {
+	if o.Trees == 0 {
+		o.Trees = 100
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = 0.1
+	}
+	if o.Quantile == 0 {
+		o.Quantile = 0.5
+	}
+	if o.Tree.MaxDepth == 0 {
+		o.Tree.MaxDepth = 3
+	}
+	if o.Tree.MinLeaf == 0 {
+		o.Tree.MinLeaf = 4
+	}
+	return o
+}
+
+// treeNode is one node of a regression tree (leaf when feature < 0).
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      int // child indexes into GBDT.nodes-local slice
+	right     int
+	value     float64
+}
+
+type regTree struct {
+	nodes []treeNode
+}
+
+func (t *regTree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// GBDT is a fitted gradient-boosted quantile regressor.
+type GBDT struct {
+	opts  GBDTOptions
+	base  float64
+	trees []*regTree
+	dim   int
+}
+
+// PinballLoss returns the quantile (pinball) loss of prediction p against
+// truth y at quantile alpha.
+func PinballLoss(y, p, alpha float64) float64 {
+	d := y - p
+	if d >= 0 {
+		return alpha * d
+	}
+	return (alpha - 1) * d
+}
+
+// FitGBDT fits the boosted quantile model. X rows are feature vectors with a
+// shared width; y is the target. The gradient of the pinball loss is a step
+// function, so each boosting round fits a tree to the sign residuals and
+// sets leaf values to the alpha-quantile of the raw residuals in the leaf —
+// the standard LAD/quantile-boosting refinement.
+func FitGBDT(x [][]float64, y []float64, opts GBDTOptions) (*GBDT, error) {
+	o := opts.withDefaults()
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, errors.New("forecast: GBDT needs matching non-empty X and y")
+	}
+	dim := len(x[0])
+	for i, row := range x {
+		if len(row) != dim {
+			return nil, fmt.Errorf("forecast: GBDT row %d has width %d, want %d", i, len(row), dim)
+		}
+	}
+	if o.Quantile <= 0 || o.Quantile >= 1 {
+		return nil, fmt.Errorf("forecast: quantile %v out of (0,1)", o.Quantile)
+	}
+	g := &GBDT{opts: o, dim: dim}
+	g.base = stats.Quantile(y, o.Quantile)
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = g.base
+	}
+	grad := make([]float64, len(y))
+	resid := make([]float64, len(y))
+	idx := make([]int, len(y))
+	for round := 0; round < o.Trees; round++ {
+		for i := range y {
+			resid[i] = y[i] - pred[i]
+			if resid[i] > 0 {
+				grad[i] = o.Quantile
+			} else {
+				grad[i] = o.Quantile - 1
+			}
+			idx[i] = i
+		}
+		tree := buildTree(x, grad, resid, idx, o)
+		if tree == nil {
+			break
+		}
+		g.trees = append(g.trees, tree)
+		for i := range pred {
+			pred[i] += o.LearningRate * tree.predict(x[i])
+		}
+	}
+	return g, nil
+}
+
+// buildTree grows a CART regression tree on the gradient targets, with leaf
+// values set to the alpha-quantile of raw residuals.
+func buildTree(x [][]float64, grad, resid []float64, idx []int, o GBDTOptions) *regTree {
+	t := &regTree{}
+	var grow func(samples []int, depth int) int
+	grow = func(samples []int, depth int) int {
+		node := len(t.nodes)
+		t.nodes = append(t.nodes, treeNode{feature: -1})
+		rs := make([]float64, len(samples))
+		for i, s := range samples {
+			rs[i] = resid[s]
+		}
+		t.nodes[node].value = stats.Quantile(rs, o.Quantile)
+		if depth >= o.Tree.MaxDepth || len(samples) < 2*o.Tree.MinLeaf {
+			return node
+		}
+		feat, thresh, ok := bestSplit(x, grad, samples, o.Tree.MinLeaf)
+		if !ok {
+			return node
+		}
+		var left, right []int
+		for _, s := range samples {
+			if x[s][feat] <= thresh {
+				left = append(left, s)
+			} else {
+				right = append(right, s)
+			}
+		}
+		l := grow(left, depth+1)
+		r := grow(right, depth+1)
+		t.nodes[node].feature = feat
+		t.nodes[node].threshold = thresh
+		t.nodes[node].left = l
+		t.nodes[node].right = r
+		return node
+	}
+	grow(idx, 0)
+	return t
+}
+
+// bestSplit finds the (feature, threshold) minimizing the gradient's
+// within-node variance (equivalently maximizing variance reduction).
+func bestSplit(x [][]float64, grad []float64, samples []int, minLeaf int) (int, float64, bool) {
+	if len(samples) < 2*minLeaf {
+		return 0, 0, false
+	}
+	dim := len(x[samples[0]])
+	bestGain := 1e-12
+	bestFeat, bestThresh, found := 0, 0.0, false
+
+	totalSum, totalSq := 0.0, 0.0
+	for _, s := range samples {
+		totalSum += grad[s]
+		totalSq += grad[s] * grad[s]
+	}
+	n := float64(len(samples))
+	parentSSE := totalSq - totalSum*totalSum/n
+
+	order := make([]int, len(samples))
+	for f := 0; f < dim; f++ {
+		copy(order, samples)
+		sort.Slice(order, func(i, j int) bool { return x[order[i]][f] < x[order[j]][f] })
+		leftSum, leftSq := 0.0, 0.0
+		for i := 0; i < len(order)-1; i++ {
+			s := order[i]
+			leftSum += grad[s]
+			leftSq += grad[s] * grad[s]
+			if i+1 < minLeaf || len(order)-i-1 < minLeaf {
+				continue
+			}
+			// No split between equal feature values.
+			if x[order[i]][f] == x[order[i+1]][f] {
+				continue
+			}
+			ln := float64(i + 1)
+			rn := n - ln
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			sse := (leftSq - leftSum*leftSum/ln) + (rightSq - rightSum*rightSum/rn)
+			gain := parentSSE - sse
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (x[order[i]][f] + x[order[i+1]][f]) / 2
+				found = true
+			}
+		}
+	}
+	return bestFeat, bestThresh, found
+}
+
+// Predict evaluates the boosted model on one feature vector.
+func (g *GBDT) Predict(x []float64) float64 {
+	if len(x) != g.dim {
+		panic(fmt.Sprintf("forecast: GBDT.Predict width %d, want %d", len(x), g.dim))
+	}
+	p := g.base
+	for _, t := range g.trees {
+		p += g.opts.LearningRate * t.predict(x)
+	}
+	return p
+}
+
+// NumTrees returns the number of boosting rounds that produced trees.
+func (g *GBDT) NumTrees() int { return len(g.trees) }
+
+// InorganicFeatures builds the §4.1 regressor row for month t:
+// (X_{t−1}, X_{t−2}, X_{t−3}, Y_{t−1}, Y_{t−2}, Y_{t−3}) where X is monthly
+// traffic volume and Y the inorganic regressors (power, server counts, ...).
+// Each Y lag may hold several regressors; they are flattened in order.
+func InorganicFeatures(trafficLags [3]float64, regressorLags [3][]float64) []float64 {
+	row := make([]float64, 0, 3+3*len(regressorLags[0]))
+	row = append(row, trafficLags[0], trafficLags[1], trafficLags[2])
+	for _, lag := range regressorLags {
+		row = append(row, lag...)
+	}
+	return row
+}
+
+// InorganicDataset assembles a training set from aligned monthly traffic and
+// regressor histories: sample t predicts traffic[t] from months t−1..t−3.
+func InorganicDataset(traffic []float64, regressors [][]float64) (x [][]float64, y []float64, err error) {
+	if len(regressors) != len(traffic) {
+		return nil, nil, errors.New("forecast: traffic/regressor length mismatch")
+	}
+	if len(traffic) < 4 {
+		return nil, nil, errors.New("forecast: need >= 4 months of history")
+	}
+	for t := 3; t < len(traffic); t++ {
+		row := InorganicFeatures(
+			[3]float64{traffic[t-1], traffic[t-2], traffic[t-3]},
+			[3][]float64{regressors[t-1], regressors[t-2], regressors[t-3]},
+		)
+		x = append(x, row)
+		y = append(y, traffic[t])
+	}
+	return x, y, nil
+}
+
+// ForecastMonths rolls the fitted model forward horizon months past the
+// history, feeding predictions back as lags. futureRegressors must provide
+// one regressor row per forecast month (planned inorganic changes are known
+// in advance, §4.1: "we know of these planned changes in advance").
+func (g *GBDT) ForecastMonths(traffic []float64, regressors [][]float64, futureRegressors [][]float64) ([]float64, error) {
+	if len(traffic) < 3 {
+		return nil, errors.New("forecast: need >= 3 months of history to roll forward")
+	}
+	if len(traffic) != len(regressors) {
+		return nil, errors.New("forecast: traffic/regressor length mismatch")
+	}
+	hist := append([]float64{}, traffic...)
+	regs := append([][]float64{}, regressors...)
+	out := make([]float64, 0, len(futureRegressors))
+	for _, fr := range futureRegressors {
+		t := len(hist)
+		row := InorganicFeatures(
+			[3]float64{hist[t-1], hist[t-2], hist[t-3]},
+			[3][]float64{regs[t-1], regs[t-2], regs[t-3]},
+		)
+		p := g.Predict(row)
+		if p < 0 || math.IsNaN(p) {
+			p = 0
+		}
+		out = append(out, p)
+		hist = append(hist, p)
+		regs = append(regs, fr)
+	}
+	return out, nil
+}

@@ -1,0 +1,282 @@
+// Package kvstore is the reproduction of the distributed key-value store
+// the enforcement agents publish their flow rates through: "each agent
+// publishes flow rate information (bits/sec) periodically using Meta's
+// internal distributed key-value store. These rates are aggregated remotely
+// across the entire service and read by the agent periodically" (§5.1).
+//
+// The store keeps TTL'd float64 entries and supports prefix aggregation
+// (summing every host's published rate for one service). It can be used
+// in-process (Store) or over TCP (Server/Client via the wire protocol); both
+// satisfy RateStore, so agents are oblivious to the deployment shape.
+package kvstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"entitlement/internal/wire"
+
+	"net"
+)
+
+// RateStore is the interface enforcement agents depend on.
+type RateStore interface {
+	// Put stores value under key with the given time-to-live.
+	Put(key string, value float64, ttl time.Duration) error
+	// Get returns the value and whether it is present (and unexpired).
+	Get(key string) (float64, bool, error)
+	// SumPrefix sums all live values whose keys start with prefix — the
+	// remote aggregation of per-host rates into a service TotalRate.
+	SumPrefix(prefix string) (float64, error)
+	// Delete removes a key.
+	Delete(key string) error
+}
+
+// entry is one stored value.
+type entry struct {
+	value   float64
+	expires time.Time // zero = never
+}
+
+// Store is the in-memory implementation. The zero value is not usable; call
+// New. Time is injectable so simulations control expiry deterministically.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string]entry
+	now  func() time.Time
+}
+
+// New creates an empty store using the real clock.
+func New() *Store { return NewWithClock(time.Now) }
+
+// NewWithClock creates a store with an injected clock.
+func NewWithClock(now func() time.Time) *Store {
+	return &Store{data: make(map[string]entry), now: now}
+}
+
+// Put implements RateStore. A non-positive ttl stores the value without
+// expiry.
+func (s *Store) Put(key string, value float64, ttl time.Duration) error {
+	if key == "" {
+		return fmt.Errorf("kvstore: empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := entry{value: value}
+	if ttl > 0 {
+		e.expires = s.now().Add(ttl)
+	}
+	s.data[key] = e
+	return nil
+}
+
+// Get implements RateStore.
+func (s *Store) Get(key string) (float64, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.data[key]
+	if !ok || s.expired(e) {
+		return 0, false, nil
+	}
+	return e.value, true, nil
+}
+
+// SumPrefix implements RateStore.
+func (s *Store) SumPrefix(prefix string) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sum := 0.0
+	for k, e := range s.data {
+		if strings.HasPrefix(k, prefix) && !s.expired(e) {
+			sum += e.value
+		}
+	}
+	return sum, nil
+}
+
+// Delete implements RateStore.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+	return nil
+}
+
+// Keys returns the live keys with the given prefix, sorted. Useful for
+// debugging and tests.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k, e := range s.data {
+		if strings.HasPrefix(k, prefix) && !s.expired(e) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compact removes expired entries; long-running deployments should call it
+// periodically.
+func (s *Store) Compact() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for k, e := range s.data {
+		if s.expired(e) {
+			delete(s.data, k)
+			removed++
+		}
+	}
+	return removed
+}
+
+func (s *Store) expired(e entry) bool {
+	return !e.expires.IsZero() && s.now().After(e.expires)
+}
+
+// --- TCP server/client ----------------------------------------------------
+
+type putArgs struct {
+	Key   string  `json:"key"`
+	Value float64 `json:"value"`
+	TTLMs int64   `json:"ttl_ms"`
+}
+
+type keyArgs struct {
+	Key string `json:"key"`
+}
+
+type getReply struct {
+	Value float64 `json:"value"`
+	Found bool    `json:"found"`
+}
+
+type sumReply struct {
+	Sum float64 `json:"sum"`
+}
+
+// Server exposes a Store over the wire protocol.
+type Server struct {
+	store *Store
+	srv   *wire.Server
+}
+
+// NewServer serves store on l.
+func NewServer(l net.Listener, store *Store) *Server {
+	s := &Server{store: store}
+	s.srv = wire.NewServer(l, s.handle)
+	return s
+}
+
+// Addr returns the server address.
+func (s *Server) Addr() string { return s.srv.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handle(method string, payload json.RawMessage) (interface{}, error) {
+	switch method {
+	case "put":
+		var a putArgs
+		if err := json.Unmarshal(payload, &a); err != nil {
+			return nil, err
+		}
+		return nil, s.store.Put(a.Key, a.Value, time.Duration(a.TTLMs)*time.Millisecond)
+	case "get":
+		var a keyArgs
+		if err := json.Unmarshal(payload, &a); err != nil {
+			return nil, err
+		}
+		v, ok, err := s.store.Get(a.Key)
+		if err != nil {
+			return nil, err
+		}
+		return getReply{Value: v, Found: ok}, nil
+	case "sum":
+		var a keyArgs
+		if err := json.Unmarshal(payload, &a); err != nil {
+			return nil, err
+		}
+		sum, err := s.store.SumPrefix(a.Key)
+		if err != nil {
+			return nil, err
+		}
+		return sumReply{Sum: sum}, nil
+	case "delete":
+		var a keyArgs
+		if err := json.Unmarshal(payload, &a); err != nil {
+			return nil, err
+		}
+		return nil, s.store.Delete(a.Key)
+	default:
+		return nil, fmt.Errorf("kvstore: unknown method %q", method)
+	}
+}
+
+// Client is the remote RateStore.
+type Client struct {
+	c *wire.Client
+}
+
+// Dial connects to a kvstore server.
+func Dial(addr string) (*Client, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// Put implements RateStore.
+func (c *Client) Put(key string, value float64, ttl time.Duration) error {
+	return c.c.Call("put", putArgs{Key: key, Value: value, TTLMs: ttl.Milliseconds()}, nil)
+}
+
+// Get implements RateStore.
+func (c *Client) Get(key string) (float64, bool, error) {
+	var r getReply
+	if err := c.c.Call("get", keyArgs{Key: key}, &r); err != nil {
+		return 0, false, err
+	}
+	return r.Value, r.Found, nil
+}
+
+// SumPrefix implements RateStore.
+func (c *Client) SumPrefix(prefix string) (float64, error) {
+	var r sumReply
+	if err := c.c.Call("sum", keyArgs{Key: prefix}, &r); err != nil {
+		return 0, err
+	}
+	return r.Sum, nil
+}
+
+// Delete implements RateStore.
+func (c *Client) Delete(key string) error {
+	return c.c.Call("delete", keyArgs{Key: key}, nil)
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// RateKey builds the canonical key an agent publishes its rate under:
+// rates/<npg>/<class>/<region>/<host>. SumPrefix(RatePrefix(...)) then
+// aggregates the service.
+func RateKey(npg, class, region, host string) string {
+	return fmt.Sprintf("rates/%s/%s/%s/%s", npg, class, region, host)
+}
+
+// RatePrefix is the aggregation prefix for a (npg, class, region) flow set.
+func RatePrefix(npg, class, region string) string {
+	return fmt.Sprintf("rates/%s/%s/%s/", npg, class, region)
+}
+
+var (
+	_ RateStore = (*Store)(nil)
+	_ RateStore = (*Client)(nil)
+)

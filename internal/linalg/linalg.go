@@ -1,0 +1,211 @@
+// Package linalg implements the small dense linear-algebra kernel needed by
+// the Prophet-lite forecaster: matrix multiplication, Cholesky factorization,
+// and a ridge-regression (Tikhonov-regularized least squares) solver.
+//
+// Matrices are row-major dense float64. The package is intentionally minimal;
+// it exists so the forecaster has no external dependencies.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must all share a length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: empty rows")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared storage).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m × b. It panics when the inner dimensions differ.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d × %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := mi[k]
+			if a == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j := range oi {
+				oi[j] += a * bk[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m × v as a new vector.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, x := range v {
+			s += row[j] * x
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ErrNotPD is returned when a Cholesky factorization encounters a matrix
+// that is not positive definite.
+var ErrNotPD = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular L with A = L·Lᵀ for a symmetric
+// positive-definite A. A is not modified.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPD
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A·x = b given the Cholesky factor L of A, via forward
+// then back substitution.
+func SolveCholesky(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// Ridge solves the regularized least-squares problem
+//
+//	min_w ‖X·w − y‖² + λ‖w‖²
+//
+// by forming the normal equations (XᵀX + λI)·w = Xᵀy and factoring with
+// Cholesky. λ must be >= 0; a tiny jitter is added automatically if the
+// factorization fails, which keeps the forecaster robust to collinear
+// design columns (e.g. redundant holiday indicators).
+func Ridge(x *Matrix, y []float64, lambda float64) ([]float64, error) {
+	if x.Rows != len(y) {
+		return nil, errors.New("linalg: Ridge rows/target mismatch")
+	}
+	if lambda < 0 {
+		return nil, errors.New("linalg: negative ridge penalty")
+	}
+	xt := x.T()
+	gram := xt.Mul(x)
+	for i := 0; i < gram.Rows; i++ {
+		gram.Set(i, i, gram.At(i, i)+lambda)
+	}
+	rhs := xt.MulVec(y)
+	jitter := 0.0
+	for attempt := 0; attempt < 6; attempt++ {
+		if jitter > 0 {
+			for i := 0; i < gram.Rows; i++ {
+				gram.Set(i, i, gram.At(i, i)+jitter)
+			}
+		}
+		l, err := Cholesky(gram)
+		if err == nil {
+			return SolveCholesky(l, rhs), nil
+		}
+		if jitter == 0 {
+			jitter = 1e-8
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, ErrNotPD
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,204 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Errorf("At/Set mismatch: %+v", m)
+	}
+	r := m.Row(1)
+	if len(r) != 3 || r[2] != 5 {
+		t.Errorf("Row = %v", r)
+	}
+}
+
+func TestFromRowsAndTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	tr := m.T()
+	if tr.Rows != 2 || tr.Cols != 3 {
+		t.Fatalf("T shape = %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(0, 2) != 5 || tr.At(1, 0) != 2 {
+		t.Errorf("transpose values wrong: %+v", tr)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged rows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Errorf("MulVec = %v, want [-2 -2]", got)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L should be [[2,0],[1,sqrt(2)]].
+	if !almostEqual(l.At(0, 0), 2, 1e-12) || !almostEqual(l.At(1, 0), 1, 1e-12) ||
+		!almostEqual(l.At(1, 1), math.Sqrt2, 1e-12) || l.At(0, 1) != 0 {
+		t.Errorf("Cholesky = %+v", l)
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // indefinite
+	if _, err := Cholesky(a); err != ErrNotPD {
+		t.Errorf("err = %v, want ErrNotPD", err)
+	}
+}
+
+func TestCholeskyNonSquare(t *testing.T) {
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square Cholesky did not error")
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := SolveCholesky(l, []float64{10, 8})
+	// Verify A·x = b.
+	b := a.MulVec(x)
+	if !almostEqual(b[0], 10, 1e-9) || !almostEqual(b[1], 8, 1e-9) {
+		t.Errorf("A·x = %v, want [10 8]", b)
+	}
+}
+
+func TestRidgeRecoversLinearModel(t *testing.T) {
+	// y = 3 + 2·x, exactly representable: ridge with tiny lambda recovers it.
+	rows := make([][]float64, 50)
+	y := make([]float64, 50)
+	for i := range rows {
+		x := float64(i)
+		rows[i] = []float64{1, x}
+		y[i] = 3 + 2*x
+	}
+	w, err := Ridge(FromRows(rows), y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(w[0], 3, 1e-4) || !almostEqual(w[1], 2, 1e-6) {
+		t.Errorf("Ridge w = %v, want [3 2]", w)
+	}
+}
+
+func TestRidgeCollinearColumns(t *testing.T) {
+	// Duplicate columns make XᵀX singular; the jitter retry must cope.
+	rows := make([][]float64, 20)
+	y := make([]float64, 20)
+	for i := range rows {
+		x := float64(i)
+		rows[i] = []float64{x, x} // perfectly collinear
+		y[i] = 4 * x
+	}
+	w, err := Ridge(FromRows(rows), y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two weights should share the signal: w0 + w1 ≈ 4.
+	if !almostEqual(w[0]+w[1], 4, 1e-3) {
+		t.Errorf("collinear Ridge w = %v, want sum 4", w)
+	}
+}
+
+func TestRidgeErrors(t *testing.T) {
+	if _, err := Ridge(NewMatrix(2, 1), []float64{1, 2, 3}, 0); err == nil {
+		t.Error("row mismatch not detected")
+	}
+	if _, err := Ridge(NewMatrix(2, 1), []float64{1, 2}, -1); err == nil {
+		t.Error("negative lambda not detected")
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+// Property: for random SPD matrices A = MᵀM + I, SolveCholesky(Cholesky(A), b)
+// returns x with A·x ≈ b.
+func TestCholeskySolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = r.NormFloat64()
+		}
+		a := m.T().Mul(m)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		x := SolveCholesky(l, b)
+		ax := a.MulVec(x)
+		for i := range b {
+			if !almostEqual(ax[i], b[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

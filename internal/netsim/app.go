@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// StorageOptions configures the application layer modeled after
+// Coldstorage (§6.2): remote clients issue reads against the service's
+// hosts; writers hold sticky sessions.
+type StorageOptions struct {
+	ReadsPerTick  int
+	WritesPerTick int
+	// BaseReadLatency is the no-congestion read latency.
+	BaseReadLatency time.Duration
+	// BaseWriteLatency is the no-congestion write latency.
+	BaseWriteLatency time.Duration
+	// FailoverThreshold: clients mark a host unhealthy when its smoothed
+	// delivery ratio falls below this ("applications have builtin
+	// mechanisms to react to host failures", §5.3).
+	FailoverThreshold float64
+	// SessionMoveProb is the per-tick probability a write session pinned
+	// to an unhealthy host rebinds ("writes are a stateful operation and
+	// sessions take some time to move away from affected hosts", §6.2).
+	SessionMoveProb float64
+	Seed            int64
+}
+
+// DefaultStorageOptions returns drill-scale defaults.
+func DefaultStorageOptions() StorageOptions {
+	return StorageOptions{
+		ReadsPerTick:      50,
+		WritesPerTick:     20,
+		BaseReadLatency:   120 * time.Millisecond,
+		BaseWriteLatency:  200 * time.Millisecond,
+		FailoverThreshold: 0.6,
+		SessionMoveProb:   0.1,
+		Seed:              1,
+	}
+}
+
+// AppTick is one tick of application-level observations — the Figures 15–17
+// series.
+type AppTick struct {
+	AvgReadLatency  time.Duration
+	AvgWriteLatency time.Duration
+	ReadFailures    int
+	BlockErrors     int // failed writes
+	HealthyHosts    int
+}
+
+// StorageApp models the service layer on top of the simulated hosts.
+type StorageApp struct {
+	opts  StorageOptions
+	hosts []*Host
+	rng   *rand.Rand
+
+	health   map[string]float64 // smoothed delivery ratio per host
+	sessions []int              // write session → host index
+	rrNext   int                // read load-balancer cursor
+
+	Series []AppTick
+}
+
+// NewStorageApp attaches an application to the service's hosts.
+func NewStorageApp(hosts []*Host, opts StorageOptions) *StorageApp {
+	app := &StorageApp{
+		opts:   opts,
+		hosts:  hosts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		health: make(map[string]float64, len(hosts)),
+	}
+	for _, h := range hosts {
+		app.health[h.ID] = 1
+	}
+	app.sessions = make([]int, opts.WritesPerTick)
+	for i := range app.sessions {
+		app.sessions[i] = i % len(hosts)
+	}
+	return app
+}
+
+// hostLoss returns the host's current effective loss: the traffic-weighted
+// loss across its flows, or 1.0 when no flow can even establish.
+func hostLoss(h *Host) float64 {
+	var sent, delivered float64
+	established := false
+	for _, f := range h.Flows {
+		sent += f.lastSent
+		delivered += f.lastDelivered
+		if f.Established() {
+			established = true
+		}
+	}
+	if sent <= 0 {
+		if established {
+			return 0
+		}
+		return 1 // connections cannot even form
+	}
+	return 1 - delivered/sent
+}
+
+// latencyUnderLoss models retry-driven latency amplification: expected
+// retransmissions under loss d stretch completion by ~d/(1-d), with a
+// timeout cap.
+func latencyUnderLoss(base time.Duration, d, severity float64) time.Duration {
+	if d >= 0.99 {
+		d = 0.99
+	}
+	if d < 0 {
+		d = 0
+	}
+	factor := 1 + severity*d/(1-d)
+	const maxFactor = 50
+	if factor > maxFactor {
+		factor = maxFactor
+	}
+	return time.Duration(float64(base) * factor)
+}
+
+// Step processes one tick of application traffic; call after Sim.Step.
+func (a *StorageApp) Step() AppTick {
+	// Refresh health views.
+	healthy := make([]int, 0, len(a.hosts))
+	for i, h := range a.hosts {
+		d := hostLoss(h)
+		// EWMA with alpha 0.4: failover detection takes a few ticks.
+		a.health[h.ID] = 0.4*(1-d) + 0.6*a.health[h.ID]
+		if a.health[h.ID] >= a.opts.FailoverThreshold {
+			healthy = append(healthy, i)
+		}
+	}
+
+	var tick AppTick
+	tick.HealthyHosts = len(healthy)
+
+	// Reads: load-balanced across hosts believed healthy; the client-side
+	// balancer is what converts host-based remarking into clean failover.
+	var readLatSum time.Duration
+	reads := a.opts.ReadsPerTick
+	for r := 0; r < reads; r++ {
+		var idx int
+		if len(healthy) > 0 {
+			idx = healthy[a.rrNext%len(healthy)]
+			a.rrNext++
+		} else {
+			idx = a.rng.Intn(len(a.hosts))
+		}
+		d := hostLoss(a.hosts[idx])
+		if d >= 0.99 {
+			tick.ReadFailures++
+			readLatSum += latencyUnderLoss(a.opts.BaseReadLatency, d, 3)
+			continue
+		}
+		readLatSum += latencyUnderLoss(a.opts.BaseReadLatency, d, 3)
+	}
+	if reads > 0 {
+		tick.AvgReadLatency = readLatSum / time.Duration(reads)
+	}
+
+	// Writes: sticky sessions. A session stays pinned through degraded
+	// service (severe write latency even at small loss, Figure 16) and
+	// moves only after its connection actually breaks — which is why the
+	// block-error peak correlates with SYN failures (Figure 17).
+	var writeLatSum time.Duration
+	writes := len(a.sessions)
+	for si := range a.sessions {
+		idx := a.sessions[si]
+		d := hostLoss(a.hosts[idx])
+		if d >= 0.9 {
+			// Connection establishment fails: block error.
+			tick.BlockErrors++
+			writeLatSum += latencyUnderLoss(a.opts.BaseWriteLatency, d, 5)
+			if len(healthy) > 0 && a.rng.Float64() < a.opts.SessionMoveProb {
+				a.sessions[si] = healthy[a.rng.Intn(len(healthy))]
+			}
+			continue
+		}
+		writeLatSum += latencyUnderLoss(a.opts.BaseWriteLatency, d, 5)
+	}
+	if writes > 0 {
+		tick.AvgWriteLatency = writeLatSum / time.Duration(writes)
+	}
+
+	a.Series = append(a.Series, tick)
+	return tick
+}

@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"entitlement/internal/contract"
+	"entitlement/internal/flow"
+	"entitlement/internal/topology"
+)
+
+// Backbone wires a Sim to a real multi-region topology: every topology link
+// becomes a simulated link, and flows are routed over shortest paths, so
+// enforcement experiments can run on the same backbones the granting
+// pipeline plans against.
+type Backbone struct {
+	Sim  *Sim
+	Topo *topology.Topology
+
+	links []*Link // indexed by topology link ID
+	net   *flow.Network
+}
+
+// NewBackbone builds a simulator mirroring the topology. Base RTT per link
+// is metric × perMetricRTT (default 10ms per metric unit).
+func NewBackbone(topo *topology.Topology, opts Options, perMetricRTT time.Duration) (*Backbone, error) {
+	if topo == nil || topo.NumLinks() == 0 {
+		return nil, fmt.Errorf("netsim: backbone needs a non-empty topology")
+	}
+	if perMetricRTT <= 0 {
+		perMetricRTT = 10 * time.Millisecond
+	}
+	b := &Backbone{
+		Sim:   New(opts),
+		Topo:  topo,
+		links: make([]*Link, topo.NumLinks()),
+		net:   flow.NewNetwork(topo, topo.AllUp()),
+	}
+	for i := range topo.Links {
+		l := topo.Link(i)
+		rtt := time.Duration(float64(perMetricRTT) * l.Metric)
+		b.links[i] = b.Sim.AddLink(fmt.Sprintf("%s->%s#%d", l.Src, l.Dst, i), l.Capacity, rtt)
+	}
+	return b, nil
+}
+
+// Link returns the simulated link for a topology link ID.
+func (b *Backbone) Link(id int) *Link { return b.links[id] }
+
+// AddHost registers a host in a region that must exist in the topology.
+func (b *Backbone) AddHost(id string, region topology.Region, npg contract.NPG, class contract.Class) (*Host, error) {
+	if !b.Topo.HasRegion(region) {
+		return nil, fmt.Errorf("netsim: unknown region %s", region)
+	}
+	return b.Sim.AddHost(id, region, npg, class), nil
+}
+
+// AddRoutedFlow creates a flow from the host toward dst, routed over the
+// topology's current shortest path.
+func (b *Backbone) AddRoutedFlow(h *Host, dst topology.Region, demand float64) (*Flow, error) {
+	if !b.Topo.HasRegion(dst) {
+		return nil, fmt.Errorf("netsim: unknown destination %s", dst)
+	}
+	ids, _, ok := b.net.ShortestPath(h.Region, dst, -1, nil, nil)
+	if !ok {
+		return nil, fmt.Errorf("netsim: no path %s -> %s", h.Region, dst)
+	}
+	path := make([]*Link, len(ids))
+	for i, id := range ids {
+		path[i] = b.links[id]
+	}
+	return b.Sim.AddFlow(h, dst, path, demand), nil
+}

@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"entitlement/internal/bpf"
+	"entitlement/internal/contract"
+	"entitlement/internal/topology"
+)
+
+// ringTopo builds a 4-region ring R0..R3.
+func ringTopo(t *testing.T, capacity float64) *topology.Topology {
+	t.Helper()
+	topo := topology.New()
+	regions := []topology.Region{"R0", "R1", "R2", "R3"}
+	for i := range regions {
+		srlg := topo.EnsureSRLG(i, 0)
+		if _, _, err := topo.AddBidirectional(regions[i], regions[(i+1)%4], capacity, 0, srlg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return topo
+}
+
+func TestBackboneConstruction(t *testing.T) {
+	topo := ringTopo(t, 10e9)
+	b, err := NewBackbone(topo, Options{Tick: time.Second, Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Sim.links); got != topo.NumLinks() {
+		t.Errorf("sim links = %d, want %d", got, topo.NumLinks())
+	}
+	if b.Link(0) == nil {
+		t.Error("Link(0) nil")
+	}
+	// Empty topology rejected.
+	if _, err := NewBackbone(topology.New(), Options{}, 0); err == nil {
+		t.Error("empty topology accepted")
+	}
+}
+
+func TestBackboneRoutedFlowDelivers(t *testing.T) {
+	topo := ringTopo(t, 10e9)
+	b, err := NewBackbone(topo, Options{Tick: time.Second, Seed: 2}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := b.AddHost("h0", "R0", "Svc", contract.ClassB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R0 -> R2 is two hops either way around the ring.
+	f, err := b.AddRoutedFlow(h, "R2", 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Path) != 2 {
+		t.Errorf("path length = %d, want 2 hops", len(f.Path))
+	}
+	b.Sim.Run(40)
+	if !f.Established() || f.DeliveredFraction() < 0.99 {
+		t.Errorf("flow state: established=%v delivered=%v", f.Established(), f.DeliveredFraction())
+	}
+	// RTT reflects two hops of base RTT.
+	if f.LastRTT() < 10*time.Millisecond {
+		t.Errorf("RTT = %v, want >= 10ms", f.LastRTT())
+	}
+}
+
+func TestBackboneValidation(t *testing.T) {
+	topo := ringTopo(t, 10e9)
+	b, _ := NewBackbone(topo, Options{Seed: 1}, 0)
+	if _, err := b.AddHost("h", "NOPE", "S", contract.ClassB); err == nil {
+		t.Error("unknown region accepted")
+	}
+	h, _ := b.AddHost("h", "R0", "S", contract.ClassB)
+	if _, err := b.AddRoutedFlow(h, "NOPE", 1); err == nil {
+		t.Error("unknown destination accepted")
+	}
+}
+
+func TestBackboneEnforcementIsolatesVictim(t *testing.T) {
+	// A multi-region scenario: a culprit in R0 floods toward R2; a victim
+	// in R1 shares the R1->R2 link. With the culprit's excess remarked, the
+	// victim keeps its throughput even under link pressure.
+	topo := ringTopo(t, 10e9)
+	b, err := NewBackbone(topo, Options{Tick: time.Second, Seed: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	culprit, _ := b.AddHost("culprit", "R1", "Bulk", contract.ClassB)
+	victim, _ := b.AddHost("victim", "R1", "Online", contract.ClassB)
+	cf, err := b.AddRoutedFlow(culprit, "R2", 12e9) // exceeds the 10G link alone
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf, err := b.AddRoutedFlow(victim, "R2", 3e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remark all of Bulk's traffic (its entitlement is zero here).
+	culprit.Prog.Actions.Update(
+		bpf.MapKey{NPG: "Bulk", Class: contract.ClassB, Region: "R1"},
+		bpf.Action{Mode: bpf.MarkHosts, NonConformGroups: bpf.NumGroups})
+	b.Sim.Run(60)
+	if vf.LastLoss() > 0.01 {
+		t.Errorf("victim loss = %v despite culprit remarked", vf.LastLoss())
+	}
+	if cf.LastLoss() <= 0.05 {
+		t.Errorf("culprit loss = %v, want substantial (scavenger queue)", cf.LastLoss())
+	}
+}
+
+func TestRegionDrillScopesEnforcementToTargetRegion(t *testing.T) {
+	opts := DefaultRegionDrillOptions()
+	rep, err := RunRegionDrill(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The target region's conforming rate settles near its cut entitlement.
+	targetConform := rep.Conform[rep.Target]
+	if targetConform > opts.Entitled*1.35 {
+		t.Errorf("target conform = %v, want ~%v", targetConform, opts.Entitled)
+	}
+	if rep.Marked[rep.Target] == 0 {
+		t.Error("no hosts marked in the target region")
+	}
+	// Other regions: untouched — full demand conforming, nothing marked.
+	for _, region := range opts.Regions[1:] {
+		if rep.Marked[region] != 0 {
+			t.Errorf("region %s has %d marked hosts despite generous entitlement",
+				region, rep.Marked[region])
+		}
+		if rep.Conform[region] < opts.Demand*0.9 {
+			t.Errorf("region %s conform = %v, want ~%v", region, rep.Conform[region], opts.Demand)
+		}
+	}
+}
+
+func TestRegionDrillValidation(t *testing.T) {
+	bad := DefaultRegionDrillOptions()
+	bad.Regions = bad.Regions[:1]
+	if _, err := RunRegionDrill(bad); err == nil {
+		t.Error("single region accepted")
+	}
+	bad = DefaultRegionDrillOptions()
+	bad.Entitled = 0
+	if _, err := RunRegionDrill(bad); err == nil {
+		t.Error("zero entitlement accepted")
+	}
+}

@@ -1,0 +1,282 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"entitlement/internal/contract"
+	"entitlement/internal/contractdb"
+	"entitlement/internal/enforce"
+	"entitlement/internal/kvstore"
+	"entitlement/internal/topology"
+)
+
+// DrillOptions configures the §6 end-to-end enforcement drill: Coldstorage's
+// egress entitled rate is reduced, then switch ACLs drop a growing
+// percentage (0%, 12.5%, 50%, 100%) of its non-conforming traffic to mimic
+// congestion, then everything is rolled back.
+type DrillOptions struct {
+	Hosts        int     // Coldstorage hosts in the region under test
+	FlowsPerHost int     // TCP flows per host
+	Demand       float64 // aggregate service demand, bits/s
+	Entitled     float64 // reduced egress entitled rate, bits/s
+	LinkCapacity float64 // backbone capacity (≥ demand: the ACLs, not the
+	// link, produce the drops — as in the paper's methodology)
+	StageTicks  int // ticks per drill stage
+	AgentPeriod int // agents run every this many ticks
+	Policy      enforce.Policy
+	// NewMeter builds each agent's meter; default stateful (the drill
+	// "uses the stateful host based remarking algorithm").
+	NewMeter func() enforce.Meter
+	App      StorageOptions
+	Tick     time.Duration
+	Seed     int64
+}
+
+// DefaultDrillOptions returns a compressed version of the September-2021
+// drill: the paper's O(10k) hosts and ~35-minute stages become 40 hosts and
+// configurable stage lengths, preserving every mechanism.
+func DefaultDrillOptions() DrillOptions {
+	return DrillOptions{
+		Hosts:        40,
+		FlowsPerHost: 3,
+		Demand:       2e12, // 2 Tbps service demand
+		Entitled:     1e12, // reduced to 1 Tbps (Figure 12's "entitled rate")
+		LinkCapacity: 4e12, // uncongested without ACLs
+		StageTicks:   60,
+		AgentPeriod:  2,
+		Policy:       enforce.HostBased,
+		App:          DefaultStorageOptions(),
+		Tick:         time.Second,
+		Seed:         42,
+	}
+}
+
+// DrillStage names one phase of the drill and its tick range [Start, End).
+type DrillStage struct {
+	Name    string
+	Start   int
+	End     int
+	ACLDrop float64 // fraction of non-conforming traffic dropped
+}
+
+// DrillReport holds everything the §6 figures are drawn from.
+type DrillReport struct {
+	Sim      *Sim
+	App      *StorageApp
+	Stages   []DrillStage
+	Entitled []float64 // per-tick entitled rate as enforced
+	// ConformRatio is agent 0's decided ratio per tick (0 before the first
+	// agent cycle).
+	ConformRatio []float64
+	Options      DrillOptions
+
+	lastRatio float64 // ratio carried between agent cycles
+}
+
+// StageOf returns the stage covering tick i.
+func (r *DrillReport) StageOf(i int) *DrillStage {
+	for s := range r.Stages {
+		if i >= r.Stages[s].Start && i < r.Stages[s].End {
+			return &r.Stages[s]
+		}
+	}
+	return nil
+}
+
+const (
+	drillNPG     = contract.NPG("Coldstorage")
+	drillClass   = contract.C4Low
+	testRegion   = topology.Region("TEST")
+	clientRegion = topology.Region("REMOTE")
+)
+
+// RunDrill executes the full drill and returns the report.
+func RunDrill(opts DrillOptions) (*DrillReport, error) {
+	if opts.Hosts <= 0 || opts.FlowsPerHost <= 0 {
+		return nil, fmt.Errorf("netsim: drill needs hosts and flows, got %d×%d", opts.Hosts, opts.FlowsPerHost)
+	}
+	if opts.Demand <= 0 || opts.Entitled <= 0 || opts.LinkCapacity <= 0 {
+		return nil, fmt.Errorf("netsim: drill rates must be positive")
+	}
+	if opts.StageTicks <= 0 {
+		opts.StageTicks = 60
+	}
+	if opts.AgentPeriod <= 0 {
+		opts.AgentPeriod = 2
+	}
+	if opts.NewMeter == nil {
+		opts.NewMeter = func() enforce.Meter { return enforce.NewStateful() }
+	}
+	if opts.Tick <= 0 {
+		opts.Tick = time.Second
+	}
+
+	sim := New(Options{Tick: opts.Tick, Seed: opts.Seed})
+	link := sim.AddLink("TEST->REMOTE", opts.LinkCapacity, 30*time.Millisecond)
+
+	// Contract database: Coldstorage entitled generously at first (no
+	// marking), reduced at the drill's start.
+	db := contractdb.NewStore()
+	putEntitlement := func(rate float64) {
+		db.Put(contract.Contract{
+			NPG: drillNPG, SLO: 0.999, Approved: true,
+			Entitlements: []contract.Entitlement{{
+				NPG: drillNPG, Class: drillClass, Region: testRegion,
+				Direction: contract.Egress, Rate: rate,
+				Start: sim.Now().Add(-time.Hour), End: sim.Now().Add(24 * time.Hour),
+			}},
+		})
+	}
+	putEntitlement(opts.Demand * 2)
+
+	rates := kvstore.NewWithClock(sim.Now)
+
+	// Hosts, flows, agents.
+	perFlowDemand := opts.Demand / float64(opts.Hosts*opts.FlowsPerHost)
+	agents := make([]*enforce.Agent, 0, opts.Hosts)
+	for i := 0; i < opts.Hosts; i++ {
+		h := sim.AddHost(fmt.Sprintf("cold-%03d", i), testRegion, drillNPG, drillClass)
+		for j := 0; j < opts.FlowsPerHost; j++ {
+			sim.AddFlow(h, clientRegion, []*Link{link}, perFlowDemand)
+		}
+		a, err := enforce.NewAgent(enforce.AgentConfig{
+			Host: h.ID, NPG: drillNPG, Class: drillClass, Region: testRegion,
+			DB: db, Rates: rates, Meter: opts.NewMeter(), Prog: h.Prog,
+			Policy: opts.Policy, RateTTL: 10 * opts.Tick * time.Duration(opts.AgentPeriod),
+		})
+		if err != nil {
+			return nil, err
+		}
+		agents = append(agents, a)
+	}
+	// A well-behaved background service shares the link within its
+	// entitlement, to witness that conforming traffic is protected.
+	bg := sim.AddHost("warm-000", testRegion, "Warmstorage", contract.ClassB)
+	sim.AddFlow(bg, clientRegion, []*Link{link}, opts.LinkCapacity*0.1)
+
+	app := NewStorageApp(sim.Hosts()[:opts.Hosts], opts.App)
+
+	st := opts.StageTicks
+	stages := []DrillStage{
+		{Name: "baseline", Start: 0, End: st, ACLDrop: 0},
+		{Name: "entitlement-reduced", Start: st, End: 2 * st, ACLDrop: 0},
+		{Name: "acl-12.5", Start: 2 * st, End: 3 * st, ACLDrop: 0.125},
+		{Name: "acl-50", Start: 3 * st, End: 4 * st, ACLDrop: 0.5},
+		{Name: "acl-100", Start: 4 * st, End: 5 * st, ACLDrop: 1.0},
+		{Name: "rollback", Start: 5 * st, End: 6 * st, ACLDrop: 0},
+	}
+	report := &DrillReport{Sim: sim, App: app, Stages: stages, Options: opts}
+
+	totalTicks := stages[len(stages)-1].End
+	for tick := 0; tick < totalTicks; tick++ {
+		// Stage transitions.
+		switch tick {
+		case stages[1].Start:
+			putEntitlement(opts.Entitled) // the drill's entitlement cut
+		case stages[2].Start, stages[3].Start, stages[4].Start:
+			link.ClearACLs()
+			link.AddACL(ACL{NPG: drillNPG, NonConformOnly: true, DropFraction: report.StageOf(tick).ACLDrop})
+		case stages[5].Start:
+			link.ClearACLs()
+			putEntitlement(opts.Demand * 2) // rollback
+		}
+		// Agents run on their period, using last tick's host measurements.
+		if tick%opts.AgentPeriod == 0 {
+			for i, a := range agents {
+				total, conform := sim.Hosts()[i].EgressRates(opts.Tick)
+				rep, err := a.Cycle(sim.Now(), total, conform)
+				if err != nil {
+					return nil, err
+				}
+				if i == 0 {
+					report.lastRatio = rep.ConformRatio
+				}
+			}
+		}
+		sim.Step()
+		app.Step()
+		entitled, _, _ := db.EntitledRate(drillNPG, drillClass, testRegion, contract.Egress, sim.Now())
+		report.Entitled = append(report.Entitled, entitled)
+		report.ConformRatio = append(report.ConformRatio, report.lastRatio)
+	}
+	return report, nil
+}
+
+// ServiceRates returns the drill service's per-tick total and conforming
+// rates plus the entitled rate — the Figure 12 triple.
+func (r *DrillReport) ServiceRates() (total, conform, entitled []float64) {
+	series := r.Sim.Metrics.NPGSeries(drillNPG)
+	total = make([]float64, len(series))
+	conform = make([]float64, len(series))
+	for i, s := range series {
+		total[i] = s.TotalRate
+		conform[i] = s.ConformRate
+	}
+	return total, conform, r.Entitled
+}
+
+// LossSeries returns per-tick loss ratios for conforming and non-conforming
+// drill traffic — the Figure 11 pair.
+func (r *DrillReport) LossSeries() (conforming, nonConforming []float64) {
+	conf := r.Sim.Metrics.Series(GroupKey{Class: drillClass, Conforming: true})
+	non := r.Sim.Metrics.Series(GroupKey{Class: drillClass, Conforming: false})
+	conforming = make([]float64, len(conf))
+	for i, ts := range conf {
+		conforming[i] = ts.LossRatio
+	}
+	nonConforming = make([]float64, len(non))
+	for i, ts := range non {
+		nonConforming[i] = ts.LossRatio
+	}
+	return conforming, nonConforming
+}
+
+// RTTSeries returns per-tick average RTTs (seconds) for conforming and
+// non-conforming drill traffic — Figure 13.
+func (r *DrillReport) RTTSeries() (conforming, nonConforming []float64) {
+	conf := r.Sim.Metrics.Series(GroupKey{Class: drillClass, Conforming: true})
+	non := r.Sim.Metrics.Series(GroupKey{Class: drillClass, Conforming: false})
+	conforming = make([]float64, len(conf))
+	for i, ts := range conf {
+		conforming[i] = ts.AvgRTT.Seconds()
+	}
+	nonConforming = make([]float64, len(non))
+	for i, ts := range non {
+		nonConforming[i] = ts.AvgRTT.Seconds()
+	}
+	return conforming, nonConforming
+}
+
+// SYNSeries returns per-tick SYN attempts for conforming and non-conforming
+// drill traffic — Figure 14.
+func (r *DrillReport) SYNSeries() (conforming, nonConforming []int) {
+	conf := r.Sim.Metrics.Series(GroupKey{Class: drillClass, Conforming: true})
+	non := r.Sim.Metrics.Series(GroupKey{Class: drillClass, Conforming: false})
+	conforming = make([]int, len(conf))
+	for i, ts := range conf {
+		conforming[i] = ts.SynSent
+	}
+	nonConforming = make([]int, len(non))
+	for i, ts := range non {
+		nonConforming[i] = ts.SynSent
+	}
+	return conforming, nonConforming
+}
+
+// MeasuredAvailability returns the drill service's achieved availability for
+// conforming traffic: the fraction of ticks (with conforming traffic
+// present) whose conforming loss stayed below lossThreshold. The entitlement
+// contract's SLO is judged against this (§1: uptime requires all traffic to
+// be admitted).
+func (r *DrillReport) MeasuredAvailability(lossThreshold float64) float64 {
+	series := r.Sim.Metrics.Series(GroupKey{Class: drillClass, Conforming: true})
+	var tracker contract.UptimeTracker
+	for _, ts := range series {
+		if ts.SentRate <= 0 {
+			continue
+		}
+		tracker.Record(ts.LossRatio < lossThreshold)
+	}
+	return tracker.Availability()
+}

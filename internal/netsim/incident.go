@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"entitlement/internal/contract"
+	"entitlement/internal/topology"
+)
+
+// IncidentOptions configures the §2.2 misbehaving-service reproduction:
+// a buggy client release multiplies a service's traffic, the spike forming
+// within minutes and peaking well above the predicted volume (Figure 4),
+// inducing loss on well-behaved services in the same QoS classes despite
+// inter-class isolation (Figure 5).
+type IncidentOptions struct {
+	LinkCapacity float64 // bits/s; sized so the spike congests the link
+	// VictimRateA / VictimRateB: well-behaved demand in classes A and B.
+	VictimRateA float64
+	VictimRateB float64
+	// CulpritRate is the misbehaving service's pre-incident demand (split
+	// across classes A and B like a real service with mixed traffic).
+	CulpritRate float64
+	// SpikeMagnitude is the fractional increase at peak (0.5 = +50%, §2.2).
+	SpikeMagnitude float64
+	RampTicks      int // ticks for the spike to form (≈3 minutes)
+	WarmupTicks    int
+	SpikeTicks     int
+	CooldownTicks  int
+	Tick           time.Duration
+	Seed           int64
+}
+
+// DefaultIncidentOptions sizes the scenario so the pre-incident load fits
+// the link with slim headroom, as §2.2's incidents found production.
+func DefaultIncidentOptions() IncidentOptions {
+	return IncidentOptions{
+		LinkCapacity:   10e12,
+		VictimRateA:    2.5e12,
+		VictimRateB:    3.6e12,
+		CulpritRate:    3.5e12,
+		SpikeMagnitude: 0.5,
+		RampTicks:      18, // 3 minutes at 10s ticks
+		WarmupTicks:    30,
+		SpikeTicks:     60,
+		CooldownTicks:  30,
+		Tick:           10 * time.Second,
+		Seed:           7,
+	}
+}
+
+// IncidentReport carries the Figure 4/5 series.
+type IncidentReport struct {
+	Sim *Sim
+	// CulpritRate is the misbehaving service's offered rate per tick; the
+	// Predicted series is its pre-incident level (Figure 4's dashed line).
+	CulpritRate []float64
+	Predicted   []float64
+	// LossA / LossB: network-wide loss ratio of each QoS class per tick
+	// (victims and culprit combined, as Figure 5 plots class totals).
+	LossA []float64
+	LossB []float64
+	// SpikeStart/SpikeEnd are tick indexes of the incident window.
+	SpikeStart, SpikeEnd int
+}
+
+// RunIncident reproduces the incident. There is no entitlement enforcement:
+// the scenario demonstrates the world before the system was deployed, where
+// QoS isolation alone "cannot safeguard well-behaved services from
+// misbehaving ones within the same class".
+func RunIncident(opts IncidentOptions) (*IncidentReport, error) {
+	if opts.LinkCapacity <= 0 || opts.CulpritRate <= 0 {
+		return nil, fmt.Errorf("netsim: incident rates must be positive")
+	}
+	if opts.Tick <= 0 {
+		opts.Tick = 10 * time.Second
+	}
+	sim := New(Options{Tick: opts.Tick, Seed: opts.Seed})
+	link := sim.AddLink("REGION->WAN", opts.LinkCapacity, 25*time.Millisecond)
+	wan := topology.Region("WAN")
+	region := topology.Region("SRC")
+
+	mkService := func(name contract.NPG, class contract.Class, rate float64, hosts int) []*Flow {
+		flows := make([]*Flow, 0, hosts)
+		for i := 0; i < hosts; i++ {
+			h := sim.AddHost(fmt.Sprintf("%s-%02d", name, i), region, name, class)
+			flows = append(flows, sim.AddFlow(h, wan, []*Link{link}, rate/float64(hosts)))
+		}
+		return flows
+	}
+	mkService("victimA", contract.ClassA, opts.VictimRateA, 8)
+	mkService("victimB", contract.ClassB, opts.VictimRateB, 8)
+	// The culprit is user-facing video: most traffic in class A plus bulk
+	// prefetch in B (§2.1: services span classes, and §2.2's incident hit
+	// both of its classes). The A-heavy mix is what makes class A lose
+	// MORE than class B during the spike — Figure 5's 8% vs 2% ordering —
+	// once both classes exceed their scheduler shares.
+	culpritA := mkService("video", contract.ClassA, opts.CulpritRate*0.85, 6)
+	culpritB := mkService("video", contract.ClassB, opts.CulpritRate*0.15, 6)
+	culpritFlows := append(append([]*Flow{}, culpritA...), culpritB...)
+	baseDemand := make([]float64, len(culpritFlows))
+	for i, f := range culpritFlows {
+		baseDemand[i] = f.Demand
+	}
+
+	report := &IncidentReport{Sim: sim}
+	report.SpikeStart = opts.WarmupTicks
+	report.SpikeEnd = opts.WarmupTicks + opts.SpikeTicks
+
+	total := opts.WarmupTicks + opts.SpikeTicks + opts.CooldownTicks
+	for tick := 0; tick < total; tick++ {
+		// Drive the culprit's demand through the incident profile.
+		mult := 1.0
+		switch {
+		case tick >= report.SpikeStart && tick < report.SpikeStart+opts.RampTicks:
+			mult = 1 + opts.SpikeMagnitude*float64(tick-report.SpikeStart)/float64(opts.RampTicks)
+		case tick >= report.SpikeStart+opts.RampTicks && tick < report.SpikeEnd:
+			mult = 1 + opts.SpikeMagnitude
+		}
+		for i, f := range culpritFlows {
+			f.Demand = baseDemand[i] * mult
+		}
+		sim.Step()
+
+		series := sim.Metrics.NPGSeries("video")
+		report.CulpritRate = append(report.CulpritRate, series[len(series)-1].TotalRate)
+		report.Predicted = append(report.Predicted, opts.CulpritRate)
+		report.LossA = append(report.LossA, classLoss(sim.Metrics, contract.ClassA))
+		report.LossB = append(report.LossB, classLoss(sim.Metrics, contract.ClassB))
+	}
+	return report, nil
+}
+
+// classLoss returns the latest tick's loss ratio across a class's traffic
+// (conforming and non-conforming combined; the incident predates marking so
+// everything is conforming).
+func classLoss(m *Metrics, class contract.Class) float64 {
+	var sent, lost float64
+	for _, conforming := range []bool{true, false} {
+		series := m.Series(GroupKey{Class: class, Conforming: conforming})
+		if len(series) == 0 {
+			continue
+		}
+		ts := series[len(series)-1]
+		sent += ts.SentRate
+		lost += ts.SentRate * ts.LossRatio
+	}
+	if sent == 0 {
+		return 0
+	}
+	return lost / sent
+}
+
+// PeakLoss returns the maximum loss ratio a class saw during the incident.
+func (r *IncidentReport) PeakLoss(class contract.Class) float64 {
+	series := r.LossA
+	if class == contract.ClassB {
+		series = r.LossB
+	}
+	peak := 0.0
+	for _, v := range series {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}

@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"entitlement/internal/contract"
+	"entitlement/internal/contractdb"
+	"entitlement/internal/enforce"
+	"entitlement/internal/kvstore"
+	"entitlement/internal/topology"
+)
+
+// RegionDrillOptions configures a multi-region variant of the drill: the
+// service runs hosts in several source regions, each region carrying its
+// OWN egress entitlement and enforced independently ("entitlements have
+// five fields: <NPG, QoS class, region, entitled rate, enforcement
+// period>"). One region's entitlement is cut; the others must be untouched.
+type RegionDrillOptions struct {
+	Regions      []topology.Region // source regions (>= 2)
+	HostsPerReg  int
+	Demand       float64 // per-region demand, bits/s
+	Entitled     float64 // reduced entitlement for the target region
+	LinkCapacity float64 // per-region uplink capacity
+	Ticks        int
+	Seed         int64
+}
+
+// DefaultRegionDrillOptions returns a three-region setup.
+func DefaultRegionDrillOptions() RegionDrillOptions {
+	return RegionDrillOptions{
+		Regions:      []topology.Region{"R0", "R1", "R2"},
+		HostsPerReg:  10,
+		Demand:       1e12,
+		Entitled:     0.5e12,
+		LinkCapacity: 2e12,
+		Ticks:        80,
+		Seed:         17,
+	}
+}
+
+// RegionDrillReport summarizes per-region outcomes.
+type RegionDrillReport struct {
+	Sim *Sim
+	// ConformRate / TotalRate per region at the final tick, bits/s.
+	Conform map[topology.Region]float64
+	Total   map[topology.Region]float64
+	// Marked counts remarked hosts per region at the end.
+	Marked map[topology.Region]int
+	Target topology.Region
+}
+
+// RunRegionDrill cuts the first region's entitlement to opts.Entitled while
+// the other regions keep generous entitlements, runs independent agents
+// everywhere, and reports per-region rates. Enforcement must stay scoped to
+// the target region's flow set.
+func RunRegionDrill(opts RegionDrillOptions) (*RegionDrillReport, error) {
+	if len(opts.Regions) < 2 || opts.HostsPerReg <= 0 {
+		return nil, fmt.Errorf("netsim: region drill needs >= 2 regions and hosts")
+	}
+	if opts.Demand <= 0 || opts.Entitled <= 0 {
+		return nil, fmt.Errorf("netsim: region drill rates must be positive")
+	}
+	if opts.Ticks <= 0 {
+		opts.Ticks = 80
+	}
+	sim := New(Options{Tick: time.Second, Seed: opts.Seed})
+	db := contractdb.NewStore()
+	rates := kvstore.NewWithClock(sim.Now)
+	target := opts.Regions[0]
+
+	// One contract with per-region entitlement rows: the target region is
+	// cut, the rest are generous.
+	combined := contract.Contract{NPG: drillNPG, SLO: 0.999, Approved: true}
+	for _, region := range opts.Regions {
+		rate := opts.Demand * 2
+		if region == target {
+			rate = opts.Entitled
+		}
+		combined.Entitlements = append(combined.Entitlements, contract.Entitlement{
+			NPG: drillNPG, Class: drillClass, Region: region,
+			Direction: contract.Egress, Rate: rate,
+			Start: sim.Now().Add(-time.Hour), End: sim.Now().Add(24 * time.Hour),
+		})
+	}
+	if err := db.Put(combined); err != nil {
+		return nil, err
+	}
+
+	type regionState struct {
+		hosts  []*Host
+		agents []*enforce.Agent
+	}
+	states := make(map[topology.Region]*regionState, len(opts.Regions))
+	perHost := opts.Demand / float64(opts.HostsPerReg)
+	for _, region := range opts.Regions {
+		link := sim.AddLink(string(region)+"->WAN", opts.LinkCapacity, 20*time.Millisecond)
+		st := &regionState{}
+		for i := 0; i < opts.HostsPerReg; i++ {
+			h := sim.AddHost(fmt.Sprintf("%s-h%02d", region, i), region, drillNPG, drillClass)
+			sim.AddFlow(h, "WAN", []*Link{link}, perHost)
+			a, err := enforce.NewAgent(enforce.AgentConfig{
+				Host: h.ID, NPG: drillNPG, Class: drillClass, Region: region,
+				DB: db, Rates: rates, Meter: enforce.NewStateful(), Prog: h.Prog,
+				Policy: enforce.HostBased, RateTTL: time.Minute,
+			})
+			if err != nil {
+				return nil, err
+			}
+			st.hosts = append(st.hosts, h)
+			st.agents = append(st.agents, a)
+		}
+		states[region] = st
+	}
+
+	for tick := 0; tick < opts.Ticks; tick++ {
+		for _, region := range opts.Regions {
+			st := states[region]
+			for i, a := range st.agents {
+				total, conform := st.hosts[i].EgressRates(sim.Tick())
+				if _, err := a.Cycle(sim.Now(), total, conform); err != nil {
+					return nil, err
+				}
+			}
+		}
+		sim.Step()
+	}
+
+	rep := &RegionDrillReport{
+		Sim:     sim,
+		Conform: make(map[topology.Region]float64, len(opts.Regions)),
+		Total:   make(map[topology.Region]float64, len(opts.Regions)),
+		Marked:  make(map[topology.Region]int, len(opts.Regions)),
+		Target:  target,
+	}
+	for _, region := range opts.Regions {
+		st := states[region]
+		for _, h := range st.hosts {
+			total, conform := h.EgressRates(sim.Tick())
+			rep.Total[region] += total
+			rep.Conform[region] += conform
+			if conform < total {
+				rep.Marked[region]++
+			}
+		}
+	}
+	return rep, nil
+}

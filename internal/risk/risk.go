@@ -1,0 +1,210 @@
+// Package risk is the reproduction's Risk Simulation System (RSS) — the
+// component §4.3 uses to "generate the bandwidth availability curves based
+// on the network capacity and reliability". It Monte-Carlo samples failure
+// scenarios (independent link failures and SRLG fiber cuts) from the
+// topology, routes the pipe demands under each scenario with the flow
+// allocator, and summarizes each pipe's admitted bandwidth into an
+// availability curve:
+//
+//	availability(b) = P(admitted bandwidth >= b)
+//
+// The approval pipeline then reads the curve at the contract's SLO target to
+// find the admittable volume ("the Pipe approval is calculated by finding
+// the flow volume associated with the desired SLO target").
+package risk
+
+import (
+	"errors"
+	"sort"
+
+	"entitlement/internal/flow"
+	"entitlement/internal/topology"
+
+	"math/rand"
+)
+
+// Curve is a bandwidth availability curve for one pipe: the empirical
+// distribution of admitted bandwidth across sampled failure scenarios.
+type Curve struct {
+	sorted []float64 // admitted bandwidth per scenario, ascending
+}
+
+// NewCurve builds a curve from per-scenario admitted bandwidth samples.
+func NewCurve(samples []float64) *Curve {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &Curve{sorted: s}
+}
+
+// Scenarios returns the number of scenarios behind the curve.
+func (c *Curve) Scenarios() int { return len(c.sorted) }
+
+// AvailabilityAt returns the fraction of scenarios in which at least b
+// bandwidth was admitted.
+func (c *Curve) AvailabilityAt(b float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Count samples >= b: first index with sorted[i] >= b.
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] >= b-1e-9 })
+	return float64(len(c.sorted)-i) / float64(len(c.sorted))
+}
+
+// RateAtAvailability returns the largest bandwidth admitted in at least slo
+// fraction of scenarios — the volume the network can guarantee at that SLO.
+// It returns 0 when the SLO is unattainable (e.g. more stringent than 1-1/n).
+func (c *Curve) RateAtAvailability(slo float64) float64 {
+	n := len(c.sorted)
+	if n == 0 || slo <= 0 {
+		return 0
+	}
+	// Need k = ceil(slo*n) scenarios admitting the rate; the best such rate
+	// is the (n-k)-th order statistic.
+	k := int(slo * float64(n))
+	if float64(k) < slo*float64(n) {
+		k++
+	}
+	if k > n {
+		return 0
+	}
+	return c.sorted[n-k]
+}
+
+// Options configures a risk assessment.
+type Options struct {
+	// Scenarios is the number of Monte-Carlo failure scenarios; more
+	// scenarios resolve higher SLO targets (resolving availability a needs
+	// on the order of 1/(1-a) scenarios). Default 500.
+	Scenarios int
+	// IncludeAllUp forces the no-failure scenario into the sample set,
+	// which stabilizes the top of the curve. Default true via Assess.
+	SkipAllUp bool
+	Seed      int64
+	Alloc     flow.AllocateOptions
+}
+
+// Result holds per-pipe availability curves from one assessment.
+type Result struct {
+	Curves map[string]*Curve // keyed by flow.Demand.Key
+}
+
+// Assess runs the Monte-Carlo risk simulation: for every sampled failure
+// scenario it routes all demands (honoring QoS priority) and records each
+// demand's admitted bandwidth. Demands passed as background (e.g. already
+// approved higher-priority classes) compete for capacity and appear in the
+// result like any other; callers pick the keys they care about.
+func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Result, error) {
+	if len(demands) == 0 {
+		return &Result{Curves: map[string]*Curve{}}, nil
+	}
+	if opts.Scenarios <= 0 {
+		opts.Scenarios = 500
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	samples := make(map[string][]float64, len(demands))
+	for _, d := range demands {
+		if _, dup := samples[d.Key]; dup {
+			return nil, errors.New("risk: duplicate demand key " + d.Key)
+		}
+		samples[d.Key] = make([]float64, 0, opts.Scenarios+1)
+	}
+	record := func(state *topology.FailureState) {
+		alloc := flow.Allocate(topo, state, demands, opts.Alloc)
+		for _, d := range demands {
+			samples[d.Key] = append(samples[d.Key], alloc.Admitted[d.Key])
+		}
+	}
+	if !opts.SkipAllUp {
+		record(topo.AllUp())
+	}
+	for i := 0; i < opts.Scenarios; i++ {
+		record(topo.SampleFailures(rng))
+	}
+	res := &Result{Curves: make(map[string]*Curve, len(demands))}
+	for k, s := range samples {
+		res.Curves[k] = NewCurve(s)
+	}
+	return res, nil
+}
+
+// MeetsSLO reports whether the demand's full requested rate is available at
+// the SLO target under the assessment.
+func (r *Result) MeetsSLO(d flow.Demand, slo float64) bool {
+	c, ok := r.Curves[d.Key]
+	if !ok {
+		return false
+	}
+	return c.RateAtAvailability(slo) >= d.Rate-1e-9
+}
+
+// GuaranteedRate returns the bandwidth guaranteed to demand key at the SLO,
+// or 0 when the key is unknown.
+func (r *Result) GuaranteedRate(key string, slo float64) float64 {
+	c, ok := r.Curves[key]
+	if !ok {
+		return 0
+	}
+	return c.RateAtAvailability(slo)
+}
+
+// Samples returns a copy of the per-scenario admitted-bandwidth samples.
+func (c *Curve) Samples() []float64 {
+	out := make([]float64, len(c.sorted))
+	copy(out, c.sorted)
+	return out
+}
+
+// Merge combines curves (e.g. assessment phases) into one distribution.
+func Merge(curves ...*Curve) *Curve {
+	var all []float64
+	for _, c := range curves {
+		if c != nil {
+			all = append(all, c.sorted...)
+		}
+	}
+	return NewCurve(all)
+}
+
+// AssessPhased assesses demands across a planned topology change (§4.3:
+// approval must "analyze possible network failures (e.g., fiber cuts) and
+// changes (e.g., new links) in advance"): the entitlement period spends
+// 1−fracAfter of its time on the current topology and fracAfter on the
+// post-change topology. Scenario counts are split proportionally and the
+// phase curves merged, so the availability guarantee covers the whole
+// period including the change window.
+func AssessPhased(before, after *topology.Topology, fracAfter float64, demands []flow.Demand, opts Options) (*Result, error) {
+	if fracAfter < 0 || fracAfter > 1 {
+		return nil, errors.New("risk: fracAfter out of [0,1]")
+	}
+	if opts.Scenarios <= 0 {
+		opts.Scenarios = 500
+	}
+	afterScenarios := int(float64(opts.Scenarios) * fracAfter)
+	beforeScenarios := opts.Scenarios - afterScenarios
+
+	merged := &Result{Curves: make(map[string]*Curve, len(demands))}
+	runPhase := func(t *topology.Topology, scenarios int, seedOffset int64) error {
+		if scenarios <= 0 || t == nil {
+			return nil
+		}
+		phaseOpts := opts
+		phaseOpts.Scenarios = scenarios
+		phaseOpts.Seed = opts.Seed + seedOffset
+		res, err := Assess(t, demands, phaseOpts)
+		if err != nil {
+			return err
+		}
+		for k, c := range res.Curves {
+			merged.Curves[k] = Merge(merged.Curves[k], c)
+		}
+		return nil
+	}
+	if err := runPhase(before, beforeScenarios, 0); err != nil {
+		return nil, err
+	}
+	if err := runPhase(after, afterScenarios, 1_000_003); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}

@@ -1,0 +1,387 @@
+// Package topology models the WAN backbone the entitlement pipeline plans
+// against: regions (PoPs/DCs), directed capacitated links, and shared-risk
+// link groups (SRLGs) representing fiber paths whose cut takes down every
+// member link at once (§4.3's "possible network failures, e.g. fiber cuts").
+//
+// The package also provides synthetic backbone builders, since the paper's
+// production topology is proprietary: a heterogeneous ring-plus-chords
+// backbone generator and the five-region example of Figure 6.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Region identifies a network region (a PoP site or data center).
+type Region string
+
+// Link is a directed capacitated edge between two regions.
+type Link struct {
+	ID       int // index into Topology.Links
+	Src, Dst Region
+	Capacity float64 // bits per second
+	Metric   float64 // routing weight (latency-like); must be > 0
+	// FailProb is the probability the link is independently down in a
+	// sampled failure scenario (hardware failure, maintenance).
+	FailProb float64
+	// SRLG is the shared-risk link group (fiber) this link rides on, or -1.
+	// A fiber cut fails every link in the group simultaneously.
+	SRLG int
+}
+
+// SRLG is a shared-risk link group with its own cut probability.
+type SRLG struct {
+	ID      int
+	CutProb float64
+	Members []int // link IDs
+}
+
+// Topology is a directed multigraph over regions.
+type Topology struct {
+	Regions []Region
+	Links   []Link
+	SRLGs   []SRLG
+
+	regionIdx map[Region]int
+	adjacency map[Region][]int // outgoing link IDs
+}
+
+// New creates an empty topology.
+func New() *Topology {
+	return &Topology{
+		regionIdx: make(map[Region]int),
+		adjacency: make(map[Region][]int),
+	}
+}
+
+// AddRegion registers a region. Adding an existing region is a no-op.
+func (t *Topology) AddRegion(r Region) {
+	if _, ok := t.regionIdx[r]; ok {
+		return
+	}
+	t.regionIdx[r] = len(t.Regions)
+	t.Regions = append(t.Regions, r)
+}
+
+// HasRegion reports whether r is part of the topology.
+func (t *Topology) HasRegion(r Region) bool {
+	_, ok := t.regionIdx[r]
+	return ok
+}
+
+// RegionIndex returns the dense index of r, or -1.
+func (t *Topology) RegionIndex(r Region) int {
+	if i, ok := t.regionIdx[r]; ok {
+		return i
+	}
+	return -1
+}
+
+// AddLink adds a directed link and returns its ID. Unknown regions are
+// registered automatically. Capacity must be positive; a non-positive metric
+// defaults to 1.
+func (t *Topology) AddLink(src, dst Region, capacity, failProb float64, srlg int) (int, error) {
+	if src == dst {
+		return 0, fmt.Errorf("topology: self-loop link at %s", src)
+	}
+	if capacity <= 0 {
+		return 0, fmt.Errorf("topology: non-positive capacity %v on %s->%s", capacity, src, dst)
+	}
+	if failProb < 0 || failProb >= 1 {
+		return 0, fmt.Errorf("topology: failure probability %v out of [0,1) on %s->%s", failProb, src, dst)
+	}
+	t.AddRegion(src)
+	t.AddRegion(dst)
+	id := len(t.Links)
+	t.Links = append(t.Links, Link{
+		ID: id, Src: src, Dst: dst, Capacity: capacity, Metric: 1,
+		FailProb: failProb, SRLG: srlg,
+	})
+	t.adjacency[src] = append(t.adjacency[src], id)
+	if srlg >= 0 {
+		t.srlgByID(srlg).Members = append(t.srlgByID(srlg).Members, id)
+	}
+	return id, nil
+}
+
+// AddBidirectional adds a pair of opposite-direction links sharing capacity
+// characteristics and the same SRLG, returning both IDs.
+func (t *Topology) AddBidirectional(a, b Region, capacity, failProb float64, srlg int) (int, int, error) {
+	ab, err := t.AddLink(a, b, capacity, failProb, srlg)
+	if err != nil {
+		return 0, 0, err
+	}
+	ba, err := t.AddLink(b, a, capacity, failProb, srlg)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ab, ba, nil
+}
+
+// EnsureSRLG registers an SRLG with the given cut probability and returns its
+// ID. Calling it again with the same ID updates the probability.
+func (t *Topology) EnsureSRLG(id int, cutProb float64) int {
+	g := t.srlgByID(id)
+	g.CutProb = cutProb
+	return g.ID
+}
+
+func (t *Topology) srlgByID(id int) *SRLG {
+	for i := range t.SRLGs {
+		if t.SRLGs[i].ID == id {
+			return &t.SRLGs[i]
+		}
+	}
+	t.SRLGs = append(t.SRLGs, SRLG{ID: id})
+	return &t.SRLGs[len(t.SRLGs)-1]
+}
+
+// Outgoing returns the IDs of links leaving r.
+func (t *Topology) Outgoing(r Region) []int { return t.adjacency[r] }
+
+// Link returns the link with the given ID.
+func (t *Topology) Link(id int) *Link { return &t.Links[id] }
+
+// NumRegions returns the region count.
+func (t *Topology) NumRegions() int { return len(t.Regions) }
+
+// NumLinks returns the link count.
+func (t *Topology) NumLinks() int { return len(t.Links) }
+
+// TotalCapacity returns the sum of all link capacities.
+func (t *Topology) TotalCapacity() float64 {
+	s := 0.0
+	for _, l := range t.Links {
+		s += l.Capacity
+	}
+	return s
+}
+
+// Validate checks structural invariants: every link endpoint registered,
+// SRLG membership consistent.
+func (t *Topology) Validate() error {
+	for _, l := range t.Links {
+		if !t.HasRegion(l.Src) || !t.HasRegion(l.Dst) {
+			return fmt.Errorf("topology: link %d references unknown region", l.ID)
+		}
+		if l.Capacity <= 0 {
+			return fmt.Errorf("topology: link %d has capacity %v", l.ID, l.Capacity)
+		}
+	}
+	for _, g := range t.SRLGs {
+		for _, id := range g.Members {
+			if id < 0 || id >= len(t.Links) {
+				return fmt.Errorf("topology: SRLG %d references unknown link %d", g.ID, id)
+			}
+			if t.Links[id].SRLG != g.ID {
+				return fmt.Errorf("topology: SRLG %d membership inconsistent for link %d", g.ID, id)
+			}
+		}
+	}
+	return nil
+}
+
+// FailureState marks which links are down in one failure scenario.
+type FailureState struct {
+	Down []bool // indexed by link ID
+}
+
+// AllUp returns a failure state with every link operational.
+func (t *Topology) AllUp() *FailureState {
+	return &FailureState{Down: make([]bool, len(t.Links))}
+}
+
+// IsUp reports whether link id is operational under s. A nil state means
+// everything is up.
+func (s *FailureState) IsUp(id int) bool {
+	if s == nil {
+		return true
+	}
+	return !s.Down[id]
+}
+
+// FailLink marks a single link down.
+func (s *FailureState) FailLink(id int) { s.Down[id] = true }
+
+// FailSRLG marks every member of the group down.
+func (t *Topology) FailSRLG(s *FailureState, srlgID int) error {
+	for _, g := range t.SRLGs {
+		if g.ID == srlgID {
+			for _, id := range g.Members {
+				s.Down[id] = true
+			}
+			return nil
+		}
+	}
+	return errors.New("topology: unknown SRLG")
+}
+
+// SampleFailures draws a random failure scenario: each SRLG is cut with its
+// CutProb (taking down all members), and each remaining link fails
+// independently with its FailProb.
+func (t *Topology) SampleFailures(rng *rand.Rand) *FailureState {
+	s := t.AllUp()
+	for _, g := range t.SRLGs {
+		if g.CutProb > 0 && rng.Float64() < g.CutProb {
+			for _, id := range g.Members {
+				s.Down[id] = true
+			}
+		}
+	}
+	for i := range t.Links {
+		if s.Down[i] {
+			continue
+		}
+		if p := t.Links[i].FailProb; p > 0 && rng.Float64() < p {
+			s.Down[i] = true
+		}
+	}
+	return s
+}
+
+// --- Synthetic builders -------------------------------------------------
+
+// BackboneOptions configures the synthetic WAN generator.
+type BackboneOptions struct {
+	Regions    int     // number of regions (>= 3)
+	Chords     int     // extra random bidirectional chords beyond the ring
+	MinCapGbps float64 // per-direction capacity range
+	MaxCapGbps float64
+	LinkFail   float64 // per-link independent failure probability
+	FiberCut   float64 // per-SRLG cut probability
+	Seed       int64
+}
+
+// DefaultBackboneOptions mirrors a mid-size heterogeneous WAN: 12 regions,
+// capacity spread of 4x between the smallest and largest links (the paper
+// stresses WANs have "heterogeneous region capacities"), link availability
+// around 99.8% and rarer fiber cuts.
+func DefaultBackboneOptions() BackboneOptions {
+	return BackboneOptions{
+		Regions:    12,
+		Chords:     10,
+		MinCapGbps: 500,
+		MaxCapGbps: 2000,
+		LinkFail:   0.002,
+		FiberCut:   0.001,
+		Seed:       1,
+	}
+}
+
+// Backbone generates a synthetic WAN: a resilient ring over all regions plus
+// random chords, with heterogeneous capacities. Each bidirectional fiber is
+// its own SRLG, so one cut takes both directions.
+func Backbone(opts BackboneOptions) (*Topology, error) {
+	if opts.Regions < 3 {
+		return nil, errors.New("topology: backbone needs at least 3 regions")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	t := New()
+	names := make([]Region, opts.Regions)
+	for i := range names {
+		names[i] = Region(fmt.Sprintf("R%02d", i))
+		t.AddRegion(names[i])
+	}
+	srlg := 0
+	addFiber := func(a, b Region) error {
+		capGbps := opts.MinCapGbps + rng.Float64()*(opts.MaxCapGbps-opts.MinCapGbps)
+		t.EnsureSRLG(srlg, opts.FiberCut)
+		_, _, err := t.AddBidirectional(a, b, capGbps*1e9, opts.LinkFail, srlg)
+		srlg++
+		return err
+	}
+	for i := range names {
+		if err := addFiber(names[i], names[(i+1)%len(names)]); err != nil {
+			return nil, err
+		}
+	}
+	// Random chords, avoiding duplicates of the ring.
+	type pair struct{ a, b int }
+	used := make(map[pair]bool)
+	for i := range names {
+		used[pair{i, (i + 1) % len(names)}] = true
+		used[pair{(i + 1) % len(names), i}] = true
+	}
+	added := 0
+	for attempts := 0; added < opts.Chords && attempts < opts.Chords*50; attempts++ {
+		a := rng.Intn(len(names))
+		b := rng.Intn(len(names))
+		if a == b || used[pair{a, b}] {
+			continue
+		}
+		used[pair{a, b}] = true
+		used[pair{b, a}] = true
+		if err := addFiber(names[a], names[b]); err != nil {
+			return nil, err
+		}
+		added++
+	}
+	return t, nil
+}
+
+// FigureSix builds the five-region example of Figure 6 (regions A–E with the
+// Ads service in A), as a full mesh so every pipe realization is routable.
+// Capacities are generous; the figure's point is about reservations, not
+// congestion.
+func FigureSix() *Topology {
+	t := New()
+	regions := []Region{"A", "B", "C", "D", "E"}
+	srlg := 0
+	for i, a := range regions {
+		for _, b := range regions[i+1:] {
+			t.EnsureSRLG(srlg, 0.001)
+			// 1 Tbps per direction.
+			if _, _, err := t.AddBidirectional(a, b, 1e12, 0.002, srlg); err != nil {
+				panic(err) // unreachable for this fixed mesh
+			}
+			srlg++
+		}
+	}
+	return t
+}
+
+// RegionsSorted returns the region list in lexical order (stable iteration
+// for deterministic outputs).
+func (t *Topology) RegionsSorted() []Region {
+	out := make([]Region, len(t.Regions))
+	copy(out, t.Regions)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of the topology; planners mutate clones when
+// evaluating candidate upgrades.
+func (t *Topology) Clone() *Topology {
+	out := &Topology{
+		Regions:   append([]Region(nil), t.Regions...),
+		Links:     append([]Link(nil), t.Links...),
+		SRLGs:     make([]SRLG, len(t.SRLGs)),
+		regionIdx: make(map[Region]int, len(t.regionIdx)),
+		adjacency: make(map[Region][]int, len(t.adjacency)),
+	}
+	for i, g := range t.SRLGs {
+		out.SRLGs[i] = SRLG{ID: g.ID, CutProb: g.CutProb, Members: append([]int(nil), g.Members...)}
+	}
+	for r, i := range t.regionIdx {
+		out.regionIdx[r] = i
+	}
+	for r, ids := range t.adjacency {
+		out.adjacency[r] = append([]int(nil), ids...)
+	}
+	return out
+}
+
+// SetCapacity updates a link's capacity (planner upgrades).
+func (t *Topology) SetCapacity(linkID int, capacity float64) error {
+	if linkID < 0 || linkID >= len(t.Links) {
+		return fmt.Errorf("topology: unknown link %d", linkID)
+	}
+	if capacity <= 0 {
+		return fmt.Errorf("topology: non-positive capacity %v", capacity)
+	}
+	t.Links[linkID].Capacity = capacity
+	return nil
+}

@@ -1,0 +1,24 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMessage drives the frame decoder with arbitrary bytes; it must
+// never panic and never allocate beyond the declared frame size.
+// Run with: go test -fuzz=FuzzReadMessage ./internal/wire
+func FuzzReadMessage(f *testing.F) {
+	var good bytes.Buffer
+	WriteMessage(&good, map[string]int{"a": 1})
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 'x'})
+	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v interface{}
+		// Either decodes or errors; must not panic.
+		ReadMessage(bytes.NewReader(data), &v)
+	})
+}

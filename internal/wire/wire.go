@@ -1,0 +1,247 @@
+// Package wire provides the framing and tiny RPC layer the run-time
+// enforcement components speak over TCP: length-prefixed JSON messages, a
+// request/response envelope, a connection-per-client server loop, and a
+// serialized client. The contract database and the distributed rate store
+// both build on it.
+//
+// The protocol is deliberately minimal: 4-byte big-endian length followed by
+// a JSON body, capped at MaxMessageSize. Control-plane traffic here is tiny
+// (agents exchange a handful of rates per cycle), so clarity wins over
+// compactness.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxMessageSize bounds a single frame; anything larger is a protocol error.
+const MaxMessageSize = 16 << 20
+
+// ErrMessageTooLarge is returned for frames exceeding MaxMessageSize.
+var ErrMessageTooLarge = errors.New("wire: message exceeds size limit")
+
+// WriteMessage marshals v as JSON and writes one length-prefixed frame.
+func WriteMessage(w io.Writer, v interface{}) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > MaxMessageSize {
+		return ErrMessageTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadMessage reads one frame and unmarshals it into v.
+func ReadMessage(r io.Reader, v interface{}) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return ErrMessageTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// Request is the RPC envelope sent by clients.
+type Request struct {
+	Method  string          `json:"method"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Response is the RPC envelope returned by servers.
+type Response struct {
+	Error   string          `json:"error,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Handler processes one request; the returned value is marshaled into the
+// response payload.
+type Handler func(method string, payload json.RawMessage) (interface{}, error)
+
+// Server accepts connections and dispatches requests to a Handler.
+type Server struct {
+	listener net.Listener
+	handler  Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving on l with h. It returns immediately; use Close to
+// stop.
+func NewServer(l net.Listener, h Handler) *Server {
+	s := &Server{listener: l, handler: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.listener.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		var req Request
+		if err := ReadMessage(br, &req); err != nil {
+			return
+		}
+		var resp Response
+		result, err := s.handler(req.Method, req.Payload)
+		if err != nil {
+			resp.Error = err.Error()
+		} else if result != nil {
+			body, merr := json.Marshal(result)
+			if merr != nil {
+				resp.Error = merr.Error()
+			} else {
+				resp.Payload = body
+			}
+		}
+		if err := WriteMessage(bw, &resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and closes every live connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a serialized RPC client over one connection. It is safe for
+// concurrent use; calls are issued one at a time.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects a client to addr (TCP).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// Call issues one request and decodes the response payload into reply
+// (which may be nil to discard it).
+func (c *Client) Call(method string, args interface{}, reply interface{}) error {
+	var payload json.RawMessage
+	if args != nil {
+		body, err := json.Marshal(args)
+		if err != nil {
+			return fmt.Errorf("wire: marshal args: %w", err)
+		}
+		payload = body
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteMessage(c.bw, &Request{Method: method, Payload: payload}); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	var resp Response
+	if err := ReadMessage(c.br, &resp); err != nil {
+		return err
+	}
+	if resp.Error != "" {
+		return &RemoteError{Method: method, Message: resp.Error}
+	}
+	if reply != nil && resp.Payload != nil {
+		return json.Unmarshal(resp.Payload, reply)
+	}
+	return nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RemoteError is a server-side failure surfaced to the caller.
+type RemoteError struct {
+	Method  string
+	Message string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wire: remote error from %s: %s", e.Method, e.Message)
+}
