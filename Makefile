@@ -1,8 +1,11 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench cover figures examples
+.PHONY: all build vet test race bench cover figures examples
 
 all: build vet test
+
+race:
+	go test -race ./...
 
 build:
 	go build ./...

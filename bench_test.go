@@ -15,6 +15,7 @@ import (
 	"entitlement/internal/experiments"
 	"entitlement/internal/flow"
 	"entitlement/internal/kvstore"
+	"entitlement/internal/risk"
 	"entitlement/internal/topology"
 )
 
@@ -231,9 +232,87 @@ func BenchmarkAllocate(b *testing.B) {
 			Src: src, Dst: dst, Rate: 200e9, Class: i % 4,
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		flow.Allocate(topo, topo.AllUp(), demands, flow.AllocateOptions{Rounds: 8})
+	}
+}
+
+// BenchmarkAllocateRunner is BenchmarkAllocate with the scratch buffers
+// amortized across calls via a flow.Runner — the steady state each risk
+// worker runs in across its scenarios.
+func BenchmarkAllocateRunner(b *testing.B) {
+	opts := topology.DefaultBackboneOptions()
+	topo, err := topology.Backbone(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	regions := topo.RegionsSorted()
+	var demands []flow.Demand
+	for i := 0; i < 24; i++ {
+		src := regions[i%len(regions)]
+		dst := regions[(i+3)%len(regions)]
+		demands = append(demands, flow.Demand{
+			Key: string(src) + ">" + string(dst) + hostName(i),
+			Src: src, Dst: dst, Rate: 200e9, Class: i % 4,
+		})
+	}
+	runner := flow.NewRunner(topo)
+	state := topo.AllUp()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.Allocate(state, demands, flow.AllocateOptions{Rounds: 8})
+	}
+}
+
+// riskBenchSetup builds the mid-size backbone and demand set shared by the
+// risk-assessment benchmarks.
+func riskBenchSetup(b *testing.B) (*topology.Topology, []flow.Demand) {
+	b.Helper()
+	opts := topology.DefaultBackboneOptions()
+	topo, err := topology.Backbone(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	regions := topo.RegionsSorted()
+	var demands []flow.Demand
+	for i := 0; i < 24; i++ {
+		src := regions[i%len(regions)]
+		dst := regions[(i+3)%len(regions)]
+		demands = append(demands, flow.Demand{
+			Key: string(src) + ">" + string(dst) + hostName(i),
+			Src: src, Dst: dst, Rate: 200e9, Class: i % 4,
+		})
+	}
+	return topo, demands
+}
+
+// BenchmarkRiskAssess measures one full Monte-Carlo risk assessment (200
+// failure scenarios on a mid-size backbone) on the serial path (Workers: 1).
+func BenchmarkRiskAssess(b *testing.B) {
+	topo, demands := riskBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := risk.Assess(topo, demands, risk.Options{Scenarios: 200, Seed: 1, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRiskAssessParallel is the same assessment fanned out over all
+// cores (Workers: 0 = GOMAXPROCS); the output is byte-identical to the
+// serial run, so ns/op differences are pure scenario-parallel speedup.
+func BenchmarkRiskAssessParallel(b *testing.B) {
+	topo, demands := riskBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := risk.Assess(topo, demands, risk.Options{Scenarios: 200, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

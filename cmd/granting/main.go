@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	granting [-regions N] [-tail N] [-days N] [-rate Tbps] [-slo X] [-seed N] [-v]
+//	granting [-regions N] [-tail N] [-days N] [-rate Tbps] [-slo X] [-workers N] [-seed N] [-v]
 package main
 
 import (
@@ -31,18 +31,19 @@ func main() {
 	rateTbps := flag.Float64("rate", 20, "aggregate WAN demand in Tbps")
 	slo := flag.Float64("slo", 0.999, "default availability SLO")
 	scenarios := flag.Int("scenarios", 100, "risk-simulation failure scenarios")
+	workers := flag.Int("workers", 0, "risk-simulation worker goroutines (0 = all cores, 1 = serial)")
 	seed := flag.Int64("seed", 1, "random seed")
 	traceFile := flag.String("trace", "", "CSV traffic history (npg,class,src,dst,offset_seconds,bits_per_second) instead of synthetic demand")
 	verbose := flag.Bool("v", false, "print per-hose approvals")
 	flag.Parse()
 
-	if err := run(*regions, *tail, *days, *rateTbps, *slo, *scenarios, *seed, *traceFile, *verbose); err != nil {
+	if err := run(*regions, *tail, *days, *rateTbps, *slo, *scenarios, *workers, *seed, *traceFile, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "granting: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(regions, tail, days int, rateTbps, slo float64, scenarios int, seed int64, traceFile string, verbose bool) error {
+func run(regions, tail, days int, rateTbps, slo float64, scenarios, workers int, seed int64, traceFile string, verbose bool) error {
 	topoOpts := topology.DefaultBackboneOptions()
 	topoOpts.Regions = regions
 	topoOpts.Seed = seed
@@ -104,7 +105,7 @@ func run(regions, tail, days int, rateTbps, slo float64, scenarios int, seed int
 	opts.MinPipeRate = 1e9
 	opts.Approval = approval.Options{
 		RepresentativeTMs: 4,
-		Risk:              risk.Options{Scenarios: scenarios, Seed: seed + 2},
+		Risk:              risk.Options{Scenarios: scenarios, Seed: seed + 2, Workers: workers},
 		Seed:              seed + 3,
 	}
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	planner [-regions N] [-demand-scale X] [-upgrades N] [-scenarios N] [-seed N]
+//	planner [-regions N] [-demand-scale X] [-upgrades N] [-scenarios N] [-workers N] [-seed N]
 package main
 
 import (
@@ -22,16 +22,17 @@ func main() {
 	demandScale := flag.Float64("demand-scale", 0.35, "per-pair demand as a fraction of mean link capacity")
 	upgrades := flag.Int("upgrades", 4, "maximum augmentations to plan")
 	scenarios := flag.Int("scenarios", 200, "failure scenarios")
+	workers := flag.Int("workers", 0, "scenario-evaluation worker goroutines (0 = all cores, 1 = serial)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	if err := run(*regions, *demandScale, *upgrades, *scenarios, *seed); err != nil {
+	if err := run(*regions, *demandScale, *upgrades, *scenarios, *workers, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "planner: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(regions int, demandScale float64, upgrades, scenarios int, seed int64) error {
+func run(regions int, demandScale float64, upgrades, scenarios, workers int, seed int64) error {
 	topoOpts := topology.DefaultBackboneOptions()
 	topoOpts.Regions = regions
 	topoOpts.Seed = seed
@@ -49,7 +50,7 @@ func run(regions int, demandScale float64, upgrades, scenarios int, seed int64) 
 			Rate: meanCap * demandScale, Class: i % 4,
 		})
 	}
-	opts := planner.Options{Scenarios: scenarios, Seed: seed + 1}
+	opts := planner.Options{Scenarios: scenarios, Seed: seed + 1, Workers: workers}
 
 	before, err := planner.Analyze(topo, demands, opts)
 	if err != nil {

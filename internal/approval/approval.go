@@ -35,7 +35,10 @@ type Options struct {
 	SLOs map[contract.NPG]contract.SLO
 	// DefaultSLO applies when an NPG has no explicit target. Default 0.99.
 	DefaultSLO contract.SLO
-	// Risk configures the Monte-Carlo assessment per realization.
+	// Risk configures the Monte-Carlo assessment per realization, including
+	// Risk.Workers, the scenario-evaluation parallelism (0 = all cores):
+	// every Pipe_Approval pass fans its failure scenarios out over that many
+	// goroutines with byte-identical results.
 	Risk risk.Options
 	// JointRealizations samples each (NPG, class)'s hoses jointly — full
 	// traffic matrices satisfying the egress AND ingress constraints at

@@ -8,10 +8,19 @@
 // production: it routes each QoS class in strict priority order (c1 before
 // c2, §4.3) and water-fills demands within a class, which yields the
 // approximately max-min fair admissions the availability curves need.
+//
+// The hot path (Allocate inside the Monte-Carlo risk loop) runs entirely on
+// the topology's dense CSR view (topology.Dense) with reusable int-indexed
+// scratch buffers instead of map[Region] state: Dijkstra uses epoch-stamped
+// visited arrays (no per-call clearing), the heap is a plain slice, and a
+// Runner lets one goroutine reuse every buffer across scenarios. A Network
+// (and therefore a Runner) is NOT safe for concurrent use; give each worker
+// its own.
 package flow
 
 import (
 	"container/heap"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -21,22 +30,46 @@ import (
 
 // Network is a mutable view of residual capacity over a topology under a
 // failure state. A nil state means all links are up.
+//
+// Network owns reusable path-computation scratch, so a single Network must
+// not be shared between goroutines. Use one Network (or Runner) per worker.
 type Network struct {
 	Topo     *topology.Topology
 	State    *topology.FailureState
 	residual []float64
+
+	dense *topology.Dense
+	sp    spScratch
+	mf    mfScratch
 }
 
 // NewNetwork creates a residual network with full link capacities for every
 // operational link and zero for failed ones.
 func NewNetwork(t *topology.Topology, state *topology.FailureState) *Network {
-	n := &Network{Topo: t, State: state, residual: make([]float64, t.NumLinks())}
-	for i := range n.residual {
+	n := &Network{Topo: t}
+	n.Reset(state)
+	return n
+}
+
+// Reset re-initializes the network for a new failure state, reusing every
+// internal buffer. It also picks up structural topology changes (new links
+// or regions) made since the last reset.
+func (n *Network) Reset(state *topology.FailureState) {
+	n.State = state
+	n.dense = n.Topo.Dense()
+	nl := n.Topo.NumLinks()
+	if cap(n.residual) < nl {
+		n.residual = make([]float64, nl)
+	}
+	n.residual = n.residual[:nl]
+	for i := 0; i < nl; i++ {
 		if state.IsUp(i) {
-			n.residual[i] = t.Links[i].Capacity
+			n.residual[i] = n.Topo.Links[i].Capacity
+		} else {
+			n.residual[i] = 0
 		}
 	}
-	return n
+	n.sp.ensure(n.Topo.NumRegions())
 }
 
 // Residual returns the remaining capacity of link id.
@@ -78,26 +111,152 @@ func (n *Network) PathBottleneck(path []int) float64 {
 	return m
 }
 
-// pqItem is a priority-queue entry for Dijkstra.
-type pqItem struct {
-	region topology.Region
-	dist   float64
-	index  int
+// --- Dijkstra over dense indexes -----------------------------------------
+
+// spScratch holds the reusable Dijkstra state: epoch-stamped seen/done
+// arrays avoid clearing between runs, the heap is a plain slice of values
+// (no container/heap boxing), and the output path is written into a
+// reusable buffer.
+type spScratch struct {
+	dist     []float64
+	prevLink []int32
+	seen     []uint64 // epoch when dist/prevLink became valid
+	done     []uint64 // epoch when the region was finalized
+	epoch    uint64
+
+	heap spHeap
+	path []int // last computed path, forward link IDs (reused)
+
+	// bannedRegion is epoch-stamped by banEpoch; used only by Yen spurs.
+	bannedRegion []uint64
+	banEpoch     uint64
 }
 
-type pq []*pqItem
+func (s *spScratch) ensure(regions int) {
+	if len(s.dist) >= regions {
+		return
+	}
+	s.dist = make([]float64, regions)
+	s.prevLink = make([]int32, regions)
+	s.seen = make([]uint64, regions)
+	s.done = make([]uint64, regions)
+	s.bannedRegion = make([]uint64, regions)
+}
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
-func (q *pq) Push(x interface{}) { it := x.(*pqItem); it.index = len(*q); *q = append(*q, it) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
+// spNode is one heap entry: a region index at a tentative distance.
+type spNode struct {
+	dist   float64
+	region int32
+}
+
+// spHeap is a slice-backed binary min-heap on dist (lazy deletion).
+type spHeap []spNode
+
+func (h *spHeap) push(n spNode) {
+	*h = append(*h, n)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *spHeap) pop() spNode {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old = old[:last]
+	*h = old
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && old[l].dist < old[small].dist {
+			small = l
+		}
+		if r < last && old[r].dist < old[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}
+
+// shortestPathDense runs Dijkstra from src to dst over dense region indexes,
+// excluding links with residual <= minResidual, links in bannedLinks (may be
+// nil), and — when useBanned is true — regions stamped in sp.bannedRegion
+// (except dst). On success the path is left in n.sp.path (valid until the
+// next shortest-path computation on this Network).
+func (n *Network) shortestPathDense(src, dst int32, minResidual float64, bannedLinks map[int]bool, useBanned bool) (metric float64, ok bool) {
+	s := &n.sp
+	s.path = s.path[:0]
+	if src == dst {
+		return 0, true
+	}
+	if src < 0 || dst < 0 {
+		return 0, false
+	}
+	d := n.dense
+	links := n.Topo.Links
+	s.epoch++
+	s.heap = s.heap[:0]
+	s.dist[src] = 0
+	s.seen[src] = s.epoch
+	s.heap.push(spNode{dist: 0, region: src})
+	for len(s.heap) > 0 {
+		cur := s.heap.pop()
+		u := cur.region
+		if s.done[u] == s.epoch {
+			continue
+		}
+		s.done[u] = s.epoch
+		if u == dst {
+			break
+		}
+		du := s.dist[u]
+		for _, id := range d.OutLinks[d.OutStart[u]:d.OutStart[u+1]] {
+			if n.residual[id] <= minResidual {
+				continue
+			}
+			if bannedLinks != nil && bannedLinks[int(id)] {
+				continue
+			}
+			to := d.DstIdx[id]
+			if useBanned && s.bannedRegion[to] == s.banEpoch && to != dst {
+				continue
+			}
+			nd := du + links[id].Metric
+			if s.seen[to] != s.epoch || nd < s.dist[to] {
+				s.dist[to] = nd
+				s.seen[to] = s.epoch
+				s.prevLink[to] = id
+				s.heap.push(spNode{dist: nd, region: to})
+			}
+		}
+	}
+	if s.done[dst] != s.epoch {
+		return 0, false
+	}
+	// Reconstruct in reverse, then flip in place.
+	at := dst
+	for at != src {
+		id := s.prevLink[at]
+		s.path = append(s.path, int(id))
+		at = d.SrcIdx[id]
+	}
+	for i, j := 0, len(s.path)-1; i < j; i, j = i+1, j-1 {
+		s.path[i], s.path[j] = s.path[j], s.path[i]
+	}
+	return s.dist[dst], true
 }
 
 // ShortestPath returns the minimum-metric path (as link IDs) from src to dst
@@ -107,60 +266,78 @@ func (q *pq) Pop() interface{} {
 // bannedLinks and bannedRegions (either may be nil) are excluded; Yen's
 // algorithm uses them for spur-path computation.
 func (n *Network) ShortestPath(src, dst topology.Region, minResidual float64, bannedLinks map[int]bool, bannedRegions map[topology.Region]bool) (path []int, metric float64, ok bool) {
+	srcIdx := int32(n.Topo.RegionIndex(src))
+	dstIdx := int32(n.Topo.RegionIndex(dst))
 	if src == dst {
 		return nil, 0, true
 	}
-	dist := make(map[topology.Region]float64)
-	prevLink := make(map[topology.Region]int)
-	visited := make(map[topology.Region]bool)
-	q := &pq{}
-	heap.Push(q, &pqItem{region: src, dist: 0})
-	dist[src] = 0
-	for q.Len() > 0 {
-		cur := heap.Pop(q).(*pqItem)
-		if visited[cur.region] {
-			continue
-		}
-		visited[cur.region] = true
-		if cur.region == dst {
-			break
-		}
-		for _, id := range n.Topo.Outgoing(cur.region) {
-			if bannedLinks[id] || n.residual[id] <= minResidual {
-				continue
-			}
-			l := n.Topo.Link(id)
-			if bannedRegions[l.Dst] && l.Dst != dst {
-				continue
-			}
-			nd := cur.dist + l.Metric
-			if old, seen := dist[l.Dst]; !seen || nd < old {
-				dist[l.Dst] = nd
-				prevLink[l.Dst] = id
-				heap.Push(q, &pqItem{region: l.Dst, dist: nd})
+	useBanned := false
+	if len(bannedRegions) > 0 {
+		s := &n.sp
+		s.banEpoch++
+		for r := range bannedRegions {
+			if i := n.Topo.RegionIndex(r); i >= 0 {
+				s.bannedRegion[i] = s.banEpoch
 			}
 		}
+		useBanned = true
 	}
-	if !visited[dst] {
+	metric, ok = n.shortestPathDense(srcIdx, dstIdx, minResidual, bannedLinks, useBanned)
+	if !ok {
 		return nil, 0, false
 	}
-	// Reconstruct.
-	var rev []int
-	at := dst
-	for at != src {
-		id := prevLink[at]
-		rev = append(rev, id)
-		at = n.Topo.Link(id).Src
+	return append([]int(nil), n.sp.path...), metric, true
+}
+
+// --- Yen k-shortest paths -------------------------------------------------
+
+// yenCandidate is a spur path awaiting promotion in Yen's algorithm.
+type yenCandidate struct {
+	path   []int
+	metric float64
+	seq    int // insertion sequence; preserves the old stable-sort order
+}
+
+// candHeap orders candidates by (metric, path length, insertion order) —
+// exactly the order the previous sort.SliceStable produced, at O(log n) per
+// promotion instead of a full re-sort per accepted path.
+type candHeap []yenCandidate
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].metric != h[j].metric {
+		return h[i].metric < h[j].metric
 	}
-	path = make([]int, len(rev))
-	for i := range rev {
-		path[i] = rev[len(rev)-1-i]
+	if len(h[i].path) != len(h[j].path) {
+		return len(h[i].path) < len(h[j].path)
 	}
-	return path, dist[dst], true
+	return h[i].seq < h[j].seq
+}
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(yenCandidate)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// pathKey encodes a path as a compact string for the dedup set.
+func pathKey(p []int) string {
+	buf := make([]byte, 0, 8*len(p))
+	var tmp [binary.MaxVarintLen64]byte
+	for _, id := range p {
+		n := binary.PutUvarint(tmp[:], uint64(id))
+		buf = append(buf, tmp[:n]...)
+	}
+	return string(buf)
 }
 
 // KShortestPaths implements Yen's algorithm over the residual network,
 // returning up to k loopless paths from src to dst ordered by metric.
+// Candidates live in a min-heap keyed (metric, length, insertion order) with
+// a dedup set, replacing the former full re-sort per accepted path.
 func (n *Network) KShortestPaths(src, dst topology.Region, k int) [][]int {
 	if k <= 0 {
 		return nil
@@ -170,7 +347,9 @@ func (n *Network) KShortestPaths(src, dst topology.Region, k int) [][]int {
 		return nil
 	}
 	paths := [][]int{first}
-	var candidates []yenCandidate
+	seen := map[string]bool{pathKey(first): true}
+	candidates := &candHeap{}
+	seq := 0
 	for len(paths) < k {
 		last := paths[len(paths)-1]
 		// Spur from each node of the previous path.
@@ -197,22 +376,19 @@ func (n *Network) KShortestPaths(src, dst topology.Region, k int) [][]int {
 				continue
 			}
 			total := append(append([]int{}, rootPath...), spur...)
-			if containsPath(paths, total) || containsCandidate(candidates, total) {
+			key := pathKey(total)
+			if seen[key] {
 				continue
 			}
-			candidates = append(candidates, yenCandidate{path: total, metric: n.pathMetric(total)})
+			seen[key] = true
+			heap.Push(candidates, yenCandidate{path: total, metric: n.pathMetric(total), seq: seq})
+			seq++
 		}
-		if len(candidates) == 0 {
+		if candidates.Len() == 0 {
 			break
 		}
-		sort.SliceStable(candidates, func(i, j int) bool {
-			if candidates[i].metric != candidates[j].metric {
-				return candidates[i].metric < candidates[j].metric
-			}
-			return len(candidates[i].path) < len(candidates[j].path)
-		})
-		paths = append(paths, candidates[0].path)
-		candidates = candidates[1:]
+		best := heap.Pop(candidates).(yenCandidate)
+		paths = append(paths, best.path)
 	}
 	return paths
 }
@@ -237,28 +413,19 @@ func pathEqual(a, b []int) bool {
 	return true
 }
 
-func containsPath(paths [][]int, p []int) bool {
-	for _, q := range paths {
-		if pathEqual(q, p) {
-			return true
-		}
-	}
-	return false
-}
+// --- Dinic max-flow over dense indexes ------------------------------------
 
-// yenCandidate is a spur path awaiting promotion in Yen's algorithm.
-type yenCandidate struct {
-	path   []int
-	metric float64
-}
-
-func containsCandidate(cs []yenCandidate, p []int) bool {
-	for _, c := range cs {
-		if pathEqual(c.path, p) {
-			return true
-		}
-	}
-	return false
+// mfScratch is the reusable Dinic state: paired arcs (forward arc 2k,
+// reverse 2k+1, so rev(a) == a^1) grouped into a per-region CSR, plus BFS
+// level and DFS iterator arrays.
+type mfScratch struct {
+	arcTo  []int32
+	arcCap []float64
+	start  []int32 // CSR offsets over arcs by tail region; len regions+1
+	arcIdx []int32 // arc indexes grouped by tail region
+	level  []int32
+	iter   []int32
+	queue  []int32
 }
 
 // MaxFlow computes the maximum src→dst flow over the residual network using
@@ -267,60 +434,94 @@ func (n *Network) MaxFlow(src, dst topology.Region) float64 {
 	if src == dst {
 		return math.Inf(1)
 	}
-	// Build Dinic arc structure: each topology link becomes a forward arc
-	// with residual capacity plus a zero-capacity reverse arc.
-	type arc struct {
-		to  topology.Region
-		cap float64
-		rev int // index of the reverse arc in adj[to]
+	srcIdx := int32(n.Topo.RegionIndex(src))
+	dstIdx := int32(n.Topo.RegionIndex(dst))
+	if srcIdx < 0 || dstIdx < 0 {
+		return 0
 	}
-	adj := make(map[topology.Region][]arc)
-	addArc := func(u, v topology.Region, c float64) {
-		adj[u] = append(adj[u], arc{to: v, cap: c, rev: len(adj[v])})
-		adj[v] = append(adj[v], arc{to: u, cap: 0, rev: len(adj[u]) - 1})
-	}
-	for i := range n.Topo.Links {
+	d := n.dense
+	regions := n.Topo.NumRegions()
+	m := &n.mf
+
+	// Build paired arcs for links with spare residual.
+	m.arcTo = m.arcTo[:0]
+	m.arcCap = m.arcCap[:0]
+	for i := range n.residual {
 		if n.residual[i] > 0 {
-			l := n.Topo.Link(i)
-			addArc(l.Src, l.Dst, n.residual[i])
+			m.arcTo = append(m.arcTo, d.DstIdx[i], d.SrcIdx[i])
+			m.arcCap = append(m.arcCap, n.residual[i], 0)
 		}
 	}
-	level := make(map[topology.Region]int)
+	nArcs := len(m.arcTo)
+	// CSR over arcs by tail region.
+	if cap(m.start) < regions+1 {
+		m.start = make([]int32, regions+1)
+		m.level = make([]int32, regions)
+		m.iter = make([]int32, regions)
+		m.queue = make([]int32, 0, regions)
+	}
+	m.start = m.start[:regions+1]
+	m.level = m.level[:regions]
+	m.iter = m.iter[:regions]
+	for i := range m.start {
+		m.start[i] = 0
+	}
+	tail := func(a int) int32 {
+		// Arc a's tail is the head of its pair.
+		return m.arcTo[a^1]
+	}
+	for a := 0; a < nArcs; a++ {
+		m.start[tail(a)+1]++
+	}
+	for r := 0; r < regions; r++ {
+		m.start[r+1] += m.start[r]
+	}
+	if cap(m.arcIdx) < nArcs {
+		m.arcIdx = make([]int32, nArcs)
+	}
+	m.arcIdx = m.arcIdx[:nArcs]
+	fill := append([]int32(nil), m.start[:regions]...)
+	for a := 0; a < nArcs; a++ {
+		t := tail(a)
+		m.arcIdx[fill[t]] = int32(a)
+		fill[t]++
+	}
+
 	bfs := func() bool {
-		for k := range level {
-			delete(level, k)
+		for i := range m.level {
+			m.level[i] = -1
 		}
-		queue := []topology.Region{src}
-		level[src] = 0
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, a := range adj[u] {
-				if a.cap > 1e-9 {
-					if _, seen := level[a.to]; !seen {
-						level[a.to] = level[u] + 1
-						queue = append(queue, a.to)
+		m.queue = m.queue[:0]
+		m.queue = append(m.queue, srcIdx)
+		m.level[srcIdx] = 0
+		for qi := 0; qi < len(m.queue); qi++ {
+			u := m.queue[qi]
+			for _, a := range m.arcIdx[m.start[u]:m.start[u+1]] {
+				if m.arcCap[a] > 1e-9 {
+					to := m.arcTo[a]
+					if m.level[to] < 0 {
+						m.level[to] = m.level[u] + 1
+						m.queue = append(m.queue, to)
 					}
 				}
 			}
 		}
-		_, ok := level[dst]
-		return ok
+		return m.level[dstIdx] >= 0
 	}
-	iter := make(map[topology.Region]int)
-	var dfs func(u topology.Region, f float64) float64
-	dfs = func(u topology.Region, f float64) float64 {
-		if u == dst {
+	var dfs func(u int32, f float64) float64
+	dfs = func(u int32, f float64) float64 {
+		if u == dstIdx {
 			return f
 		}
-		for ; iter[u] < len(adj[u]); iter[u]++ {
-			a := &adj[u][iter[u]]
-			if a.cap > 1e-9 && level[a.to] == level[u]+1 {
-				d := dfs(a.to, math.Min(f, a.cap))
-				if d > 1e-9 {
-					a.cap -= d
-					adj[a.to][a.rev].cap += d
-					return d
+		for ; m.iter[u] < m.start[u+1]-m.start[u]; m.iter[u]++ {
+			a := m.arcIdx[m.start[u]+m.iter[u]]
+			to := m.arcTo[a]
+			if m.arcCap[a] > 1e-9 && m.level[to] == m.level[u]+1 {
+				dd := dfs(to, math.Min(f, m.arcCap[a]))
+				if dd > 1e-9 {
+					m.arcCap[a] -= dd
+					m.arcCap[a^1] += dd
+					return dd
 				}
 			}
 		}
@@ -328,11 +529,11 @@ func (n *Network) MaxFlow(src, dst topology.Region) float64 {
 	}
 	total := 0.0
 	for bfs() {
-		for k := range iter {
-			delete(iter, k)
+		for i := range m.iter {
+			m.iter[i] = 0
 		}
 		for {
-			f := dfs(src, math.Inf(1))
+			f := dfs(srcIdx, math.Inf(1))
 			if f <= 1e-9 {
 				break
 			}
@@ -341,6 +542,8 @@ func (n *Network) MaxFlow(src, dst topology.Region) float64 {
 	}
 	return total
 }
+
+// --- Multi-commodity allocator --------------------------------------------
 
 // Demand is one pipe's bandwidth request for the allocator.
 type Demand struct {
@@ -376,37 +579,88 @@ type AllocateOptions struct {
 	MaxPathLen float64
 }
 
-// Allocate routes demands over the topology under the failure state,
-// respecting strict priority between classes and approximate max-min
-// fairness within a class. The returned allocation maps demand keys to the
-// admitted rate (<= requested).
-func Allocate(t *topology.Topology, state *topology.FailureState, demands []Demand, opts AllocateOptions) *Allocation {
+// pathCache remembers a demand's last shortest path within one allocation.
+// Because link metrics are static and links only leave the residual graph as
+// they saturate (Release is never called mid-allocation), a cached path
+// whose links all retain residual capacity is still a shortest path — so
+// Dijkstra re-runs only when the cached path loses a link.
+type pathCache struct {
+	path   []int
+	metric float64
+	valid  bool
+	src    int32
+	dst    int32
+}
+
+// Runner owns a Network plus per-allocation scratch, so repeated Allocate
+// calls over one topology (the Monte-Carlo scenario loop) allocate almost
+// nothing. A Runner is NOT safe for concurrent use; create one per worker.
+type Runner struct {
+	topo      *topology.Topology
+	net       *Network
+	order     []int
+	remaining []float64
+	caches    []pathCache
+}
+
+// NewRunner creates an allocator runner over the topology.
+func NewRunner(t *topology.Topology) *Runner {
+	return &Runner{topo: t, net: NewNetwork(t, nil)}
+}
+
+// Network exposes the runner's residual network for inspection after an
+// allocation (e.g. residual-capacity probes).
+func (r *Runner) Network() *Network { return r.net }
+
+// Allocate routes demands over the runner's topology under the failure
+// state, respecting strict priority between classes and approximate max-min
+// fairness within a class. The returned Allocation is freshly allocated and
+// remains valid after subsequent calls; all internal scratch is reused.
+func (r *Runner) Allocate(state *topology.FailureState, demands []Demand, opts AllocateOptions) *Allocation {
 	if opts.Rounds <= 0 {
 		opts.Rounds = 16
 	}
-	net := NewNetwork(t, state)
+	r.net.Reset(state)
+	t := r.topo
 	alloc := &Allocation{Admitted: make(map[string]float64, len(demands)), LinkUsed: make([]float64, t.NumLinks())}
 
-	// Group by class, preserving deterministic order.
-	byClass := make(map[int][]Demand)
-	classes := make([]int, 0, 4)
-	for _, d := range demands {
-		if _, ok := byClass[d.Class]; !ok {
-			classes = append(classes, d.Class)
-		}
-		byClass[d.Class] = append(byClass[d.Class], d)
+	// Order demand indexes by class, preserving input order within a class
+	// (what the former map-of-slices grouping produced).
+	if cap(r.order) < len(demands) {
+		r.order = make([]int, len(demands))
+		r.remaining = make([]float64, len(demands))
+		r.caches = make([]pathCache, len(demands))
 	}
-	sort.Ints(classes)
+	r.order = r.order[:len(demands)]
+	r.remaining = r.remaining[:len(demands)]
+	r.caches = r.caches[:len(demands)]
+	for i := range r.order {
+		r.order[i] = i
+	}
+	sort.SliceStable(r.order, func(a, b int) bool {
+		return demands[r.order[a]].Class < demands[r.order[b]].Class
+	})
 
-	for _, c := range classes {
-		ds := byClass[c]
-		remaining := make([]float64, len(ds))
+	for lo := 0; lo < len(r.order); {
+		hi := lo
+		class := demands[r.order[lo]].Class
+		for hi < len(r.order) && demands[r.order[hi]].Class == class {
+			hi++
+		}
+		run := r.order[lo:hi]
+		lo = hi
+
 		maxRem := 0.0
-		for i, d := range ds {
-			remaining[i] = d.Rate
+		for _, di := range run {
+			d := &demands[di]
+			r.remaining[di] = d.Rate
 			if d.Rate > maxRem {
 				maxRem = d.Rate
 			}
+			c := &r.caches[di]
+			c.valid = false
+			c.src = int32(t.RegionIndex(d.Src))
+			c.dst = int32(t.RegionIndex(d.Dst))
 		}
 		if maxRem <= 0 {
 			continue
@@ -414,15 +668,15 @@ func Allocate(t *topology.Topology, state *topology.FailureState, demands []Dema
 		quantum := maxRem / float64(opts.Rounds)
 		for progress := true; progress; {
 			progress = false
-			for i := range ds {
-				if remaining[i] <= 1e-6 {
+			for _, di := range run {
+				if r.remaining[di] <= 1e-6 {
 					continue
 				}
-				want := math.Min(remaining[i], quantum)
-				pushed := pushDemand(net, ds[i], want, opts.MaxPathLen)
+				want := math.Min(r.remaining[di], quantum)
+				pushed := r.pushDemand(di, want, opts.MaxPathLen)
 				if pushed > 1e-9 {
-					remaining[i] -= pushed
-					alloc.Admitted[ds[i].Key] += pushed
+					r.remaining[di] -= pushed
+					alloc.Admitted[demands[di].Key] += pushed
 					progress = true
 				}
 			}
@@ -430,30 +684,54 @@ func Allocate(t *topology.Topology, state *topology.FailureState, demands []Dema
 	}
 	for i := range alloc.LinkUsed {
 		if state.IsUp(i) {
-			alloc.LinkUsed[i] = t.Links[i].Capacity - net.Residual(i)
+			alloc.LinkUsed[i] = t.Links[i].Capacity - r.net.Residual(i)
 		}
 	}
 	return alloc
 }
 
-// pushDemand routes up to want bits/s of the demand along shortest available
+// pushDemand routes up to want bits/s of demand di along shortest available
 // paths, possibly splitting across several, and returns the amount placed.
-func pushDemand(net *Network, d Demand, want, maxPathLen float64) float64 {
+// The demand's cached path is reused while every link on it retains residual
+// capacity; Dijkstra re-runs only when the cached path loses a link.
+func (r *Runner) pushDemand(di int, want, maxPathLen float64) float64 {
+	n := r.net
+	c := &r.caches[di]
 	placed := 0.0
 	for placed < want-1e-9 {
-		path, metric, ok := net.ShortestPath(d.Src, d.Dst, 0, nil, nil)
-		if !ok || len(path) == 0 {
+		if c.valid {
+			for _, id := range c.path {
+				if n.residual[id] <= 0 {
+					c.valid = false
+					break
+				}
+			}
+		}
+		if !c.valid {
+			metric, ok := n.shortestPathDense(c.src, c.dst, 0, nil, false)
+			if !ok || len(n.sp.path) == 0 {
+				break
+			}
+			c.path = append(c.path[:0], n.sp.path...)
+			c.metric = metric
+			c.valid = true
+		}
+		if maxPathLen > 0 && c.metric > maxPathLen {
 			break
 		}
-		if maxPathLen > 0 && metric > maxPathLen {
-			break
-		}
-		amt := math.Min(want-placed, net.PathBottleneck(path))
+		amt := math.Min(want-placed, n.PathBottleneck(c.path))
 		if amt <= 1e-9 {
 			break
 		}
-		net.Use(path, amt)
+		n.Use(c.path, amt)
 		placed += amt
 	}
 	return placed
+}
+
+// Allocate routes demands over the topology under the failure state; it is
+// the one-shot form of Runner.Allocate. Callers in a scenario loop should
+// hold a Runner instead to amortize the scratch buffers.
+func Allocate(t *topology.Topology, state *topology.FailureState, demands []Demand, opts AllocateOptions) *Allocation {
+	return NewRunner(t).Allocate(state, demands, opts)
 }

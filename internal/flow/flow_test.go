@@ -169,6 +169,113 @@ func TestKShortestPathsOrdering(t *testing.T) {
 	}
 }
 
+// referenceKShortest is the pre-heap Yen implementation (full
+// sort.SliceStable re-sort of the candidate list per accepted path), kept
+// here as the oracle for the min-heap + dedup-set version.
+func referenceKShortest(n *Network, src, dst topology.Region, k int) [][]int {
+	if k <= 0 {
+		return nil
+	}
+	first, _, ok := n.ShortestPath(src, dst, 0, nil, nil)
+	if !ok {
+		return nil
+	}
+	type cand struct {
+		path   []int
+		metric float64
+	}
+	contains := func(ps [][]int, p []int) bool {
+		for _, q := range ps {
+			if pathEqual(q, p) {
+				return true
+			}
+		}
+		return false
+	}
+	containsCand := func(cs []cand, p []int) bool {
+		for _, c := range cs {
+			if pathEqual(c.path, p) {
+				return true
+			}
+		}
+		return false
+	}
+	paths := [][]int{first}
+	var candidates []cand
+	for len(paths) < k {
+		last := paths[len(paths)-1]
+		for i := 0; i <= len(last)-1; i++ {
+			rootPath := last[:i]
+			spurNode := src
+			if i > 0 {
+				spurNode = n.Topo.Link(last[i-1]).Dst
+			}
+			banned := make(map[int]bool)
+			for _, p := range paths {
+				if len(p) > i && pathEqual(p[:i], rootPath) {
+					banned[p[i]] = true
+				}
+			}
+			bannedRegions := make(map[topology.Region]bool)
+			at := src
+			for _, id := range rootPath {
+				bannedRegions[at] = true
+				at = n.Topo.Link(id).Dst
+			}
+			spur, _, ok := n.ShortestPath(spurNode, dst, 0, banned, bannedRegions)
+			if !ok {
+				continue
+			}
+			total := append(append([]int{}, rootPath...), spur...)
+			if contains(paths, total) || containsCand(candidates, total) {
+				continue
+			}
+			candidates = append(candidates, cand{path: total, metric: n.pathMetric(total)})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sortStableCands := func() {
+			for i := 1; i < len(candidates); i++ { // insertion sort = stable
+				for j := i; j > 0; j-- {
+					a, b := candidates[j], candidates[j-1]
+					if a.metric < b.metric || (a.metric == b.metric && len(a.path) < len(b.path)) {
+						candidates[j], candidates[j-1] = candidates[j-1], candidates[j]
+					} else {
+						break
+					}
+				}
+			}
+		}
+		sortStableCands()
+		paths = append(paths, candidates[0].path)
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+// TestKShortestPathsMatchesReferenceOnFigureSix asserts the heap-based Yen
+// produces identical output (same paths, same order) as the former
+// stable-sort implementation on the Figure 6 full mesh.
+func TestKShortestPathsMatchesReferenceOnFigureSix(t *testing.T) {
+	topo := topology.FigureSix()
+	pairs := [][2]topology.Region{{"A", "E"}, {"B", "D"}, {"E", "A"}, {"C", "B"}}
+	for _, pair := range pairs {
+		for _, k := range []int{1, 3, 8, 16, 40} {
+			got := NewNetwork(topo, topo.AllUp()).KShortestPaths(pair[0], pair[1], k)
+			want := referenceKShortest(NewNetwork(topo, topo.AllUp()), pair[0], pair[1], k)
+			if len(got) != len(want) {
+				t.Fatalf("%s->%s k=%d: %d paths, reference %d", pair[0], pair[1], k, len(got), len(want))
+			}
+			for i := range got {
+				if !pathEqual(got[i], want[i]) {
+					t.Errorf("%s->%s k=%d path %d: %v != reference %v", pair[0], pair[1], k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 func TestMaxFlowLine(t *testing.T) {
 	topo := lineTopo(t, 100, 50)
 	net := NewNetwork(topo, topo.AllUp())

@@ -172,16 +172,21 @@ func RatioSeries(perDst map[topology.Region]*timeseries.Series, s []topology.Reg
 	for _, r := range s {
 		inS[r] = true
 	}
-	var n int
-	for _, ser := range perDst {
-		n = ser.Len()
-		break
+	// Iterate destinations in sorted order: the sums below are float
+	// accumulations, and map-iteration order would make the low bits of the
+	// ratios (and everything downstream: segment alphas, sampled TMs,
+	// borderline approval flags) vary run to run.
+	dsts := make([]topology.Region, 0, len(perDst))
+	for r := range perDst {
+		dsts = append(dsts, r)
 	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	n := perDst[dsts[0]].Len()
 	out := make([]float64, 0, n)
 	for t := 0; t < n; t++ {
 		total, sel := 0.0, 0.0
-		for r, ser := range perDst {
-			v := ser.Values[t]
+		for _, r := range dsts {
+			v := perDst[r].Values[t]
 			total += v
 			if inS[r] {
 				sel += v

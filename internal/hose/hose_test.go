@@ -1,7 +1,9 @@
 package hose
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
@@ -179,6 +181,36 @@ func TestRatioSeriesEmpty(t *testing.T) {
 	}
 	if got := AlphaMinus(nil, nil); got != 0 {
 		t.Errorf("empty AlphaMinus = %v", got)
+	}
+}
+
+// RatioSeries sums float series across destinations; the accumulation order
+// must not depend on map-iteration order (Go randomizes it per range
+// statement), or segment alphas — and every borderline approval decision
+// downstream — wobble in their low bits from run to run.
+func TestRatioSeriesDeterministicAccumulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	perDst := make(map[topology.Region]*timeseries.Series, 16)
+	for i := 0; i < 16; i++ {
+		vals := make([]float64, 24)
+		for j := range vals {
+			// Wide magnitude spread makes the sum order-sensitive.
+			vals[j] = rng.Float64() * math.Pow(10, float64(rng.Intn(12)))
+		}
+		perDst[topology.Region(fmt.Sprintf("R%02d", i))] = timeseries.New(t0, time.Hour, vals)
+	}
+	sel := []topology.Region{"R03", "R07", "R11"}
+	want := RatioSeries(perDst, sel)
+	for trial := 0; trial < 50; trial++ {
+		got := RatioSeries(perDst, sel)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: ratio[%d] = %v, want exactly %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+	if a, b := AlphaPlus(perDst, sel), AlphaPlus(perDst, sel); a != b {
+		t.Fatalf("AlphaPlus not reproducible: %v vs %v", a, b)
 	}
 }
 

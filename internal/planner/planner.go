@@ -15,7 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"entitlement/internal/flow"
 	"entitlement/internal/topology"
@@ -30,6 +33,11 @@ type Options struct {
 	// SaturationThreshold marks a link binding when its utilization
 	// exceeds this fraction while demand is unmet. Default 0.999.
 	SaturationThreshold float64
+	// Workers is the scenario-evaluation parallelism: 0 uses
+	// runtime.GOMAXPROCS(0), 1 forces the serial path. Failure states are
+	// pre-drawn serially and per-scenario outcomes reduced in scenario
+	// order, so results are identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -90,32 +98,84 @@ func Analyze(topo *topology.Topology, demands []flow.Demand, opts Options) (*Rep
 		totalDemand += d.Rate
 	}
 
-	bindCount := make([]int, topo.NumLinks())
-	bindShortfall := make([]float64, topo.NumLinks())
-	admittedSum := 0.0
-	for s := 0; s < o.Scenarios; s++ {
-		state := topo.SampleFailures(rng)
+	// Pre-draw every failure state serially (deterministic regardless of
+	// worker count), evaluate scenarios in parallel, then reduce in
+	// scenario order so float accumulation is order-stable.
+	states := make([]*topology.FailureState, o.Scenarios)
+	for s := range states {
+		states[s] = topo.SampleFailures(rng)
 		if s == 0 {
-			state = topo.AllUp() // always include the healthy network
+			states[s] = topo.AllUp() // always include the healthy network
 		}
-		alloc := flow.Allocate(topo, state, demands, o.Alloc)
+	}
+	type outcome struct {
+		admitted float64
+		binding  []int32 // saturated-while-up links, regardless of shortfall
+	}
+	outs := make([]outcome, o.Scenarios)
+	evalScenario := func(r *flow.Runner, s int) {
+		state := states[s]
+		alloc := r.Allocate(state, demands, o.Alloc)
 		admitted := 0.0
 		for _, d := range demands {
 			admitted += alloc.Admitted[d.Key]
 		}
-		admittedSum += admitted
-		shortfall := totalDemand - admitted
-		if shortfall <= 1e-6 {
-			continue
-		}
+		var binding []int32
 		for id := range topo.Links {
 			if !state.IsUp(id) {
 				continue
 			}
 			if alloc.LinkUsed[id] >= topo.Links[id].Capacity*o.SaturationThreshold {
-				bindCount[id]++
-				bindShortfall[id] += shortfall
+				binding = append(binding, int32(id))
 			}
+		}
+		outs[s] = outcome{admitted: admitted, binding: binding}
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > o.Scenarios {
+		workers = o.Scenarios
+	}
+	topo.Dense()
+	if workers <= 1 {
+		r := flow.NewRunner(topo)
+		for s := 0; s < o.Scenarios; s++ {
+			evalScenario(r, s)
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r := flow.NewRunner(topo)
+				for {
+					s := int(atomic.AddInt64(&next, 1)) - 1
+					if s >= o.Scenarios {
+						return
+					}
+					evalScenario(r, s)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	bindCount := make([]int, topo.NumLinks())
+	bindShortfall := make([]float64, topo.NumLinks())
+	admittedSum := 0.0
+	for s := 0; s < o.Scenarios; s++ {
+		admittedSum += outs[s].admitted
+		shortfall := totalDemand - outs[s].admitted
+		if shortfall <= 1e-6 {
+			continue
+		}
+		for _, id := range outs[s].binding {
+			bindCount[id]++
+			bindShortfall[id] += shortfall
 		}
 	}
 

@@ -11,16 +11,24 @@
 // The approval pipeline then reads the curve at the contract's SLO target to
 // find the admittable volume ("the Pipe approval is calculated by finding
 // the flow volume associated with the desired SLO target").
+//
+// Scenarios are embarrassingly parallel: each scenario i derives its own RNG
+// from seed^mix(i) and writes its admitted-bandwidth samples into slot i of
+// per-demand sample columns, so the result is byte-identical for any worker
+// count (Options.Workers; 0 = GOMAXPROCS, 1 = serial).
 package risk
 
 import (
 	"errors"
+	"math"
+	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"entitlement/internal/flow"
 	"entitlement/internal/topology"
-
-	"math/rand"
 )
 
 // Curve is a bandwidth availability curve for one pipe: the empirical
@@ -40,14 +48,22 @@ func NewCurve(samples []float64) *Curve {
 // Scenarios returns the number of scenarios behind the curve.
 func (c *Curve) Scenarios() int { return len(c.sorted) }
 
+// bwTol is the comparison tolerance for bandwidth values: a small absolute
+// floor plus a relative term, so Tbps-scale rates (1e11–1e13 bits/s, where a
+// fixed 1e-9 is meaningless) still absorb float accumulation error.
+func bwTol(b float64) float64 {
+	return 1e-9 + 1e-12*math.Abs(b)
+}
+
 // AvailabilityAt returns the fraction of scenarios in which at least b
-// bandwidth was admitted.
+// bandwidth was admitted (within relative tolerance).
 func (c *Curve) AvailabilityAt(b float64) float64 {
 	if len(c.sorted) == 0 {
 		return 0
 	}
 	// Count samples >= b: first index with sorted[i] >= b.
-	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] >= b-1e-9 })
+	tol := bwTol(b)
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] >= b-tol })
 	return float64(len(c.sorted)-i) / float64(len(c.sorted))
 }
 
@@ -81,7 +97,12 @@ type Options struct {
 	// which stabilizes the top of the curve. Default true via Assess.
 	SkipAllUp bool
 	Seed      int64
-	Alloc     flow.AllocateOptions
+	// Workers is the scenario-evaluation parallelism: 0 uses
+	// runtime.GOMAXPROCS(0), 1 forces the serial path. Results are
+	// byte-identical for every value because each scenario owns a
+	// deterministic RNG and a dedicated output slot.
+	Workers int
+	Alloc   flow.AllocateOptions
 }
 
 // Result holds per-pipe availability curves from one assessment.
@@ -89,11 +110,28 @@ type Result struct {
 	Curves map[string]*Curve // keyed by flow.Demand.Key
 }
 
+// mix64 is the SplitMix64 finalizer; it decorrelates consecutive scenario
+// indexes into well-spread RNG seeds.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// scenarioSeed derives the deterministic RNG seed for scenario i.
+func scenarioSeed(seed int64, i int) int64 {
+	return int64(uint64(seed) ^ mix64(uint64(i)))
+}
+
 // Assess runs the Monte-Carlo risk simulation: for every sampled failure
 // scenario it routes all demands (honoring QoS priority) and records each
 // demand's admitted bandwidth. Demands passed as background (e.g. already
 // approved higher-priority classes) compete for capacity and appear in the
 // result like any other; callers pick the keys they care about.
+//
+// Scenarios fan out over Options.Workers goroutines, each holding its own
+// flow.Runner; the shared topology is only read.
 func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Result, error) {
 	if len(demands) == 0 {
 		return &Result{Curves: map[string]*Curve{}}, nil
@@ -101,29 +139,81 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 	if opts.Scenarios <= 0 {
 		opts.Scenarios = 500
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	samples := make(map[string][]float64, len(demands))
-	for _, d := range demands {
-		if _, dup := samples[d.Key]; dup {
+	keyIdx := make(map[string]int, len(demands))
+	for i, d := range demands {
+		if _, dup := keyIdx[d.Key]; dup {
 			return nil, errors.New("risk: duplicate demand key " + d.Key)
 		}
-		samples[d.Key] = make([]float64, 0, opts.Scenarios+1)
+		keyIdx[d.Key] = i
 	}
-	record := func(state *topology.FailureState) {
-		alloc := flow.Allocate(topo, state, demands, opts.Alloc)
-		for _, d := range demands {
-			samples[d.Key] = append(samples[d.Key], alloc.Admitted[d.Key])
+
+	// Scenario index space: slot 0 is the forced all-up scenario (unless
+	// skipped); sampled scenario j owns slot j+offset and RNG seed mix(j).
+	offset := 0
+	if !opts.SkipAllUp {
+		offset = 1
+	}
+	total := opts.Scenarios + offset
+	cols := make([][]float64, len(demands))
+	flat := make([]float64, len(demands)*total)
+	for i := range cols {
+		cols[i] = flat[i*total : (i+1)*total]
+	}
+
+	// Build the dense adjacency once before fan-out so workers don't race
+	// to construct it (Dense is mutex-guarded, but pre-building keeps the
+	// parallel section contention-free).
+	topo.Dense()
+
+	evalScenario := func(r *flow.Runner, slot int) {
+		var state *topology.FailureState
+		if offset == 1 && slot == 0 {
+			state = topo.AllUp()
+		} else {
+			rng := rand.New(rand.NewSource(scenarioSeed(opts.Seed, slot-offset)))
+			state = topo.SampleFailures(rng)
+		}
+		alloc := r.Allocate(state, demands, opts.Alloc)
+		for di, d := range demands {
+			cols[di][slot] = alloc.Admitted[d.Key]
 		}
 	}
-	if !opts.SkipAllUp {
-		record(topo.AllUp())
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	for i := 0; i < opts.Scenarios; i++ {
-		record(topo.SampleFailures(rng))
+	if workers > total {
+		workers = total
 	}
+	if workers <= 1 {
+		r := flow.NewRunner(topo)
+		for slot := 0; slot < total; slot++ {
+			evalScenario(r, slot)
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r := flow.NewRunner(topo)
+				for {
+					slot := int(atomic.AddInt64(&next, 1)) - 1
+					if slot >= total {
+						return
+					}
+					evalScenario(r, slot)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
 	res := &Result{Curves: make(map[string]*Curve, len(demands))}
-	for k, s := range samples {
-		res.Curves[k] = NewCurve(s)
+	for i, d := range demands {
+		res.Curves[d.Key] = NewCurve(cols[i])
 	}
 	return res, nil
 }
@@ -135,7 +225,7 @@ func (r *Result) MeetsSLO(d flow.Demand, slo float64) bool {
 	if !ok {
 		return false
 	}
-	return c.RateAtAvailability(slo) >= d.Rate-1e-9
+	return c.RateAtAvailability(slo) >= d.Rate-bwTol(d.Rate)
 }
 
 // GuaranteedRate returns the bandwidth guaranteed to demand key at the SLO,
@@ -172,7 +262,8 @@ func Merge(curves ...*Curve) *Curve {
 // 1−fracAfter of its time on the current topology and fracAfter on the
 // post-change topology. Scenario counts are split proportionally and the
 // phase curves merged, so the availability guarantee covers the whole
-// period including the change window.
+// period including the change window. Each phase inherits Options.Workers,
+// so both topologies' scenario sets fan out in parallel.
 func AssessPhased(before, after *topology.Topology, fracAfter float64, demands []flow.Demand, opts Options) (*Result, error) {
 	if fracAfter < 0 || fracAfter > 1 {
 		return nil, errors.New("risk: fracAfter out of [0,1]")

@@ -2,6 +2,7 @@ package risk
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -222,6 +223,125 @@ func TestAssessMonotoneInFailuresProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCurveRelativeToleranceTbps is the regression test for the former
+// absolute 1e-9 epsilon, which was meaningless against 1e11-scale
+// bandwidths: a Tbps-scale sample carrying ordinary float accumulation
+// error (well under one bit/s relative) must still count as meeting the
+// nominal rate.
+func TestCurveRelativeToleranceTbps(t *testing.T) {
+	const rate = 1e12 // 1 Tbps
+	// Admitted samples as a water-filling loop produces them: summed in
+	// pieces, ~0.5 bits/s under the nominal rate (5e-13 relative error —
+	// far above the old 1e-9 absolute window, far below any real shortfall).
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = rate - 0.5
+	}
+	c := NewCurve(samples)
+	if got := c.AvailabilityAt(rate); got != 1 {
+		t.Errorf("AvailabilityAt(1 Tbps) = %v, want 1 (0.5 bit/s accumulation error must be tolerated)", got)
+	}
+	res := &Result{Curves: map[string]*Curve{"p": c}}
+	d := flow.Demand{Key: "p", Rate: rate}
+	if !res.MeetsSLO(d, 0.99) {
+		t.Error("MeetsSLO rejected a Tbps demand over float accumulation noise")
+	}
+	// A genuine shortfall at the same scale must NOT be absorbed.
+	short := make([]float64, 100)
+	for i := range short {
+		short[i] = 0.999 * rate // 1 Gbps short
+	}
+	cs := NewCurve(short)
+	if got := cs.AvailabilityAt(rate); got != 0 {
+		t.Errorf("AvailabilityAt over a 1 Gbps shortfall = %v, want 0", got)
+	}
+	if (&Result{Curves: map[string]*Curve{"p": cs}}).MeetsSLO(d, 0.99) {
+		t.Error("MeetsSLO accepted a 1 Gbps shortfall at Tbps scale")
+	}
+}
+
+// TestAssessWorkerCountInvariance asserts the tentpole determinism
+// guarantee: the same seed produces byte-identical curve samples for every
+// worker count, because each scenario owns a deterministic RNG and output
+// slot.
+func TestAssessWorkerCountInvariance(t *testing.T) {
+	opts := topology.DefaultBackboneOptions()
+	opts.Regions = 8
+	opts.Chords = 6
+	topo, err := topology.Backbone(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := topo.RegionsSorted()
+	var demands []flow.Demand
+	for i := 0; i < 12; i++ {
+		src := regions[i%len(regions)]
+		dst := regions[(i+3)%len(regions)]
+		demands = append(demands, flow.Demand{
+			Key: string(src) + ">" + string(dst) + string(rune('a'+i)),
+			Src: src, Dst: dst, Rate: 300e9, Class: i % 4,
+		})
+	}
+	for _, seed := range []int64{1, 42} {
+		var ref *Result
+		for _, workers := range []int{1, 2, 8} {
+			res, err := Assess(topo, demands, Options{Scenarios: 60, Seed: seed, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			for _, d := range demands {
+				want := ref.Curves[d.Key].Samples()
+				got := res.Curves[d.Key].Samples()
+				if len(want) != len(got) {
+					t.Fatalf("seed %d workers %d: sample count %d != %d", seed, workers, len(got), len(want))
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("seed %d workers %d: %s sample %d: %v != %v (not byte-identical)",
+							seed, workers, d.Key, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAssessConcurrentSharedTopology exercises concurrent Assess calls on
+// one shared *topology.Topology (each itself running a multi-worker pool) —
+// the pattern approval uses when assessing realizations; run under -race.
+func TestAssessConcurrentSharedTopology(t *testing.T) {
+	opts := topology.DefaultBackboneOptions()
+	opts.Regions = 6
+	topo, err := topology.Backbone(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := topo.RegionsSorted()
+	demands := []flow.Demand{
+		{Key: "a", Src: regions[0], Dst: regions[3], Rate: 200e9, Class: 0},
+		{Key: "b", Src: regions[1], Dst: regions[4], Rate: 200e9, Class: 2},
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, errs[g] = Assess(topo, demands, Options{Scenarios: 40, Seed: int64(g), Workers: 4})
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
 	}
 }
 

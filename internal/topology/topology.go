@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Region identifies a network region (a PoP site or data center).
@@ -47,7 +49,70 @@ type Topology struct {
 
 	regionIdx map[Region]int
 	adjacency map[Region][]int // outgoing link IDs
+
+	// dense caches the CSR adjacency; rebuilt lazily after structural
+	// mutations (AddRegion/AddLink). Safe for concurrent readers.
+	dense   atomic.Pointer[Dense]
+	denseMu sync.Mutex
 }
+
+// Dense is a CSR-style view of the topology over dense region indexes: the
+// outgoing link IDs of region index r are OutLinks[OutStart[r]:OutStart[r+1]],
+// in link-insertion order (matching Outgoing, so path tie-breaking is
+// unchanged). SrcIdx/DstIdx give each link's endpoint region indexes without
+// map lookups. The flow engine's hot loops run entirely on this view.
+//
+// A Dense snapshot is immutable; structural mutations of the Topology produce
+// a fresh snapshot on the next Dense() call.
+type Dense struct {
+	OutStart []int32 // len NumRegions+1; offsets into OutLinks
+	OutLinks []int32 // link IDs grouped by source region index
+	SrcIdx   []int32 // per link ID: source region index
+	DstIdx   []int32 // per link ID: destination region index
+}
+
+// Dense returns the CSR adjacency snapshot, building it on first use and
+// after structural changes. Concurrent callers are safe; the returned value
+// must be treated as read-only.
+func (t *Topology) Dense() *Dense {
+	if d := t.dense.Load(); d != nil {
+		return d
+	}
+	t.denseMu.Lock()
+	defer t.denseMu.Unlock()
+	if d := t.dense.Load(); d != nil {
+		return d
+	}
+	d := &Dense{
+		OutStart: make([]int32, len(t.Regions)+1),
+		OutLinks: make([]int32, len(t.Links)),
+		SrcIdx:   make([]int32, len(t.Links)),
+		DstIdx:   make([]int32, len(t.Links)),
+	}
+	for i := range t.Links {
+		l := &t.Links[i]
+		d.SrcIdx[i] = int32(t.regionIdx[l.Src])
+		d.DstIdx[i] = int32(t.regionIdx[l.Dst])
+		d.OutStart[d.SrcIdx[i]+1]++
+	}
+	for r := 0; r < len(t.Regions); r++ {
+		d.OutStart[r+1] += d.OutStart[r]
+	}
+	// Fill per-region link lists in insertion order (link IDs are assigned
+	// in insertion order, so a forward scan preserves it).
+	fill := make([]int32, len(t.Regions))
+	copy(fill, d.OutStart[:len(t.Regions)])
+	for i := range t.Links {
+		s := d.SrcIdx[i]
+		d.OutLinks[fill[s]] = int32(i)
+		fill[s]++
+	}
+	t.dense.Store(d)
+	return d
+}
+
+// invalidateDense drops the cached CSR snapshot after a structural change.
+func (t *Topology) invalidateDense() { t.dense.Store(nil) }
 
 // New creates an empty topology.
 func New() *Topology {
@@ -64,6 +129,7 @@ func (t *Topology) AddRegion(r Region) {
 	}
 	t.regionIdx[r] = len(t.Regions)
 	t.Regions = append(t.Regions, r)
+	t.invalidateDense()
 }
 
 // HasRegion reports whether r is part of the topology.
@@ -101,6 +167,7 @@ func (t *Topology) AddLink(src, dst Region, capacity, failProb float64, srlg int
 		FailProb: failProb, SRLG: srlg,
 	})
 	t.adjacency[src] = append(t.adjacency[src], id)
+	t.invalidateDense()
 	if srlg >= 0 {
 		t.srlgByID(srlg).Members = append(t.srlgByID(srlg).Members, id)
 	}
