@@ -1,11 +1,20 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench cover figures examples
+.PHONY: all build vet test race chaos bench cover figures examples
 
 all: build vet test
 
 race:
 	go test -race ./...
+
+# Fault-injection harness: agents against real TCP servers through a chaos
+# proxy (outage -> fail-static -> fail-open -> reconvergence), plus the
+# dead-server wedge regression, all under the race detector.
+chaos:
+	go test -race -count=1 -timeout 180s -v \
+		-run 'TestChaosEnforcementSurvivesOutage|TestAgentRunNotWedgedByDeadServer' \
+		./internal/integration/
+	go test -race -count=1 -timeout 120s ./internal/faults/ ./internal/wire/
 
 build:
 	go build ./...

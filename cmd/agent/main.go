@@ -4,7 +4,14 @@
 // deployment), publishes rates, queries the contract, and prints each
 // cycle's decision.
 //
-// Run contractdb -demo and kvstore first, then one agent per simulated host:
+// The agent is built to outlive its control plane: it starts even when the
+// servers are not up yet (connections are dialed lazily with backoff),
+// every call carries a deadline, and mid-run outages degrade cycles —
+// fail-static within the staleness budget, fail-open beyond it — instead
+// of crashing the process.
+//
+// Run contractdb -demo and kvstore first (or after — the agent waits), then
+// one agent per simulated host:
 //
 //	agent -host cold-001 -npg Coldstorage -class c4_low -region TEST \
 //	      -db 127.0.0.1:7001 -kv 127.0.0.1:7002 -rate-gbps 40 -cycles 20
@@ -22,6 +29,7 @@ import (
 	"entitlement/internal/enforce"
 	"entitlement/internal/kvstore"
 	"entitlement/internal/topology"
+	"entitlement/internal/wire"
 )
 
 func main() {
@@ -35,68 +43,100 @@ func main() {
 	period := flag.Duration("period", time.Second, "enforcement cycle period")
 	cycles := flag.Int("cycles", 0, "stop after N cycles (0 = run forever)")
 	policyName := flag.String("policy", "host", "remark policy: host or flow")
+	dialTimeout := flag.Duration("dial-timeout", 2*time.Second, "per-attempt dial timeout")
+	callTimeout := flag.Duration("call-timeout", 2*time.Second, "per-RPC deadline")
+	staleness := flag.Duration("staleness-budget", 0, "fail-static window on store outages (0 = 3x rate TTL)")
 	flag.Parse()
 
-	if err := run(*host, *npg, *className, *region, *dbAddr, *kvAddr, *rateGbps, *period, *cycles, *policyName); err != nil {
+	if err := run(config{
+		host: *host, npg: *npg, className: *className, region: *region,
+		dbAddr: *dbAddr, kvAddr: *kvAddr, rateGbps: *rateGbps,
+		period: *period, cycles: *cycles, policyName: *policyName,
+		dialTimeout: *dialTimeout, callTimeout: *callTimeout, staleness: *staleness,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "agent: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(host, npg, className, region, dbAddr, kvAddr string, rateGbps float64, period time.Duration, cycles int, policyName string) error {
-	class, err := contract.ParseClass(className)
+type config struct {
+	host, npg, className, region string
+	dbAddr, kvAddr               string
+	rateGbps                     float64
+	period                       time.Duration
+	cycles                       int
+	policyName                   string
+	dialTimeout                  time.Duration
+	callTimeout                  time.Duration
+	staleness                    time.Duration
+}
+
+func run(cfg config) error {
+	class, err := contract.ParseClass(cfg.className)
 	if err != nil {
 		return err
 	}
-	db, err := contractdb.Dial(dbAddr)
-	if err != nil {
-		return fmt.Errorf("contractdb at %s: %w", dbAddr, err)
-	}
+	// Lazy connections: the agent starts (and keeps running) whether or
+	// not the servers are reachable; the wire layer re-dials with capped
+	// backoff behind every call.
+	opts := wire.ClientOptions{DialTimeout: cfg.dialTimeout, CallTimeout: cfg.callTimeout}
+	db := contractdb.Connect(cfg.dbAddr, opts)
 	defer db.Close()
-	kv, err := kvstore.Dial(kvAddr)
-	if err != nil {
-		return fmt.Errorf("kvstore at %s: %w", kvAddr, err)
-	}
+	kv := kvstore.Connect(cfg.kvAddr, opts)
 	defer kv.Close()
 
 	policy := enforce.HostBased
-	if policyName == "flow" {
+	if cfg.policyName == "flow" {
 		policy = enforce.FlowBased
 	}
 	prog := bpf.NewProgram(bpf.NewMap())
 	agent, err := enforce.NewAgent(enforce.AgentConfig{
-		Host: host, NPG: contract.NPG(npg), Class: class, Region: topology.Region(region),
+		Host: cfg.host, NPG: contract.NPG(cfg.npg), Class: class, Region: topology.Region(cfg.region),
 		DB: db, Rates: kv, Meter: enforce.NewStateful(), Prog: prog,
-		Policy: policy, RateTTL: 10 * period,
+		Policy: policy, RateTTL: 10 * cfg.period, StalenessBudget: cfg.staleness,
 	})
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("agent %s: %s/%s/%s, %s remarking, %.0f Gbps local egress\n",
-		host, npg, class, region, policy, rateGbps)
-	localTotal := rateGbps * 1e9
+	fmt.Printf("agent %s: %s/%s/%s, %s remarking, %.0f Gbps local egress (db %s, kv %s)\n",
+		cfg.host, cfg.npg, class, cfg.region, policy, cfg.rateGbps, cfg.dbAddr, cfg.kvAddr)
+	localTotal := cfg.rateGbps * 1e9
 	localConform := localTotal
-	for n := 0; cycles == 0 || n < cycles; n++ {
+	for n := 0; cfg.cycles == 0 || n < cfg.cycles; n++ {
 		rep, err := agent.Cycle(time.Now().UTC(), localTotal, localConform)
 		if err != nil {
-			return err
+			// Cycle degrades rather than erroring; anything here is a
+			// programming bug, but even then the agent keeps running.
+			fmt.Fprintf(os.Stderr, "cycle %3d: error: %v\n", n, err)
+			time.Sleep(cfg.period)
+			continue
+		}
+		mode := ""
+		switch {
+		case rep.FailedOpen:
+			mode = " FAIL-OPEN"
+		case rep.Degraded:
+			mode = fmt.Sprintf(" DEGRADED(stale %s)", rep.StaleFor.Round(time.Millisecond))
 		}
 		marked := "conforming"
-		if rep.NonConformGroups > 0 && bpf.HostGroup(host) < rep.NonConformGroups {
+		if rep.NonConformGroups > 0 && bpf.HostGroup(cfg.host) < rep.NonConformGroups {
 			marked = "REMARKED"
 		}
-		fmt.Printf("cycle %3d: entitled=%.1fG total=%.1fG conform=%.1fG ratio=%.3f groups=%d enforced=%v host=%s\n",
+		fmt.Printf("cycle %3d: entitled=%.1fG total=%.1fG conform=%.1fG ratio=%.3f groups=%d enforced=%v host=%s%s\n",
 			n, rep.EntitledRate/1e9, rep.TotalRate/1e9, rep.ConformRate/1e9,
-			rep.ConformRatio, rep.NonConformGroups, rep.Enforced, marked)
+			rep.ConformRatio, rep.NonConformGroups, rep.Enforced, marked, mode)
+		for _, f := range rep.Faults {
+			fmt.Fprintf(os.Stderr, "cycle %3d: fault: %s\n", n, f)
+		}
 		// Feed the marking decision back into the synthetic measurement:
 		// if this host is remarked, its conforming egress drops to zero.
-		if rep.NonConformGroups > 0 && bpf.HostGroup(host) < rep.NonConformGroups {
+		if rep.NonConformGroups > 0 && bpf.HostGroup(cfg.host) < rep.NonConformGroups {
 			localConform = 0
 		} else {
 			localConform = localTotal
 		}
-		time.Sleep(period)
+		time.Sleep(cfg.period)
 	}
 	return nil
 }

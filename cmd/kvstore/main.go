@@ -1,10 +1,11 @@
 // Command kvstore serves the distributed rate-aggregation store the
-// enforcement agents publish through (§5.1). Expired rate entries are
-// compacted in the background.
+// enforcement agents publish through (§5.1). The server compacts expired
+// rate entries (dead hosts' leftovers) in the background and drops idle or
+// byte-dribbling connections.
 //
 // Usage:
 //
-//	kvstore [-addr HOST:PORT] [-compact-every DUR]
+//	kvstore [-addr HOST:PORT] [-compact-every DUR] [-idle-timeout DUR]
 package main
 
 import (
@@ -17,11 +18,13 @@ import (
 	"time"
 
 	"entitlement/internal/kvstore"
+	"entitlement/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7002", "listen address")
-	compactEvery := flag.Duration("compact-every", 30*time.Second, "expired-entry compaction interval")
+	compactEvery := flag.Duration("compact-every", 30*time.Second, "expired-entry compaction interval (negative disables)")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "drop connections idle this long (0 disables)")
 	flag.Parse()
 
 	store := kvstore.New()
@@ -30,29 +33,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kvstore: %v\n", err)
 		os.Exit(1)
 	}
-	srv := kvstore.NewServer(l, store)
-	fmt.Printf("kvstore listening on %s\n", srv.Addr())
-
-	stop := make(chan struct{})
-	go func() {
-		ticker := time.NewTicker(*compactEvery)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ticker.C:
-				if n := store.Compact(); n > 0 {
-					fmt.Printf("compacted %d expired entries\n", n)
-				}
-			case <-stop:
-				return
-			}
-		}
-	}()
+	srv := kvstore.NewServerOpts(l, store, kvstore.ServerOptions{
+		CompactEvery: *compactEvery,
+		Wire:         wire.ServerOptions{ReadIdleTimeout: *idleTimeout},
+	})
+	fmt.Printf("kvstore listening on %s (compact every %s)\n", srv.Addr(), *compactEvery)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	close(stop)
 	fmt.Println("kvstore shutting down")
 	srv.Close()
 }

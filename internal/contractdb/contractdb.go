@@ -170,18 +170,31 @@ func (s *Server) handle(method string, payload json.RawMessage) (interface{}, er
 	}
 }
 
-// Client is the remote Database.
+// Client is the remote Database. It inherits the wire client's failure
+// behavior: per-call deadlines, broken-connection detection, and automatic
+// re-dial with backoff.
 type Client struct {
 	c *wire.Client
 }
 
-// Dial connects to a contractdb server.
+// Dial connects to a contractdb server with default wire.ClientOptions.
 func Dial(addr string) (*Client, error) {
-	c, err := wire.Dial(addr)
+	return DialOpts(addr, wire.ClientOptions{})
+}
+
+// DialOpts connects to a contractdb server with explicit failure options.
+func DialOpts(addr string, opts wire.ClientOptions) (*Client, error) {
+	c, err := wire.DialOpts(addr, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &Client{c: c}, nil
+}
+
+// Connect builds a client without dialing; the connection is established
+// lazily (with backoff) on first use.
+func Connect(addr string, opts wire.ClientOptions) *Client {
+	return &Client{c: wire.Connect(addr, opts)}
 }
 
 // EntitledRate implements Database.

@@ -69,6 +69,14 @@ type AgentConfig struct {
 	// RateTTL bounds staleness of published rates; entries from dead hosts
 	// age out. Default 30s.
 	RateTTL time.Duration
+	// StalenessBudget bounds degraded-mode operation. When the rate store
+	// or contract database is unreachable, the agent keeps enforcing from
+	// its last-known-good data (fail-static: the programmed marking keeps
+	// applying, which is what a marking-only datapath affords). Once the
+	// data in use is older than this budget the agent fails open instead —
+	// it deletes its marking action rather than keep acting on a world
+	// view that may be arbitrarily wrong. Default 3×RateTTL.
+	StalenessBudget time.Duration
 	// RotatePeriod, when positive, rotates WHICH hosts (or flow groups) are
 	// marked: the marking salt changes every period, derived from the
 	// shared clock so every agent in the fleet agrees without coordination.
@@ -81,9 +89,23 @@ type AgentConfig struct {
 // queries the contract, runs the meter, and programs the BPF map. Agents
 // are fully distributed — no controller exists in the second-generation
 // architecture (§5.1).
+//
+// Like the meter it drives, an Agent is single-goroutine state: one Run
+// loop (or one caller of Cycle) per agent.
 type Agent struct {
 	cfg AgentConfig
 	key bpf.MapKey
+
+	// Last-known-good cache for degraded-mode cycles: the newest aggregate
+	// and contract answers that actually arrived, stamped with when.
+	aggAt      time.Time
+	aggOK      bool
+	aggTotal   float64
+	aggConform float64
+	entAt      time.Time
+	entOK      bool
+	entRate    float64
+	entFound   bool
 }
 
 // NewAgent validates the configuration and builds an agent.
@@ -96,6 +118,9 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	if cfg.RateTTL <= 0 {
 		cfg.RateTTL = 30 * time.Second
+	}
+	if cfg.StalenessBudget <= 0 {
+		cfg.StalenessBudget = 3 * cfg.RateTTL
 	}
 	return &Agent{
 		cfg: cfg,
@@ -111,37 +136,87 @@ type CycleReport struct {
 	ConformRatio     float64
 	NonConformGroups uint32
 	Enforced         bool // false when no entitlement applies
+
+	// Degraded reports that at least one dependency (rate store or
+	// contract DB) failed this cycle and the decision leaned on cached or
+	// partial data.
+	Degraded bool
+	// StaleFor is the age of the oldest cached datum the decision used;
+	// zero when everything was fresh this cycle.
+	StaleFor time.Duration
+	// FailedOpen reports that the staleness budget was exhausted (or no
+	// good data ever arrived): the agent deleted its marking action and
+	// enforced nothing rather than act on an arbitrarily old world view.
+	FailedOpen bool
+	// Faults lists the dependency errors behind a degraded cycle.
+	Faults []string
+}
+
+// fault records a dependency failure on the report.
+func (r *CycleReport) fault(op string, err error) {
+	r.Degraded = true
+	r.Faults = append(r.Faults, fmt.Sprintf("%s: %v", op, err))
 }
 
 // Cycle runs one enforcement iteration at time now. localTotal and
 // localConform are this host's measured egress rates (bits/s) for the flow
 // set, total and conforming respectively.
+//
+// Cycle degrades instead of aborting: a failed rate publish still lets
+// aggregation and the contract query run; failed aggregation or contract
+// queries fall back to the last-known-good answers while they are younger
+// than AgentConfig.StalenessBudget (fail-static); beyond the budget the
+// agent fails open. The returned error is nil whenever an enforcement
+// decision was made — inspect CycleReport.Degraded/StaleFor/FailedOpen for
+// the mode.
 func (a *Agent) Cycle(now time.Time, localTotal, localConform float64) (CycleReport, error) {
 	var rep CycleReport
-	// 1. Publish this host's rates.
+	// 1. Publish this host's rates (best effort: losing one publish only
+	// fades this host out of the remote aggregate once its TTL passes).
 	npg, class, region := string(a.cfg.NPG), a.cfg.Class.String(), string(a.cfg.Region)
 	if err := a.cfg.Rates.Put(kvstore.RateKey(npg, class, region, a.cfg.Host), localTotal, a.cfg.RateTTL); err != nil {
-		return rep, fmt.Errorf("enforce: publish total: %w", err)
+		rep.fault("publish total", err)
 	}
 	if err := a.cfg.Rates.Put(conformRateKey(npg, class, region, a.cfg.Host), localConform, a.cfg.RateTTL); err != nil {
-		return rep, fmt.Errorf("enforce: publish conform: %w", err)
+		rep.fault("publish conform", err)
 	}
-	// 2. Read the service-wide aggregates.
-	total, err := a.cfg.Rates.SumPrefix(kvstore.RatePrefix(npg, class, region))
-	if err != nil {
-		return rep, fmt.Errorf("enforce: aggregate total: %w", err)
+	// 2. Read the service-wide aggregates; cache on success.
+	total, errTotal := a.cfg.Rates.SumPrefix(kvstore.RatePrefix(npg, class, region))
+	conform, errConform := a.cfg.Rates.SumPrefix(conformRatePrefix(npg, class, region))
+	switch {
+	case errTotal == nil && errConform == nil:
+		a.aggAt, a.aggOK = now, true
+		a.aggTotal, a.aggConform = total, conform
+	case errTotal != nil:
+		rep.fault("aggregate total", errTotal)
+	default:
+		rep.fault("aggregate conform", errConform)
 	}
-	conform, err := a.cfg.Rates.SumPrefix(conformRatePrefix(npg, class, region))
-	if err != nil {
-		return rep, fmt.Errorf("enforce: aggregate conform: %w", err)
-	}
-	rep.TotalRate, rep.ConformRate = total, conform
-	// 3. Query the contract.
+	// 3. Query the contract; cache on success.
 	entitled, found, err := a.cfg.DB.EntitledRate(a.cfg.NPG, a.cfg.Class, a.cfg.Region, contract.Egress, now)
 	if err != nil {
-		return rep, fmt.Errorf("enforce: contract query: %w", err)
+		rep.fault("contract query", err)
+	} else {
+		a.entAt, a.entOK = now, true
+		a.entRate, a.entFound = entitled, found
 	}
-	if !found {
+	// 4. Decide from the freshest data available, within the budget.
+	if !a.aggOK || !a.entOK {
+		// Never had a good answer (e.g. servers down since startup):
+		// nothing to be fail-static about — fail open.
+		return a.failOpen(rep), nil
+	}
+	if stale := now.Sub(a.aggAt); stale > rep.StaleFor {
+		rep.StaleFor = stale
+	}
+	if stale := now.Sub(a.entAt); stale > rep.StaleFor {
+		rep.StaleFor = stale
+	}
+	if rep.StaleFor > a.cfg.StalenessBudget {
+		return a.failOpen(rep), nil
+	}
+	rep.TotalRate, rep.ConformRate = a.aggTotal, a.aggConform
+	if !a.entFound {
 		// No contract: fail open — delete any action and remark nothing.
 		a.cfg.Prog.Actions.Delete(a.key)
 		a.cfg.Meter.Reset()
@@ -149,18 +224,30 @@ func (a *Agent) Cycle(now time.Time, localTotal, localConform float64) (CycleRep
 		return rep, nil
 	}
 	rep.Enforced = true
-	rep.EntitledRate = entitled
-	// 4. Meter.
-	ratio := a.cfg.Meter.ConformRatio(entitled, total, conform)
+	rep.EntitledRate = a.entRate
+	// 5. Meter.
+	ratio := a.cfg.Meter.ConformRatio(a.entRate, rep.TotalRate, rep.ConformRate)
 	rep.ConformRatio = ratio
 	rep.NonConformGroups = NonConformGroups(ratio)
-	// 5. Program the kernel map.
+	// 6. Program the kernel map.
 	a.cfg.Prog.Actions.Update(a.key, bpf.Action{
 		Mode:             a.cfg.Policy.markMode(),
 		NonConformGroups: rep.NonConformGroups,
 		Salt:             a.rotationSalt(now),
 	})
 	return rep, nil
+}
+
+// failOpen clears the marking action and reports an un-enforced cycle. The
+// meter is reset so recovery restarts from ConformRatio 1 instead of a
+// throttle ratio frozen from before the outage.
+func (a *Agent) failOpen(rep CycleReport) CycleReport {
+	a.cfg.Prog.Actions.Delete(a.key)
+	a.cfg.Meter.Reset()
+	rep.FailedOpen = true
+	rep.Enforced = false
+	rep.ConformRatio = 1
+	return rep
 }
 
 // rotationSalt derives the fleet-consistent marking salt for time now.

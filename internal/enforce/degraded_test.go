@@ -1,0 +1,248 @@
+package enforce
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"entitlement/internal/bpf"
+	"entitlement/internal/contract"
+	"entitlement/internal/contractdb"
+	"entitlement/internal/kvstore"
+	"entitlement/internal/topology"
+)
+
+// Toggleable failure doubles: delegate until tripped.
+
+type toggleStore struct {
+	inner kvstore.RateStore
+	down  bool
+}
+
+var errDown = errors.New("injected outage")
+
+func (s *toggleStore) Put(k string, v float64, ttl time.Duration) error {
+	if s.down {
+		return errDown
+	}
+	return s.inner.Put(k, v, ttl)
+}
+
+func (s *toggleStore) Get(k string) (float64, bool, error) {
+	if s.down {
+		return 0, false, errDown
+	}
+	return s.inner.Get(k)
+}
+
+func (s *toggleStore) SumPrefix(p string) (float64, error) {
+	if s.down {
+		return 0, errDown
+	}
+	return s.inner.SumPrefix(p)
+}
+
+func (s *toggleStore) Delete(k string) error {
+	if s.down {
+		return errDown
+	}
+	return s.inner.Delete(k)
+}
+
+type toggleDB struct {
+	inner contractdb.Database
+	down  bool
+}
+
+func (d *toggleDB) EntitledRate(npg contract.NPG, class contract.Class, region topology.Region, dir contract.Direction, at time.Time) (float64, bool, error) {
+	if d.down {
+		return 0, false, errDown
+	}
+	return d.inner.EntitledRate(npg, class, region, dir, at)
+}
+
+// degradedFixture builds an agent whose store and DB can be tripped.
+func degradedFixture(t *testing.T, budget time.Duration) (*Agent, *bpf.Program, *toggleStore, *toggleDB) {
+	t.Helper()
+	db := contractdb.NewStore()
+	err := db.Put(contract.Contract{
+		NPG: "Cold", SLO: 0.999, Approved: true,
+		Entitlements: []contract.Entitlement{{
+			NPG: "Cold", Class: contract.C4Low, Region: "A",
+			Direction: contract.Egress, Rate: 5e12, Start: tStart, End: tEnd,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &toggleStore{inner: kvstore.New()}
+	td := &toggleDB{inner: db}
+	prog := bpf.NewProgram(bpf.NewMap())
+	a, err := NewAgent(AgentConfig{
+		Host: "h1", NPG: "Cold", Class: contract.C4Low, Region: "A",
+		DB: td, Rates: ts, Meter: NewStateful(), Prog: prog,
+		Policy: HostBased, RateTTL: time.Hour, StalenessBudget: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, prog, ts, td
+}
+
+func TestCyclePublishFailureContinues(t *testing.T) {
+	a, _, ts, _ := degradedFixture(t, time.Minute)
+	now := tStart.Add(time.Hour)
+	// Seed one good cycle so the aggregate cache holds data.
+	if _, err := a.Cycle(now, 10e12, 10e12); err != nil {
+		t.Fatal(err)
+	}
+	// Publishes fail, but aggregation reads still work.
+	a.cfg.Rates = failPuts{ts}
+	rep, err := a.Cycle(now.Add(time.Second), 10e12, 10e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded {
+		t.Error("publish failure not reported as degraded")
+	}
+	if rep.StaleFor != 0 {
+		t.Errorf("StaleFor = %v on a cycle with fresh aggregates", rep.StaleFor)
+	}
+	if !rep.Enforced {
+		t.Error("publish failure aborted enforcement")
+	}
+	if len(rep.Faults) != 2 {
+		t.Errorf("faults = %v, want both publishes recorded", rep.Faults)
+	}
+}
+
+// failPuts fails Put but passes everything else through.
+type failPuts struct{ inner kvstore.RateStore }
+
+func (f failPuts) Put(string, float64, time.Duration) error { return errDown }
+func (f failPuts) Get(k string) (float64, bool, error)      { return f.inner.Get(k) }
+func (f failPuts) SumPrefix(p string) (float64, error)      { return f.inner.SumPrefix(p) }
+func (f failPuts) Delete(k string) error                    { return f.inner.Delete(k) }
+
+func TestCycleFailStaticWithinBudget(t *testing.T) {
+	a, prog, ts, td := degradedFixture(t, time.Minute)
+	now := tStart.Add(time.Hour)
+	rep, err := a.Cycle(now, 10e12, 10e12)
+	if err != nil || !rep.Enforced {
+		t.Fatalf("healthy cycle: rep=%+v err=%v", rep, err)
+	}
+
+	// Full outage: both dependencies down, 30s into a 60s budget.
+	ts.down, td.down = true, true
+	rep, err = a.Cycle(now.Add(30*time.Second), 10e12, 10e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded || rep.FailedOpen {
+		t.Fatalf("want degraded fail-static, got %+v", rep)
+	}
+	if rep.StaleFor != 30*time.Second {
+		t.Errorf("StaleFor = %v, want 30s", rep.StaleFor)
+	}
+	if !rep.Enforced {
+		t.Error("fail-static cycle stopped enforcing within budget")
+	}
+	if rep.TotalRate != 10e12 {
+		t.Errorf("stale TotalRate = %v, want cached 10e12", rep.TotalRate)
+	}
+	if _, ok := prog.Actions.Lookup(a.key); !ok {
+		t.Error("marking action removed during fail-static window")
+	}
+}
+
+func TestCycleFailsOpenBeyondBudget(t *testing.T) {
+	a, prog, ts, td := degradedFixture(t, time.Minute)
+	now := tStart.Add(time.Hour)
+	if _, err := a.Cycle(now, 10e12, 10e12); err != nil {
+		t.Fatal(err)
+	}
+	ts.down, td.down = true, true
+	rep, err := a.Cycle(now.Add(61*time.Second), 10e12, 10e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FailedOpen || rep.Enforced {
+		t.Fatalf("want fail-open, got %+v", rep)
+	}
+	if rep.NonConformGroups != 0 || rep.ConformRatio != 1 {
+		t.Errorf("fail-open still marking: %+v", rep)
+	}
+	if _, ok := prog.Actions.Lookup(a.key); ok {
+		t.Error("marking action survived fail-open")
+	}
+}
+
+func TestCycleFailsOpenWithoutAnyGoodData(t *testing.T) {
+	// Servers down since startup: no last-known-good to be static about.
+	a, prog, ts, td := degradedFixture(t, time.Minute)
+	ts.down, td.down = true, true
+	rep, err := a.Cycle(tStart.Add(time.Hour), 10e12, 10e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FailedOpen || rep.Enforced || !rep.Degraded {
+		t.Fatalf("want immediate fail-open, got %+v", rep)
+	}
+	if _, ok := prog.Actions.Lookup(a.key); ok {
+		t.Error("marking action present with no data ever")
+	}
+}
+
+func TestCycleRecoversAfterOutage(t *testing.T) {
+	a, prog, ts, td := degradedFixture(t, time.Minute)
+	now := tStart.Add(time.Hour)
+	if _, err := a.Cycle(now, 10e12, 10e12); err != nil {
+		t.Fatal(err)
+	}
+	ts.down, td.down = true, true
+	if rep, _ := a.Cycle(now.Add(2*time.Minute), 10e12, 10e12); !rep.FailedOpen {
+		t.Fatalf("want fail-open during outage, got %+v", rep)
+	}
+	// Outage lifts: the very next cycle is healthy and enforcing again.
+	ts.down, td.down = false, false
+	rep, err := a.Cycle(now.Add(3*time.Minute), 10e12, 10e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded || rep.FailedOpen || rep.StaleFor != 0 {
+		t.Errorf("post-outage cycle still degraded: %+v", rep)
+	}
+	if !rep.Enforced || rep.NonConformGroups == 0 {
+		t.Errorf("post-outage cycle not enforcing: %+v", rep)
+	}
+	if _, ok := prog.Actions.Lookup(a.key); !ok {
+		t.Error("marking action not restored after outage")
+	}
+}
+
+func TestCyclePartialOutageContractOnly(t *testing.T) {
+	// Only the contract DB is down: aggregates are fresh, the entitled
+	// rate is cached — fail-static uses the newest of each.
+	a, _, _, td := degradedFixture(t, time.Minute)
+	now := tStart.Add(time.Hour)
+	if _, err := a.Cycle(now, 10e12, 10e12); err != nil {
+		t.Fatal(err)
+	}
+	td.down = true
+	rep, err := a.Cycle(now.Add(10*time.Second), 8e12, 8e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded || rep.FailedOpen || !rep.Enforced {
+		t.Fatalf("want degraded fail-static, got %+v", rep)
+	}
+	if rep.TotalRate != 8e12 {
+		t.Errorf("TotalRate = %v, want fresh 8e12", rep.TotalRate)
+	}
+	if rep.EntitledRate != 5e12 {
+		t.Errorf("EntitledRate = %v, want cached 5e12", rep.EntitledRate)
+	}
+	if rep.StaleFor != 10*time.Second {
+		t.Errorf("StaleFor = %v, want 10s (contract cache age)", rep.StaleFor)
+	}
+}

@@ -2,6 +2,8 @@ package enforce
 
 import (
 	"context"
+	"fmt"
+	"strings"
 	"time"
 )
 
@@ -17,10 +19,13 @@ type RunOptions struct {
 	Period time.Duration
 	// OnCycle, if set, observes every cycle's report (logging, metrics).
 	OnCycle func(CycleReport)
-	// OnError, if set, observes per-cycle failures; the loop continues
-	// regardless (transient KV/DB outages must not stop enforcement — the
-	// existing BPF actions keep applying in the meantime, which is the
-	// fail-static behavior a marking-only datapath affords).
+	// OnError, if set, observes per-cycle failures — both hard cycle
+	// errors and the dependency faults behind a degraded cycle; the loop
+	// continues regardless (transient KV/DB outages must not stop
+	// enforcement — the existing BPF actions keep applying in the
+	// meantime, which is the fail-static behavior a marking-only datapath
+	// affords, and the agent itself fails open once its staleness budget
+	// runs out).
 	OnError func(error)
 	// Now supplies the cycle timestamp; defaults to time.Now. Simulations
 	// inject their clock.
@@ -45,8 +50,14 @@ func (a *Agent) Run(ctx context.Context, measure Measure, opts RunOptions) error
 			if opts.OnError != nil {
 				opts.OnError(err)
 			}
-		} else if opts.OnCycle != nil {
-			opts.OnCycle(rep)
+		} else {
+			if rep.Degraded && opts.OnError != nil {
+				opts.OnError(fmt.Errorf("enforce: degraded cycle (stale %s): %s",
+					rep.StaleFor, strings.Join(rep.Faults, "; ")))
+			}
+			if opts.OnCycle != nil {
+				opts.OnCycle(rep)
+			}
 		}
 		select {
 		case <-ctx.Done():

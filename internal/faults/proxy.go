@@ -1,0 +1,181 @@
+package faults
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects how the proxy treats connections accepted from now on.
+// Existing connections keep the behavior they were accepted with; use
+// CutConnections to force clients back through the accept path.
+type Mode int32
+
+// Proxy modes.
+const (
+	// Pass forwards bytes both ways (the healthy network).
+	Pass Mode = iota
+	// Blackhole accepts connections and reads their bytes but never
+	// forwards or answers — the classic stalled peer that only per-call
+	// deadlines can escape.
+	Blackhole
+	// Reset closes every accepted connection immediately, the behavior of
+	// a crashed server whose port is still bound.
+	Reset
+)
+
+// Proxy is a chaos TCP proxy in front of one backend. It listens on its
+// own port and, per the current Mode, forwards, black-holes, or resets
+// connections, optionally delaying forwarded bytes. All knobs are safe to
+// flip while connections are live.
+type Proxy struct {
+	target string
+	l      net.Listener
+	mode   atomic.Int32
+	delay  atomic.Int64 // per-chunk forwarding delay, ns
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy on 127.0.0.1 (ephemeral port) forwarding to
+// target.
+func NewProxy(target string) (*Proxy, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: target, l: l, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address clients should dial.
+func (p *Proxy) Addr() string { return p.l.Addr().String() }
+
+// SetMode switches the treatment of newly accepted connections.
+func (p *Proxy) SetMode(m Mode) { p.mode.Store(int32(m)) }
+
+// SetDelay adds d of latency to every forwarded chunk in each direction.
+func (p *Proxy) SetDelay(d time.Duration) { p.delay.Store(int64(d)) }
+
+// CutConnections closes every live connection (clients see a reset/EOF
+// mid-stream). Combined with SetMode this simulates a sharp outage:
+// SetMode(Blackhole) + CutConnections() forces every client to reconnect
+// into the black hole.
+func (p *Proxy) CutConnections() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Close stops the proxy and waits for its goroutines.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	err := p.l.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// track registers conn; reports false when the proxy is closing.
+func (p *Proxy) track(conn net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		conn.Close()
+		return false
+	}
+	p.conns[conn] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(conn net.Conn) {
+	conn.Close()
+	p.mu.Lock()
+	delete(p.conns, conn)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		if !p.track(conn) {
+			return
+		}
+		p.wg.Add(1)
+		go p.handle(conn)
+	}
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(client)
+	switch Mode(p.mode.Load()) {
+	case Reset:
+		return // deferred close resets the connection
+	case Blackhole:
+		// Swallow whatever the client sends; never answer. The client's
+		// writes succeed into buffers and its read blocks until its own
+		// deadline fires or the hole is cut.
+		io.Copy(io.Discard, client)
+		return
+	}
+	backend, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	if !p.track(backend) {
+		return
+	}
+	defer p.untrack(backend)
+	done := make(chan struct{}, 2)
+	pump := func(dst, src net.Conn) {
+		defer func() { done <- struct{}{} }()
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				if d := time.Duration(p.delay.Load()); d > 0 {
+					time.Sleep(d)
+				}
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		pump(backend, client)
+	}()
+	pump(client, backend)
+	// Either direction dying kills both conns so the other pump unblocks.
+	client.Close()
+	backend.Close()
+	<-done
+	<-done
+}

@@ -1,0 +1,387 @@
+package integration
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"entitlement/internal/bpf"
+	"entitlement/internal/contract"
+	"entitlement/internal/contractdb"
+	"entitlement/internal/enforce"
+	"entitlement/internal/faults"
+	"entitlement/internal/kvstore"
+	"entitlement/internal/wire"
+)
+
+// chaosClientOptions are aggressive failure settings so the test exercises
+// deadlines and reconnect within seconds instead of minutes.
+func chaosClientOptions() wire.ClientOptions {
+	return wire.ClientOptions{
+		DialTimeout: 500 * time.Millisecond,
+		CallTimeout: 150 * time.Millisecond,
+		MinBackoff:  10 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+	}
+}
+
+// TestChaosEnforcementSurvivesOutage runs a fleet of agents against real
+// TCP contractdb and kvstore servers reached through fault-injecting
+// proxies, then black-holes both stores for longer than the staleness
+// budget. The fleet must (1) never wedge — every cycle completes within
+// its deadline budget, (2) stay fail-static while its cached data is
+// within budget, (3) fail open (no marking) within one cycle of budget
+// expiry, and (4) reconverge within five cycles of the outage lifting.
+// It also checks nothing leaks goroutines.
+func TestChaosEnforcementSurvivesOutage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test uses real sockets and sleeps")
+	}
+	baseGoroutines := runtime.NumGoroutine()
+
+	const (
+		entitled = 100e9
+		hosts    = 3
+		budget   = 1200 * time.Millisecond
+		// One degraded cycle can burn up to 5 RPC deadlines (2 publishes,
+		// 2 aggregations, 1 contract query) before failing over to cache.
+		maxCycle = 5*150*time.Millisecond + 500*time.Millisecond
+	)
+
+	// Real servers: one approved contract active around wall-clock now.
+	db := contractdb.NewStore()
+	if err := db.Put(contract.Contract{
+		NPG: "Chaos", SLO: 0.999, Approved: true,
+		Entitlements: []contract.Entitlement{{
+			NPG: "Chaos", Class: contract.ClassB, Region: "R",
+			Direction: contract.Egress, Rate: entitled,
+			Start: time.Now().Add(-time.Hour), End: time.Now().Add(time.Hour),
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dbL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbSrv := contractdb.NewServer(dbL, db)
+	defer dbSrv.Close()
+	kvL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvSrv := kvstore.NewServerOpts(kvL, kvstore.New(), kvstore.ServerOptions{
+		CompactEvery: 100 * time.Millisecond,
+		Wire:         wire.ServerOptions{ReadIdleTimeout: 10 * time.Second},
+	})
+	defer kvSrv.Close()
+
+	// Chaos proxies in front of both stores.
+	dbProxy, err := faults.NewProxy(dbSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbProxy.Close()
+	kvProxy, err := faults.NewProxy(kvSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kvProxy.Close()
+
+	// The fleet dials through the proxies.
+	type member struct {
+		agent *enforce.Agent
+		prog  *bpf.Program
+		id    string
+	}
+	var fleet []member
+	for i := 0; i < hosts; i++ {
+		id := fmt.Sprintf("chaos-%02d", i)
+		dbc, err := contractdb.DialOpts(dbProxy.Addr(), chaosClientOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dbc.Close()
+		kvc, err := kvstore.DialOpts(kvProxy.Addr(), chaosClientOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer kvc.Close()
+		prog := bpf.NewProgram(bpf.NewMap())
+		a, err := enforce.NewAgent(enforce.AgentConfig{
+			Host: id, NPG: "Chaos", Class: contract.ClassB, Region: "R",
+			DB: dbc, Rates: kvc, Meter: enforce.NewStateful(), Prog: prog,
+			Policy: enforce.HostBased,
+			// TTL long enough that published rates survive the outage.
+			RateTTL:         30 * time.Second,
+			StalenessBudget: budget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet = append(fleet, member{agent: a, prog: prog, id: id})
+	}
+
+	// Demand 2x the entitlement, split across hosts, with the closed-loop
+	// feedback the other integration tests use: a remarked host's
+	// conforming rate drops to zero next cycle.
+	perHost := 2 * entitled / hosts
+	conforming := map[string]bool{}
+	for _, m := range fleet {
+		conforming[m.id] = true
+	}
+	// runCycle drives every agent concurrently (as the real fleet does —
+	// one outage must not serialize into N×deadline cadence) and asserts
+	// on the main goroutine.
+	type cycleResult struct {
+		rep  enforce.CycleReport
+		err  error
+		took time.Duration
+	}
+	runCycle := func() map[string]enforce.CycleReport {
+		results := make([]cycleResult, hosts)
+		var wg sync.WaitGroup
+		for i, m := range fleet {
+			localConf := perHost
+			if !conforming[m.id] {
+				localConf = 0
+			}
+			wg.Add(1)
+			go func(i int, a *enforce.Agent, localConf float64) {
+				defer wg.Done()
+				start := time.Now()
+				rep, err := a.Cycle(time.Now(), perHost, localConf)
+				results[i] = cycleResult{rep: rep, err: err, took: time.Since(start)}
+			}(i, m.agent, localConf)
+		}
+		wg.Wait()
+		out := make(map[string]enforce.CycleReport, hosts)
+		for i, m := range fleet {
+			r := results[i]
+			if r.err != nil {
+				t.Fatalf("%s: hard cycle error: %v", m.id, r.err)
+			}
+			if r.took > maxCycle {
+				t.Fatalf("%s: cycle wedged for %v (> %v)", m.id, r.took, maxCycle)
+			}
+			if r.rep.Enforced {
+				conforming[m.id] = bpf.HostGroup(m.id) >= r.rep.NonConformGroups
+			} else {
+				conforming[m.id] = true
+			}
+			out[m.id] = r.rep
+		}
+		return out
+	}
+
+	// --- Phase 1: healthy baseline. -----------------------------------
+	var marked bool
+	for cycle := 0; cycle < 10; cycle++ {
+		for id, rep := range runCycle() {
+			if !rep.Enforced || rep.Degraded {
+				t.Fatalf("healthy phase: %s report %+v", id, rep)
+			}
+			if rep.NonConformGroups > 0 {
+				marked = true
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !marked {
+		t.Fatal("fleet at 2x entitlement never marked traffic while healthy")
+	}
+
+	// --- Phase 2: both stores black-holed past the budget. ------------
+	outageStart := time.Now()
+	dbProxy.SetMode(faults.Blackhole)
+	kvProxy.SetMode(faults.Blackhole)
+	dbProxy.CutConnections()
+	kvProxy.CutConnections()
+
+	sawFailStatic := map[string]bool{}
+	failedOpenAt := map[string]time.Time{}
+	for len(failedOpenAt) < hosts {
+		if time.Since(outageStart) > budget+3*maxCycle {
+			t.Fatalf("only %d/%d agents failed open %v after outage start",
+				len(failedOpenAt), hosts, time.Since(outageStart))
+		}
+		for id, rep := range runCycle() {
+			if !rep.Degraded {
+				t.Fatalf("outage phase: %s cycle not degraded: %+v", id, rep)
+			}
+			if rep.Enforced && !rep.FailedOpen {
+				sawFailStatic[id] = true
+			}
+			if rep.FailedOpen {
+				if _, done := failedOpenAt[id]; !done {
+					failedOpenAt[id] = time.Now()
+				}
+			}
+		}
+	}
+	for _, m := range fleet {
+		if !sawFailStatic[m.id] {
+			t.Errorf("%s never ran fail-static within the budget", m.id)
+		}
+		// Fail open must land within one cycle of budget expiry: a cycle
+		// may start just before expiry, so its successor — the first to
+		// observe the stale clock — completes at worst two bounded cycle
+		// durations later.
+		deadline := outageStart.Add(budget + 2*maxCycle)
+		if at := failedOpenAt[m.id]; at.After(deadline) {
+			t.Errorf("%s failed open %v after budget expiry", m.id, at.Sub(outageStart)-budget)
+		}
+		// Fail open means no marking action in the kernel map.
+		if m.prog.Actions.Len() != 0 {
+			t.Errorf("%s kept %d marking actions after fail-open", m.id, m.prog.Actions.Len())
+		}
+	}
+
+	// --- Phase 3: outage lifts; reconverge within 5 cycles. -----------
+	dbProxy.SetMode(faults.Pass)
+	kvProxy.SetMode(faults.Pass)
+	dbProxy.CutConnections()
+	kvProxy.CutConnections()
+
+	recovered := map[string]bool{}
+	for cycle := 0; cycle < 5; cycle++ {
+		for id, rep := range runCycle() {
+			if rep.Enforced && !rep.Degraded {
+				recovered[id] = true
+			}
+		}
+		if len(recovered) == hosts {
+			break
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	if len(recovered) != hosts {
+		t.Fatalf("only %d/%d agents recovered within 5 cycles", len(recovered), hosts)
+	}
+	// With demand back at 2x entitlement the fleet must re-mark traffic.
+	remarked := false
+	for cycle := 0; cycle < 10 && !remarked; cycle++ {
+		for _, rep := range runCycle() {
+			if rep.Enforced && rep.NonConformGroups > 0 {
+				remarked = true
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !remarked {
+		t.Error("fleet never re-enforced marking after the outage lifted")
+	}
+
+	// --- Teardown: nothing may leak. ----------------------------------
+	for _, m := range fleet {
+		_ = m
+	}
+	dbProxy.Close()
+	kvProxy.Close()
+	dbSrv.Close()
+	kvSrv.Close()
+	waitForGoroutines(t, baseGoroutines)
+}
+
+// waitForGoroutines polls until the goroutine count returns near base.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d now vs %d at start\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestAgentRunNotWedgedByDeadServer is the regression test for the
+// original failure mode: wire.Client.Call blocking forever on a peer that
+// accepts connections but never answers, wedging Agent.Run. With per-call
+// deadlines the loop must keep cycling (degraded) and stop promptly on
+// context cancellation.
+func TestAgentRunNotWedgedByDeadServer(t *testing.T) {
+	// A listener that accepts and then ignores its connections.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		var held []net.Conn
+		defer func() {
+			for _, c := range held {
+				c.Close()
+			}
+		}()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			held = append(held, conn)
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	kvc, err := kvstore.DialOpts(l.Addr().String(), wire.ClientOptions{
+		DialTimeout: 200 * time.Millisecond,
+		CallTimeout: 100 * time.Millisecond,
+		MinBackoff:  5 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kvc.Close()
+
+	a, err := enforce.NewAgent(enforce.AgentConfig{
+		Host: "h1", NPG: "X", Class: contract.ClassB, Region: "R",
+		DB: contractdb.NewStore(), Rates: kvc,
+		Meter: enforce.NewStateful(), Prog: bpf.NewProgram(bpf.NewMap()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 1500*time.Millisecond)
+	defer cancel()
+	cycles := 0
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		done <- a.Run(ctx, func() (float64, float64) { return 1e9, 1e9 }, enforce.RunOptions{
+			Period:  50 * time.Millisecond,
+			OnCycle: func(enforce.CycleReport) { cycles++ },
+		})
+	}()
+	// The ctx may expire mid-cycle; the in-flight cycle still burns its
+	// bounded call deadlines, and -race on a loaded single-core machine adds
+	// heavy scheduler slack on top. The property under test is that Run is
+	// bounded at all — the pre-deadline client blocked here forever.
+	select {
+	case <-done:
+		t.Logf("Run returned after %v (ctx was 1.5s)", time.Since(start))
+	case <-time.After(10 * time.Second):
+		t.Fatal("Agent.Run wedged on a never-responding server")
+	}
+	if cycles < 3 {
+		t.Errorf("only %d cycles completed against a dead server", cycles)
+	}
+}

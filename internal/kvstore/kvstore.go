@@ -121,6 +121,14 @@ func (s *Store) Keys(prefix string) []string {
 	return out
 }
 
+// Len returns the number of stored entries, including expired ones not yet
+// compacted — the footprint a leaky deployment would grow without bound.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
 // Compact removes expired entries; long-running deployments should call it
 // periodically.
 func (s *Store) Compact() int {
@@ -161,24 +169,70 @@ type sumReply struct {
 	Sum float64 `json:"sum"`
 }
 
-// Server exposes a Store over the wire protocol.
-type Server struct {
-	store *Store
-	srv   *wire.Server
+// ServerOptions tune the TCP server.
+type ServerOptions struct {
+	// CompactEvery sweeps expired entries from the backing store on this
+	// period, so rates from dead hosts do not accumulate forever. Zero
+	// picks the 1-minute default; negative disables compaction.
+	CompactEvery time.Duration
+	// Wire passes hardening options (read idle timeout) to the underlying
+	// wire server.
+	Wire wire.ServerOptions
 }
 
-// NewServer serves store on l.
+// Server exposes a Store over the wire protocol and keeps it compacted.
+type Server struct {
+	store    *Store
+	srv      *wire.Server
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewServer serves store on l with default options (1-minute compaction).
 func NewServer(l net.Listener, store *Store) *Server {
-	s := &Server{store: store}
-	s.srv = wire.NewServer(l, s.handle)
+	return NewServerOpts(l, store, ServerOptions{})
+}
+
+// NewServerOpts serves store on l with explicit options.
+func NewServerOpts(l net.Listener, store *Store, opts ServerOptions) *Server {
+	s := &Server{store: store, stop: make(chan struct{})}
+	s.srv = wire.NewServerOpts(l, s.handle, opts.Wire)
+	every := opts.CompactEvery
+	if every == 0 {
+		every = time.Minute
+	}
+	if every > 0 {
+		s.wg.Add(1)
+		go s.compactLoop(every)
+	}
 	return s
+}
+
+func (s *Server) compactLoop(every time.Duration) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.store.Compact()
+		case <-s.stop:
+			return
+		}
+	}
 }
 
 // Addr returns the server address.
 func (s *Server) Addr() string { return s.srv.Addr().String() }
 
-// Close shuts the server down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down (idempotent).
+func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	err := s.srv.Close()
+	s.wg.Wait()
+	return err
+}
 
 func (s *Server) handle(method string, payload json.RawMessage) (interface{}, error) {
 	switch method {
@@ -219,18 +273,33 @@ func (s *Server) handle(method string, payload json.RawMessage) (interface{}, er
 	}
 }
 
-// Client is the remote RateStore.
+// Client is the remote RateStore. It inherits the wire client's failure
+// behavior: per-call deadlines, broken-connection detection, and automatic
+// re-dial with backoff, so a dead server degrades agents instead of
+// wedging them.
 type Client struct {
 	c *wire.Client
 }
 
-// Dial connects to a kvstore server.
+// Dial connects to a kvstore server with default wire.ClientOptions.
 func Dial(addr string) (*Client, error) {
-	c, err := wire.Dial(addr)
+	return DialOpts(addr, wire.ClientOptions{})
+}
+
+// DialOpts connects to a kvstore server with explicit failure options.
+func DialOpts(addr string, opts wire.ClientOptions) (*Client, error) {
+	c, err := wire.DialOpts(addr, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &Client{c: c}, nil
+}
+
+// Connect builds a client without dialing; the connection is established
+// lazily (with backoff) on first use, so agents can start before their
+// servers do.
+func Connect(addr string, opts wire.ClientOptions) *Client {
+	return &Client{c: wire.Connect(addr, opts)}
 }
 
 // Put implements RateStore.

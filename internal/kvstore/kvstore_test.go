@@ -209,3 +209,52 @@ func TestMultipleAgentsPublishing(t *testing.T) {
 		t.Errorf("aggregate = %v, %v, want 100", sum, err)
 	}
 }
+
+func TestServerPeriodicCompaction(t *testing.T) {
+	// The TCP server sweeps expired entries itself, so rates from dead
+	// hosts cannot accumulate forever.
+	var mu sync.Mutex
+	now := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	store := NewWithClock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerOpts(l, store, ServerOptions{CompactEvery: 10 * time.Millisecond})
+	defer srv.Close()
+
+	for i := 0; i < 5; i++ {
+		store.Put(RateKey("Cold", "c4_low", "A", string(rune('a'+i))), 1, time.Second)
+	}
+	if store.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", store.Len())
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Second) // everything expires
+	mu.Unlock()
+	deadline := time.Now().Add(2 * time.Second)
+	for store.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never compacted: %d entries remain", store.Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServerCloseStopsCompactionIdempotently(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerOpts(l, New(), ServerOptions{CompactEvery: time.Millisecond})
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}

@@ -8,6 +8,15 @@
 // a JSON body, capped at MaxMessageSize. Control-plane traffic here is tiny
 // (agents exchange a handful of rates per cycle), so clarity wins over
 // compactness.
+//
+// The client is built for an unreliable fleet: every call carries a
+// deadline, a connection that fails mid-call is marked broken (so framing
+// can never desync on the shared connection) and re-dialed lazily with
+// capped exponential backoff plus jitter, and errors are classified
+// transient vs. permanent so callers can decide whether retrying is worth
+// anything. The server side guards against idle or byte-dribbling peers
+// with an optional per-connection read idle timeout and answers protocol
+// violations with an error response instead of a silent disconnect.
 package wire
 
 import (
@@ -16,9 +25,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
 
 // MaxMessageSize bounds a single frame; anything larger is a protocol error.
@@ -26,6 +38,52 @@ const MaxMessageSize = 16 << 20
 
 // ErrMessageTooLarge is returned for frames exceeding MaxMessageSize.
 var ErrMessageTooLarge = errors.New("wire: message exceeds size limit")
+
+// ErrClientClosed is returned by Call after Close.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// ErrBrokenConn is returned when the connection is broken and the client
+// has no address to re-dial (it wrapped an existing net.Conn).
+var ErrBrokenConn = errors.New("wire: connection broken")
+
+// TransientError wraps a failure worth retrying: connection loss, dial
+// failures, deadline expiry, or the backoff gate rejecting a call while a
+// re-dial is pending. Permanent failures — a RemoteError (the server is up
+// and answered), marshaling problems, oversized frames — are returned bare.
+type TransientError struct{ Err error }
+
+// Error implements the error interface.
+func (e *TransientError) Error() string { return fmt.Sprintf("wire: transient: %v", e.Err) }
+
+// Unwrap exposes the underlying error.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is worth retrying: the failure came from
+// the transport (lost connection, timeout, dial refusal) rather than from
+// the remote handler or the caller's own payload.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var te *TransientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	if errors.Is(err, ErrMessageTooLarge) || errors.Is(err, ErrClientClosed) {
+		return false
+	}
+	// Raw transport errors from direct ReadMessage/WriteMessage use.
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, ErrBrokenConn)
+}
 
 // WriteMessage marshals v as JSON and writes one length-prefixed frame.
 func WriteMessage(w io.Writer, v interface{}) error {
@@ -45,18 +103,29 @@ func WriteMessage(w io.Writer, v interface{}) error {
 	return err
 }
 
-// ReadMessage reads one frame and unmarshals it into v.
-func ReadMessage(r io.Reader, v interface{}) error {
+// readFrame reads one length-prefixed frame body. The frame header has been
+// consumed even when the frame is oversized, so the stream is desynced after
+// ErrMessageTooLarge; callers must drop the connection.
+func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxMessageSize {
-		return ErrMessageTooLarge
+		return nil, ErrMessageTooLarge
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// ReadMessage reads one frame and unmarshals it into v.
+func ReadMessage(r io.Reader, v interface{}) error {
+	body, err := readFrame(r)
+	if err != nil {
 		return err
 	}
 	if err := json.Unmarshal(body, v); err != nil {
@@ -81,10 +150,20 @@ type Response struct {
 // response payload.
 type Handler func(method string, payload json.RawMessage) (interface{}, error)
 
+// ServerOptions harden a server against misbehaving peers.
+type ServerOptions struct {
+	// ReadIdleTimeout closes a connection whose next complete request does
+	// not arrive within this window. The deadline is absolute per request,
+	// so a byte-dribbling client cannot hold a goroutine by trickling one
+	// byte at a time. Zero means no timeout.
+	ReadIdleTimeout time.Duration
+}
+
 // Server accepts connections and dispatches requests to a Handler.
 type Server struct {
 	listener net.Listener
 	handler  Handler
+	opts     ServerOptions
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -95,7 +174,12 @@ type Server struct {
 // NewServer starts serving on l with h. It returns immediately; use Close to
 // stop.
 func NewServer(l net.Listener, h Handler) *Server {
-	s := &Server{listener: l, handler: h, conns: make(map[net.Conn]struct{})}
+	return NewServerOpts(l, h, ServerOptions{})
+}
+
+// NewServerOpts starts serving on l with h and explicit hardening options.
+func NewServerOpts(l net.Listener, h Handler, opts ServerOptions) *Server {
+	s := &Server{listener: l, handler: h, opts: opts, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -134,10 +218,35 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
+	respond := func(resp *Response) bool {
+		if err := WriteMessage(bw, resp); err != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
 	for {
-		var req Request
-		if err := ReadMessage(br, &req); err != nil {
+		if s.opts.ReadIdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.ReadIdleTimeout))
+		}
+		body, err := readFrame(br)
+		if errors.Is(err, ErrMessageTooLarge) {
+			// Tell the peer what went wrong before hanging up; the frame
+			// header promised more bytes than we will read, so the stream
+			// cannot be resynced and the connection must die.
+			respond(&Response{Error: ErrMessageTooLarge.Error()})
 			return
+		}
+		if err != nil {
+			return
+		}
+		var req Request
+		if err := json.Unmarshal(body, &req); err != nil {
+			// Framing is intact (the whole body was consumed), so answer
+			// the error and keep serving.
+			if !respond(&Response{Error: fmt.Sprintf("wire: bad request: %v", err)}) {
+				return
+			}
+			continue
 		}
 		var resp Response
 		result, err := s.handler(req.Method, req.Payload)
@@ -151,10 +260,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				resp.Payload = body
 			}
 		}
-		if err := WriteMessage(bw, &resp); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
+		if !respond(&resp) {
 			return
 		}
 	}
@@ -177,31 +283,196 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Client is a serialized RPC client over one connection. It is safe for
-// concurrent use; calls are issued one at a time.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+// ClientOptions tune the client's failure behavior. The zero value picks
+// production defaults (see each field); negative durations disable the
+// corresponding mechanism.
+type ClientOptions struct {
+	// DialTimeout bounds each (re-)dial attempt. Default 5s; negative
+	// means no limit.
+	DialTimeout time.Duration
+	// CallTimeout is the per-call deadline covering write and read of one
+	// round trip (applied via SetDeadline on the connection). Default 10s;
+	// negative means no deadline.
+	CallTimeout time.Duration
+	// DisableReconnect stops the client from re-dialing a broken
+	// connection; a broken client then fails every Call until Close. The
+	// default (reconnect enabled) needs an address, so clients built with
+	// NewClient around a raw conn never reconnect.
+	DisableReconnect bool
+	// MinBackoff and MaxBackoff bound the exponential re-dial backoff.
+	// After a failed dial the client refuses further dial attempts until a
+	// jittered delay in [backoff/2, backoff] has passed, doubling up to
+	// MaxBackoff; calls during the gate fail fast with a TransientError
+	// instead of hammering the dead peer. Defaults 50ms and 5s.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// Rand supplies backoff jitter. Default: seeded from the target
+	// address, so a fleet of agents spreads its re-dials.
+	Rand *rand.Rand
+	// Now supplies the clock for backoff bookkeeping; defaults to
+	// time.Now. Tests inject a fake.
+	Now func() time.Time
 }
 
-// Dial connects a client to addr (TCP).
+func (o ClientOptions) withDefaults(addr string) ClientOptions {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 10 * time.Second
+	}
+	if o.MinBackoff == 0 {
+		o.MinBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff == 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.Rand == nil {
+		h := fnv.New64a()
+		h.Write([]byte(addr))
+		o.Rand = rand.New(rand.NewSource(int64(h.Sum64())))
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Client is a serialized RPC client over one connection. It is safe for
+// concurrent use; calls are issued one at a time. A call that fails at the
+// transport layer marks the connection broken — the next call re-dials
+// (subject to backoff) rather than reusing a stream whose framing may be
+// desynced.
+type Client struct {
+	callMu sync.Mutex // serializes Calls
+
+	mu         sync.Mutex // guards connection state below
+	conn       net.Conn
+	br         *bufio.Reader
+	bw         *bufio.Writer
+	addr       string
+	opts       ClientOptions
+	backoff    time.Duration
+	nextDialAt time.Time
+	closed     bool
+}
+
+// Dial connects a client to addr (TCP) with default options: 5s dial
+// timeout, 10s per-call deadline, automatic reconnect with capped
+// exponential backoff.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialOpts(addr, ClientOptions{})
+}
+
+// DialOpts connects a client to addr with explicit options, failing if the
+// first dial does.
+func DialOpts(addr string, opts ClientOptions) (*Client, error) {
+	c := Connect(addr, opts)
+	c.mu.Lock()
+	err := c.dialLocked()
+	c.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	return c, nil
 }
 
-// NewClient wraps an existing connection.
+// Connect builds a client for addr without dialing: the connection is
+// established lazily on the first Call (and re-established after failures).
+// It never fails, which is what long-running agents want at startup — the
+// servers may simply not be up yet.
+func Connect(addr string, opts ClientOptions) *Client {
+	return &Client{addr: addr, opts: opts.withDefaults(addr)}
+}
+
+// NewClient wraps an existing connection. Without an address the client
+// cannot reconnect: once broken it stays broken.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+		// No CallTimeout default: the conn may be a pipe in tests, and the
+		// historical NewClient contract had no deadlines.
+		opts: ClientOptions{DialTimeout: -1, CallTimeout: -1, DisableReconnect: true, Now: time.Now},
+	}
+}
+
+// dialLocked establishes the connection; c.mu must be held.
+func (c *Client) dialLocked() error {
+	d := net.Dialer{}
+	if c.opts.DialTimeout > 0 {
+		d.Timeout = c.opts.DialTimeout
+	}
+	conn, err := d.Dial("tcp", c.addr)
+	if err != nil {
+		c.bumpBackoffLocked()
+		return &TransientError{Err: err}
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	c.backoff = 0
+	c.nextDialAt = time.Time{}
+	return nil
+}
+
+// bumpBackoffLocked doubles the re-dial backoff (capped) and sets the next
+// allowed dial time with jitter in [backoff/2, backoff].
+func (c *Client) bumpBackoffLocked() {
+	if c.backoff <= 0 {
+		c.backoff = c.opts.MinBackoff
+	} else {
+		c.backoff *= 2
+		if c.backoff > c.opts.MaxBackoff {
+			c.backoff = c.opts.MaxBackoff
+		}
+	}
+	wait := c.backoff
+	if half := int64(c.backoff / 2); half > 0 {
+		wait = c.backoff/2 + time.Duration(c.opts.Rand.Int63n(half+1))
+	}
+	c.nextDialAt = c.opts.Now().Add(wait)
+}
+
+// ensureConn returns a live connection, re-dialing if allowed.
+func (c *Client) ensureConn() (net.Conn, *bufio.Reader, *bufio.Writer, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, nil, nil, ErrClientClosed
+	}
+	if c.conn != nil {
+		return c.conn, c.br, c.bw, nil
+	}
+	if c.addr == "" || c.opts.DisableReconnect {
+		return nil, nil, nil, ErrBrokenConn
+	}
+	if now := c.opts.Now(); now.Before(c.nextDialAt) {
+		return nil, nil, nil, &TransientError{
+			Err: fmt.Errorf("reconnect to %s backed off for %s", c.addr, c.nextDialAt.Sub(now).Round(time.Millisecond)),
+		}
+	}
+	if err := c.dialLocked(); err != nil {
+		return nil, nil, nil, err
+	}
+	return c.conn, c.br, c.bw, nil
+}
+
+// fail marks conn broken so no later call can reuse a desynced stream.
+func (c *Client) fail(conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn, c.br, c.bw = nil, nil, nil
+	}
+	c.mu.Unlock()
 }
 
 // Call issues one request and decodes the response payload into reply
-// (which may be nil to discard it).
+// (which may be nil to discard it). Transport failures — including the
+// per-call deadline firing — come back wrapped in TransientError; a
+// RemoteError means the server processed the request and rejected it.
 func (c *Client) Call(method string, args interface{}, reply interface{}) error {
 	var payload json.RawMessage
 	if args != nil {
@@ -211,17 +482,30 @@ func (c *Client) Call(method string, args interface{}, reply interface{}) error 
 		}
 		payload = body
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := WriteMessage(c.bw, &Request{Method: method, Payload: payload}); err != nil {
+	c.callMu.Lock()
+	defer c.callMu.Unlock()
+	conn, br, bw, err := c.ensureConn()
+	if err != nil {
 		return err
 	}
-	if err := c.bw.Flush(); err != nil {
-		return err
+	if c.opts.CallTimeout > 0 {
+		conn.SetDeadline(c.opts.Now().Add(c.opts.CallTimeout))
+	}
+	if err := WriteMessage(bw, &Request{Method: method, Payload: payload}); err != nil {
+		c.fail(conn)
+		return &TransientError{Err: err}
+	}
+	if err := bw.Flush(); err != nil {
+		c.fail(conn)
+		return &TransientError{Err: err}
 	}
 	var resp Response
-	if err := ReadMessage(c.br, &resp); err != nil {
-		return err
+	if err := ReadMessage(br, &resp); err != nil {
+		c.fail(conn)
+		return &TransientError{Err: err}
+	}
+	if c.opts.CallTimeout > 0 {
+		conn.SetDeadline(time.Time{})
 	}
 	if resp.Error != "" {
 		return &RemoteError{Method: method, Message: resp.Error}
@@ -232,10 +516,23 @@ func (c *Client) Call(method string, args interface{}, reply interface{}) error 
 	return nil
 }
 
-// Close closes the underlying connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the underlying connection. It is safe to call concurrently
+// with an in-flight Call, which then fails with a transport error.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.conn, c.br, c.bw = nil, nil, nil
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
 
-// RemoteError is a server-side failure surfaced to the caller.
+// RemoteError is a server-side failure surfaced to the caller: the server
+// is reachable and answered, so retrying the identical request is unlikely
+// to help (permanent by IsTransient's classification).
 type RemoteError struct {
 	Method  string
 	Message string
