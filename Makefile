@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race chaos bench cover figures examples
+.PHONY: all build vet vet-metrics test race chaos bench cover figures examples
 
-all: build vet test
+all: build vet vet-metrics test
 
 race:
 	go test -race ./...
@@ -21,6 +21,14 @@ build:
 
 vet:
 	go vet ./...
+
+# Metric-name lint: scans every obs.Register* call site in the tree and
+# fails unless each metric name matches ^entitlement_[a-z0-9_]+$ and is
+# registered exactly once process-wide (duplicate names would also panic at
+# init, but the scan catches them without having to link the package).
+vet-metrics:
+	go vet ./...
+	go test -run TestVetMetricNames -count=1 ./internal/obs/
 
 test:
 	go test ./...

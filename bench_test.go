@@ -161,6 +161,14 @@ func BenchmarkAblationGenerations(b *testing.B) {
 }
 
 // --- Hot-path micro-benchmarks ------------------------------------------------
+//
+// Observability guard: several of the paths below (BPF egress, meter,
+// agent cycle, flow allocate) are instrumented with internal/obs counters
+// and histograms. Those instruments are budgeted at <50ns/op uncontended —
+// BenchmarkObsCounter and BenchmarkObsHistogram in internal/obs/bench_test.go
+// pin that budget. If the figures here regress after touching internal/obs,
+// run `go test -bench 'BenchmarkObs' ./internal/obs/` first: a fattened
+// counter or histogram taxes every metric site in the repo at once.
 
 // BenchmarkBPFEgress measures the per-packet classification cost — the path
 // every egress packet of O(100k) hosts traverses.

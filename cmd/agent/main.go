@@ -18,6 +18,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +30,7 @@ import (
 	"entitlement/internal/contractdb"
 	"entitlement/internal/enforce"
 	"entitlement/internal/kvstore"
+	"entitlement/internal/obs"
 	"entitlement/internal/topology"
 	"entitlement/internal/wire"
 )
@@ -46,6 +49,9 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 2*time.Second, "per-attempt dial timeout")
 	callTimeout := flag.Duration("call-timeout", 2*time.Second, "per-RPC deadline")
 	staleness := flag.Duration("staleness-budget", 0, "fail-static window on store outages (0 = 3x rate TTL)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
+	logLevel := flag.String("log-level", "info", "cycle trace level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit cycle traces as JSON instead of text")
 	flag.Parse()
 
 	if err := run(config{
@@ -53,6 +59,7 @@ func main() {
 		dbAddr: *dbAddr, kvAddr: *kvAddr, rateGbps: *rateGbps,
 		period: *period, cycles: *cycles, policyName: *policyName,
 		dialTimeout: *dialTimeout, callTimeout: *callTimeout, staleness: *staleness,
+		metricsAddr: *metricsAddr, logLevel: *logLevel, logJSON: *logJSON,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "agent: %v\n", err)
 		os.Exit(1)
@@ -69,12 +76,27 @@ type config struct {
 	dialTimeout                  time.Duration
 	callTimeout                  time.Duration
 	staleness                    time.Duration
+	metricsAddr                  string
+	logLevel                     string
+	logJSON                      bool
 }
 
 func run(cfg config) error {
 	class, err := contract.ParseClass(cfg.className)
 	if err != nil {
 		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, cfg.logLevel, cfg.logJSON)
+	if err != nil {
+		return err
+	}
+	if cfg.metricsAddr != "" {
+		ms, err := obs.Serve(cfg.metricsAddr, nil)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics (pprof on /debug/pprof/)\n", ms.Addr())
 	}
 	// Lazy connections: the agent starts (and keeps running) whether or
 	// not the servers are reachable; the wire layer re-dials with capped
@@ -101,42 +123,60 @@ func run(cfg config) error {
 
 	fmt.Printf("agent %s: %s/%s/%s, %s remarking, %.0f Gbps local egress (db %s, kv %s)\n",
 		cfg.host, cfg.npg, class, cfg.region, policy, cfg.rateGbps, cfg.dbAddr, cfg.kvAddr)
+	// Drive the loop through enforce.Run: the callback contract guarantees
+	// OnError/OnCycle are serialized with measure() on the Run goroutine,
+	// so the marking feedback below is race-free, and the Logger gives
+	// structured per-cycle trace spans with cycle IDs.
 	localTotal := cfg.rateGbps * 1e9
 	localConform := localTotal
-	for n := 0; cfg.cycles == 0 || n < cfg.cycles; n++ {
-		rep, err := agent.Cycle(time.Now().UTC(), localTotal, localConform)
-		if err != nil {
-			// Cycle degrades rather than erroring; anything here is a
-			// programming bug, but even then the agent keeps running.
-			fmt.Fprintf(os.Stderr, "cycle %3d: error: %v\n", n, err)
-			time.Sleep(cfg.period)
-			continue
-		}
-		mode := ""
-		switch {
-		case rep.FailedOpen:
-			mode = " FAIL-OPEN"
-		case rep.Degraded:
-			mode = fmt.Sprintf(" DEGRADED(stale %s)", rep.StaleFor.Round(time.Millisecond))
-		}
-		marked := "conforming"
-		if rep.NonConformGroups > 0 && bpf.HostGroup(cfg.host) < rep.NonConformGroups {
-			marked = "REMARKED"
-		}
-		fmt.Printf("cycle %3d: entitled=%.1fG total=%.1fG conform=%.1fG ratio=%.3f groups=%d enforced=%v host=%s%s\n",
-			n, rep.EntitledRate/1e9, rep.TotalRate/1e9, rep.ConformRate/1e9,
-			rep.ConformRatio, rep.NonConformGroups, rep.Enforced, marked, mode)
-		for _, f := range rep.Faults {
-			fmt.Fprintf(os.Stderr, "cycle %3d: fault: %s\n", n, f)
-		}
-		// Feed the marking decision back into the synthetic measurement:
-		// if this host is remarked, its conforming egress drops to zero.
-		if rep.NonConformGroups > 0 && bpf.HostGroup(cfg.host) < rep.NonConformGroups {
-			localConform = 0
-		} else {
-			localConform = localTotal
-		}
-		time.Sleep(cfg.period)
+	n := 0
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err = agent.Run(ctx, func() (float64, float64) { return localTotal, localConform }, enforce.RunOptions{
+		Period: cfg.period,
+		Logger: logger,
+		Now:    func() time.Time { return time.Now().UTC() },
+		OnError: func(err error) {
+			var de *enforce.DegradedError
+			if !errors.As(err, &de) {
+				// Cycle degrades rather than erroring; anything here is a
+				// programming bug, but even then the agent keeps running.
+				fmt.Fprintf(os.Stderr, "cycle %3d: error: %v\n", n, err)
+			}
+		},
+		OnCycle: func(rep enforce.CycleReport) {
+			mode := ""
+			switch {
+			case rep.FailedOpen:
+				mode = " FAIL-OPEN"
+			case rep.Degraded:
+				mode = fmt.Sprintf(" DEGRADED(stale %s)", rep.StaleFor.Round(time.Millisecond))
+			}
+			marked := "conforming"
+			if rep.NonConformGroups > 0 && bpf.HostGroup(cfg.host) < rep.NonConformGroups {
+				marked = "REMARKED"
+			}
+			fmt.Printf("cycle %3d: entitled=%.1fG total=%.1fG conform=%.1fG ratio=%.3f groups=%d enforced=%v host=%s%s\n",
+				n, rep.EntitledRate/1e9, rep.TotalRate/1e9, rep.ConformRate/1e9,
+				rep.ConformRatio, rep.NonConformGroups, rep.Enforced, marked, mode)
+			for _, f := range rep.Faults {
+				fmt.Fprintf(os.Stderr, "cycle %3d: fault: %s\n", n, f)
+			}
+			// Feed the marking decision back into the synthetic measurement:
+			// if this host is remarked, its conforming egress drops to zero.
+			if rep.NonConformGroups > 0 && bpf.HostGroup(cfg.host) < rep.NonConformGroups {
+				localConform = 0
+			} else {
+				localConform = localTotal
+			}
+			n++
+			if cfg.cycles > 0 && n >= cfg.cycles {
+				cancel()
+			}
+		},
+	})
+	if errors.Is(err, context.Canceled) {
+		return nil
 	}
-	return nil
+	return err
 }

@@ -18,13 +18,32 @@ import (
 
 	"entitlement/internal/contract"
 	"entitlement/internal/contractdb"
+	"entitlement/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
 	demo := flag.Bool("demo", false, "seed a demo Coldstorage contract")
 	snapshot := flag.String("snapshot", "", "JSON snapshot file: loaded at startup if present, written at shutdown")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "contractdb: %v\n", err)
+		os.Exit(1)
+	}
+	if *metricsAddr != "" {
+		ms, err := obs.Serve(*metricsAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "contractdb: metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		logger.Info("metrics serving", "addr", ms.Addr())
+	}
 
 	store := contractdb.NewStore()
 	if *snapshot != "" {
@@ -62,11 +81,13 @@ func main() {
 	}
 	srv := contractdb.NewServer(l, store)
 	fmt.Printf("contractdb listening on %s\n", srv.Addr())
+	logger.Info("contractdb up", "addr", srv.Addr(), "contracts", store.Len())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("contractdb shutting down")
+	logger.Info("contractdb shutting down")
 	srv.Close()
 	if *snapshot != "" {
 		f, err := os.Create(*snapshot)

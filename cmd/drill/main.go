@@ -13,10 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"entitlement/internal/enforce"
 	"entitlement/internal/netsim"
+	"entitlement/internal/obs"
 	"entitlement/internal/stats"
 )
 
@@ -26,7 +29,18 @@ func main() {
 	policy := flag.String("policy", "host", "remark policy: host or flow")
 	meter := flag.String("meter", "stateful", "metering algorithm: stateful or stateless")
 	series := flag.Bool("series", false, "print full per-tick series")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while the drill runs (empty disables)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		ms, err := obs.Serve(*metricsAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drill: metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics while the drill runs\n", ms.Addr())
+	}
 
 	opts := netsim.DefaultDrillOptions()
 	opts.Hosts = *hosts
@@ -86,5 +100,15 @@ func main() {
 			fmt.Printf("  %4d %8.1f %8.1f %8.1f %6.3f\n",
 				i, total[i]/1e9, conform[i]/1e9, entitled[i]/1e9, rep.ConformRatio[i])
 		}
+	}
+
+	// The drill itself finishes in well under a second, so a scraper would
+	// never catch it mid-run: keep the metrics endpoint up afterwards so
+	// the accumulated counters and histograms can be inspected, until ^C.
+	if *metricsAddr != "" {
+		fmt.Printf("\ndrill done; metrics still on http://%s/metrics — ^C to exit\n", *metricsAddr)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"entitlement/internal/kvstore"
+	"entitlement/internal/obs"
 	"entitlement/internal/wire"
 )
 
@@ -25,7 +26,25 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7002", "listen address")
 	compactEvery := flag.Duration("compact-every", 30*time.Second, "expired-entry compaction interval (negative disables)")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "drop connections idle this long (0 disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvstore: %v\n", err)
+		os.Exit(1)
+	}
+	if *metricsAddr != "" {
+		ms, err := obs.Serve(*metricsAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvstore: metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		logger.Info("metrics serving", "addr", ms.Addr())
+	}
 
 	store := kvstore.New()
 	l, err := net.Listen("tcp", *addr)
@@ -38,10 +57,12 @@ func main() {
 		Wire:         wire.ServerOptions{ReadIdleTimeout: *idleTimeout},
 	})
 	fmt.Printf("kvstore listening on %s (compact every %s)\n", srv.Addr(), *compactEvery)
+	logger.Info("kvstore up", "addr", srv.Addr(), "compact_every", *compactEvery)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("kvstore shutting down")
+	logger.Info("kvstore shutting down")
 	srv.Close()
 }

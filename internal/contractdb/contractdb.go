@@ -65,6 +65,13 @@ func (s *Store) Delete(npg contract.NPG) {
 	delete(s.contracts, npg)
 }
 
+// Len returns the number of stored contracts.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.contracts)
+}
+
 // List returns every stored contract sorted by NPG.
 func (s *Store) List() []contract.Contract {
 	s.mu.RLock()
@@ -136,7 +143,14 @@ func (s *Server) Addr() string { return s.srv.Addr().String() }
 // Close shuts the server down.
 func (s *Server) Close() error { return s.srv.Close() }
 
-func (s *Server) handle(method string, payload json.RawMessage) (interface{}, error) {
+func (s *Server) handle(method string, payload json.RawMessage) (reply interface{}, err error) {
+	mRequests.With(method).Inc()
+	defer func() {
+		if err != nil {
+			mRequestErrors.Inc()
+		}
+		mContracts.Set(float64(s.store.Len()))
+	}()
 	switch method {
 	case "entitled_rate":
 		var a rateArgs

@@ -1,0 +1,12 @@
+package contractdb
+
+import "entitlement/internal/obs"
+
+// Contract-database server instruments. The contracts gauge is the size of
+// the served store — the number of NPGs whose entitlements this process
+// can answer for.
+var (
+	mRequests      = obs.RegisterCounterVec("entitlement_contractdb_requests_total", "Requests handled by contractdb servers, by method.", "method")
+	mRequestErrors = obs.RegisterCounter("entitlement_contractdb_request_errors_total", "contractdb requests that returned an error (bad payload, invalid contract, or store failure).")
+	mContracts     = obs.RegisterGauge("entitlement_contractdb_contracts", "Contracts held by the contractdb server's backing store.")
+)

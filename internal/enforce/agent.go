@@ -106,6 +106,11 @@ type Agent struct {
 	entOK      bool
 	entRate    float64
 	entFound   bool
+
+	// Previous cycle's mode, for metric transition tracking (gauges count
+	// agents in a mode; counters count entries into it).
+	wasDegraded   bool
+	wasFailedOpen bool
 }
 
 // NewAgent validates the configuration and builds an agent.
@@ -170,14 +175,58 @@ func (r *CycleReport) fault(op string, err error) {
 // decision was made — inspect CycleReport.Degraded/StaleFor/FailedOpen for
 // the mode.
 func (a *Agent) Cycle(now time.Time, localTotal, localConform float64) (CycleReport, error) {
+	start := time.Now()
+	rep, err := a.cycle(now, localTotal, localConform)
+	a.observeCycle(rep, err, time.Since(start))
+	return rep, err
+}
+
+// observeCycle maintains the enforcement metrics after one cycle: the
+// duration histogram, per-mode counters, and the transition-tracked
+// degraded/fail-open gauges.
+func (a *Agent) observeCycle(rep CycleReport, err error, took time.Duration) {
+	mCycles.Inc()
+	mCycleSeconds.ObserveDuration(took)
+	if err != nil {
+		return // hard failure: no decision was made, modes are unchanged
+	}
+	if rep.Degraded {
+		mDegradedCycles.Inc()
+	}
+	if rep.Degraded != a.wasDegraded {
+		if rep.Degraded {
+			mDegradedAgents.Inc()
+		} else {
+			mDegradedAgents.Dec()
+		}
+		a.wasDegraded = rep.Degraded
+	}
+	if rep.FailedOpen && !a.wasFailedOpen {
+		mFailOpenTrans.Inc()
+	}
+	if rep.FailedOpen != a.wasFailedOpen {
+		if rep.FailedOpen {
+			mFailOpenAgents.Inc()
+		} else {
+			mFailOpenAgents.Dec()
+		}
+		a.wasFailedOpen = rep.FailedOpen
+	}
+	mStaleSeconds.With(a.cfg.Host).Set(rep.StaleFor.Seconds())
+}
+
+// cycle is the uninstrumented cycle body; see Cycle.
+func (a *Agent) cycle(now time.Time, localTotal, localConform float64) (CycleReport, error) {
 	var rep CycleReport
 	// 1. Publish this host's rates (best effort: losing one publish only
 	// fades this host out of the remote aggregate once its TTL passes).
 	npg, class, region := string(a.cfg.NPG), a.cfg.Class.String(), string(a.cfg.Region)
 	if err := a.cfg.Rates.Put(kvstore.RateKey(npg, class, region, a.cfg.Host), localTotal, a.cfg.RateTTL); err != nil {
+		mPublishFails.Inc()
 		rep.fault("publish total", err)
 	}
 	if err := a.cfg.Rates.Put(conformRateKey(npg, class, region, a.cfg.Host), localConform, a.cfg.RateTTL); err != nil {
+		mPublishFails.Inc()
 		rep.fault("publish conform", err)
 	}
 	// 2. Read the service-wide aggregates; cache on success.
@@ -188,13 +237,16 @@ func (a *Agent) Cycle(now time.Time, localTotal, localConform float64) (CycleRep
 		a.aggAt, a.aggOK = now, true
 		a.aggTotal, a.aggConform = total, conform
 	case errTotal != nil:
+		mAggregateFails.Inc()
 		rep.fault("aggregate total", errTotal)
 	default:
+		mAggregateFails.Inc()
 		rep.fault("aggregate conform", errConform)
 	}
 	// 3. Query the contract; cache on success.
 	entitled, found, err := a.cfg.DB.EntitledRate(a.cfg.NPG, a.cfg.Class, a.cfg.Region, contract.Egress, now)
 	if err != nil {
+		mContractFails.Inc()
 		rep.fault("contract query", err)
 	} else {
 		a.entAt, a.entOK = now, true

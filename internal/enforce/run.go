@@ -3,6 +3,7 @@ package enforce
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 	"time"
 )
@@ -13,27 +14,61 @@ import (
 type Measure func() (localTotal, localConform float64)
 
 // RunOptions configures a long-running agent loop.
+//
+// Callback contract: OnError and OnCycle are invoked synchronously from
+// the Run goroutine with no internal locks held, so they may call back
+// into the agent's dependencies (stores, loggers) without deadlocking.
+// They are serialized per agent — Run never invokes them concurrently
+// with each other or with themselves. Per cycle, at most ONE OnError
+// fires, and it fires before OnCycle:
+//
+//   - hard cycle failure:  OnError(err); OnCycle is NOT called (there is
+//     no report to deliver);
+//   - degraded cycle:      OnError(*DegradedError), then OnCycle(rep);
+//   - healthy cycle:       OnCycle(rep) only.
+//
+// A slow callback delays the next cycle; keep them cheap or hand off.
 type RunOptions struct {
 	// Period between cycles; default 1s (the agents are lightweight — one
 	// KV publish, two aggregations, one DB query, one map update).
 	Period time.Duration
-	// OnCycle, if set, observes every cycle's report (logging, metrics).
+	// OnCycle, if set, observes every completed cycle's report (logging,
+	// metrics). Not called when the cycle itself returned a hard error.
 	OnCycle func(CycleReport)
-	// OnError, if set, observes per-cycle failures — both hard cycle
-	// errors and the dependency faults behind a degraded cycle; the loop
-	// continues regardless (transient KV/DB outages must not stop
-	// enforcement — the existing BPF actions keep applying in the
-	// meantime, which is the fail-static behavior a marking-only datapath
-	// affords, and the agent itself fails open once its staleness budget
-	// runs out).
+	// OnError, if set, observes per-cycle failures — a hard cycle error,
+	// or a *DegradedError carrying the report of a cycle that leaned on
+	// cached data; the loop continues regardless (transient KV/DB outages
+	// must not stop enforcement — the existing BPF actions keep applying
+	// in the meantime, which is the fail-static behavior a marking-only
+	// datapath affords, and the agent itself fails open once its
+	// staleness budget runs out).
 	OnError func(error)
+	// Logger, if set, receives one structured trace record per cycle,
+	// tagged with a per-Run monotonically increasing cycle ID: Debug for
+	// healthy cycles, Warn for degraded or failed-open ones, Error for
+	// hard failures. Nil disables tracing.
+	Logger *slog.Logger
 	// Now supplies the cycle timestamp; defaults to time.Now. Simulations
 	// inject their clock.
 	Now func() time.Time
 }
 
+// DegradedError is the error OnError receives for a cycle that completed
+// degraded (on cached or partial data). It wraps the full report so
+// observers can distinguish degraded cycles from hard failures with
+// errors.As and inspect what went stale.
+type DegradedError struct {
+	Report CycleReport
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("enforce: degraded cycle (stale %s): %s",
+		e.Report.StaleFor, strings.Join(e.Report.Faults, "; "))
+}
+
 // Run drives the agent until ctx is canceled: every Period it measures the
-// host's rates, runs one Cycle, and reports. It returns ctx.Err().
+// host's rates, runs one Cycle, and reports per the RunOptions callback
+// contract. It returns ctx.Err().
 func (a *Agent) Run(ctx context.Context, measure Measure, opts RunOptions) error {
 	if opts.Period <= 0 {
 		opts.Period = time.Second
@@ -43,17 +78,23 @@ func (a *Agent) Run(ctx context.Context, measure Measure, opts RunOptions) error
 	}
 	ticker := time.NewTicker(opts.Period)
 	defer ticker.Stop()
+	var cycleID uint64
 	for {
+		cycleID++
 		total, conform := measure()
+		start := time.Now()
 		rep, err := a.Cycle(opts.Now(), total, conform)
-		if err != nil {
+		took := time.Since(start)
+		switch {
+		case err != nil:
+			a.trace(opts.Logger, cycleID, took, CycleReport{}, err)
 			if opts.OnError != nil {
 				opts.OnError(err)
 			}
-		} else {
+		default:
+			a.trace(opts.Logger, cycleID, took, rep, nil)
 			if rep.Degraded && opts.OnError != nil {
-				opts.OnError(fmt.Errorf("enforce: degraded cycle (stale %s): %s",
-					rep.StaleFor, strings.Join(rep.Faults, "; ")))
+				opts.OnError(&DegradedError{Report: rep})
 			}
 			if opts.OnCycle != nil {
 				opts.OnCycle(rep)
@@ -64,5 +105,42 @@ func (a *Agent) Run(ctx context.Context, measure Measure, opts RunOptions) error
 			return ctx.Err()
 		case <-ticker.C:
 		}
+	}
+}
+
+// trace emits one structured span-like record for a cycle.
+func (a *Agent) trace(l *slog.Logger, id uint64, took time.Duration, rep CycleReport, err error) {
+	if l == nil {
+		return
+	}
+	attrs := []any{
+		slog.Uint64("cycle_id", id),
+		slog.String("host", a.cfg.Host),
+		slog.String("npg", string(a.cfg.NPG)),
+		slog.Duration("took", took),
+	}
+	if err != nil {
+		l.Error("enforce.cycle", append(attrs, slog.Any("err", err))...)
+		return
+	}
+	attrs = append(attrs,
+		slog.Bool("enforced", rep.Enforced),
+		slog.Bool("degraded", rep.Degraded),
+		slog.Bool("failed_open", rep.FailedOpen),
+		slog.Float64("total_rate", rep.TotalRate),
+		slog.Float64("entitled_rate", rep.EntitledRate),
+		slog.Float64("conform_ratio", rep.ConformRatio),
+	)
+	switch {
+	case rep.FailedOpen:
+		l.Warn("enforce.cycle fail-open", append(attrs,
+			slog.Duration("stale_for", rep.StaleFor),
+			slog.String("faults", strings.Join(rep.Faults, "; ")))...)
+	case rep.Degraded:
+		l.Warn("enforce.cycle degraded", append(attrs,
+			slog.Duration("stale_for", rep.StaleFor),
+			slog.String("faults", strings.Join(rep.Faults, "; ")))...)
+	default:
+		l.Debug("enforce.cycle", attrs...)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"entitlement/internal/topology"
 )
@@ -617,6 +618,11 @@ func (r *Runner) Network() *Network { return r.net }
 // fairness within a class. The returned Allocation is freshly allocated and
 // remains valid after subsequent calls; all internal scratch is reused.
 func (r *Runner) Allocate(state *topology.FailureState, demands []Demand, opts AllocateOptions) *Allocation {
+	start := time.Now()
+	defer func() {
+		mAllocs.Inc()
+		mAllocSeconds.ObserveSince(start)
+	}()
 	if opts.Rounds <= 0 {
 		opts.Rounds = 16
 	}

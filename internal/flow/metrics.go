@@ -1,0 +1,11 @@
+package flow
+
+import "entitlement/internal/obs"
+
+// Solver instruments. Allocate runs in the risk simulator's hot loop, so
+// the per-call cost here is two clock reads and a lock-free histogram
+// observe — negligible against a multi-millisecond solve.
+var (
+	mAllocSeconds = obs.RegisterHistogram("entitlement_flow_allocate_seconds", "Latency of one max-min allocation solve over the topology.")
+	mAllocs       = obs.RegisterCounter("entitlement_flow_allocations_total", "Allocation solves completed.")
+)

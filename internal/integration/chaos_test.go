@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"net/http"
 	"runtime"
 	"sync"
 	"testing"
@@ -15,8 +16,29 @@ import (
 	"entitlement/internal/enforce"
 	"entitlement/internal/faults"
 	"entitlement/internal/kvstore"
+	"entitlement/internal/obs"
 	"entitlement/internal/wire"
 )
+
+// scrapeHTTP fetches and parses the Prometheus exposition from a live obs
+// server — the same path a real scraper takes, so these assertions hold for
+// what an operator's dashboard would actually show.
+func scrapeHTTP(t *testing.T, addr string) obs.Scrape {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	// Drop the keep-alive connection so the scrape leaves no goroutine
+	// behind for the leak check at teardown.
+	defer http.DefaultClient.CloseIdleConnections()
+	s, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape parse: %v", err)
+	}
+	return s
+}
 
 // chaosClientOptions are aggressive failure settings so the test exercises
 // deadlines and reconnect within seconds instead of minutes.
@@ -42,6 +64,14 @@ func TestChaosEnforcementSurvivesOutage(t *testing.T) {
 		t.Skip("chaos test uses real sockets and sleeps")
 	}
 	baseGoroutines := runtime.NumGoroutine()
+
+	// Metrics endpoint: the outage story below is asserted from scraped
+	// exposition alone, not from CycleReports.
+	ms, err := obs.Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
 
 	const (
 		entitled = 100e9
@@ -178,6 +208,8 @@ func TestChaosEnforcementSurvivesOutage(t *testing.T) {
 		return out
 	}
 
+	base := scrapeHTTP(t, ms.Addr())
+
 	// --- Phase 1: healthy baseline. -----------------------------------
 	var marked bool
 	for cycle := 0; cycle < 10; cycle++ {
@@ -193,6 +225,10 @@ func TestChaosEnforcementSurvivesOutage(t *testing.T) {
 	}
 	if !marked {
 		t.Fatal("fleet at 2x entitlement never marked traffic while healthy")
+	}
+	healthy := scrapeHTTP(t, ms.Addr())
+	if got := healthy.Value("entitlement_enforce_degraded_agents") - base.Value("entitlement_enforce_degraded_agents"); got != 0 {
+		t.Errorf("metrics: degraded_agents moved by %v during the healthy phase", got)
 	}
 
 	// --- Phase 2: both stores black-holed past the budget. ------------
@@ -241,6 +277,24 @@ func TestChaosEnforcementSurvivesOutage(t *testing.T) {
 		}
 	}
 
+	// Mid-outage scrape: the dashboard must show the whole fleet degraded
+	// and failed open, and the fail-open transition counter must have
+	// fired exactly once per agent even though every agent has run several
+	// fail-open cycles by now.
+	outage := scrapeHTTP(t, ms.Addr())
+	if got := outage.Value("entitlement_enforce_degraded_agents") - base.Value("entitlement_enforce_degraded_agents"); got != hosts {
+		t.Errorf("metrics: degraded_agents delta during outage = %v, want %d", got, hosts)
+	}
+	if got := outage.Value("entitlement_enforce_failopen_agents") - base.Value("entitlement_enforce_failopen_agents"); got != hosts {
+		t.Errorf("metrics: failopen_agents delta during outage = %v, want %d", got, hosts)
+	}
+	if got := outage.Value("entitlement_enforce_failopen_transitions_total") - base.Value("entitlement_enforce_failopen_transitions_total"); got != hosts {
+		t.Errorf("metrics: failopen_transitions delta = %v, want exactly %d (once per agent per outage)", got, hosts)
+	}
+	if got := outage.Value("entitlement_enforce_degraded_cycles_total") - base.Value("entitlement_enforce_degraded_cycles_total"); got < hosts {
+		t.Errorf("metrics: degraded_cycles delta = %v, want >= %d", got, hosts)
+	}
+
 	// --- Phase 3: outage lifts; reconverge within 5 cycles. -----------
 	dbProxy.SetMode(faults.Pass)
 	kvProxy.SetMode(faults.Pass)
@@ -276,6 +330,29 @@ func TestChaosEnforcementSurvivesOutage(t *testing.T) {
 		t.Error("fleet never re-enforced marking after the outage lifted")
 	}
 
+	// Post-recovery scrape: the gauges fall back to baseline, and the
+	// reconnect counter accounts for the injected connection cuts. The
+	// phase-3 cut alone forces every one of the fleet's 2×hosts clients
+	// (contractdb + kvstore per host) through at least one successful
+	// re-dial; black-hole-phase re-dials (TCP connects that then time out)
+	// add more, so this is a floor. The exact cut-for-cut accounting is
+	// pinned by wire's own fault-injection metrics test.
+	final := scrapeHTTP(t, ms.Addr())
+	if got := final.Value("entitlement_enforce_degraded_agents") - base.Value("entitlement_enforce_degraded_agents"); got != 0 {
+		t.Errorf("metrics: degraded_agents delta after recovery = %v, want 0", got)
+	}
+	if got := final.Value("entitlement_enforce_failopen_agents") - base.Value("entitlement_enforce_failopen_agents"); got != 0 {
+		t.Errorf("metrics: failopen_agents delta after recovery = %v, want 0", got)
+	}
+	if got := final.Value("entitlement_wire_client_reconnects_total") - base.Value("entitlement_wire_client_reconnects_total"); got < 2*hosts {
+		t.Errorf("metrics: reconnects delta = %v, want >= %d (every client re-dialed after the recovery cut)", got, 2*hosts)
+	}
+	for _, m := range fleet {
+		if got := final.Value(fmt.Sprintf("entitlement_enforce_stale_seconds{host=%q}", m.id)); got != 0 {
+			t.Errorf("metrics: stale_seconds{%s} after recovery = %v, want 0", m.id, got)
+		}
+	}
+
 	// --- Teardown: nothing may leak. ----------------------------------
 	for _, m := range fleet {
 		_ = m
@@ -284,6 +361,7 @@ func TestChaosEnforcementSurvivesOutage(t *testing.T) {
 	kvProxy.Close()
 	dbSrv.Close()
 	kvSrv.Close()
+	ms.Close()
 	waitForGoroutines(t, baseGoroutines)
 }
 

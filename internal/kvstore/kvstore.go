@@ -216,7 +216,10 @@ func (s *Server) compactLoop(every time.Duration) {
 	for {
 		select {
 		case <-ticker.C:
-			s.store.Compact()
+			removed := s.store.Compact()
+			mCompactions.Inc()
+			mCompacted.Add(int64(removed))
+			mEntries.Set(float64(s.store.Len()))
 		case <-s.stop:
 			return
 		}
@@ -234,7 +237,14 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) handle(method string, payload json.RawMessage) (interface{}, error) {
+func (s *Server) handle(method string, payload json.RawMessage) (reply interface{}, err error) {
+	mRequests.With(method).Inc()
+	defer func() {
+		if err != nil {
+			mRequestErrors.Inc()
+		}
+		mEntries.Set(float64(s.store.Len()))
+	}()
 	switch method {
 	case "put":
 		var a putArgs

@@ -1,0 +1,15 @@
+package kvstore
+
+import "entitlement/internal/obs"
+
+// Rate-store server instruments. The entries gauge tracks the backing
+// Store's footprint including not-yet-compacted expired entries — the
+// number a leaky deployment watches grow; the compaction counters say how
+// much the sweeps claw back.
+var (
+	mRequests      = obs.RegisterCounterVec("entitlement_kvstore_requests_total", "Requests handled by kvstore servers, by method.", "method")
+	mRequestErrors = obs.RegisterCounter("entitlement_kvstore_request_errors_total", "kvstore requests that returned an error (bad payload or store failure).")
+	mEntries       = obs.RegisterGauge("entitlement_kvstore_entries", "Entries in the kvstore server's backing store, including expired entries not yet compacted.")
+	mCompactions   = obs.RegisterCounter("entitlement_kvstore_compactions_total", "Compaction sweeps run by kvstore servers.")
+	mCompacted     = obs.RegisterCounter("entitlement_kvstore_compacted_entries_total", "Expired entries removed by compaction sweeps.")
+)

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The instrumentation budget: a counter increment or histogram observation
+// on the uncontended path must stay under ~50ns/op, because these
+// instruments sit inside the flow allocator and the per-scenario risk
+// loop (see the guard comment in the repo-root bench_test.go). Run with:
+//
+//	go test -bench 'BenchmarkObs' -benchmem ./internal/obs
+
+func BenchmarkObsCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.RegisterCounter("entitlement_bench_counter_total", "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+func BenchmarkObsCounterVec(b *testing.B) {
+	r := NewRegistry()
+	v := r.RegisterCounterVec("entitlement_bench_vec_total", "bench", "method")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("put").Inc()
+	}
+}
+
+func BenchmarkObsHistogram(b *testing.B) {
+	r := NewRegistry()
+	h := r.RegisterHistogram("entitlement_bench_hist_seconds", "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.000123)
+	}
+	if h.Count() != int64(b.N) {
+		b.Fatal("lost observations")
+	}
+}
+
+func BenchmarkObsHistogramObserveSince(b *testing.B) {
+	// The realistic call shape: time.Now() at the start, ObserveSince at
+	// the end. Dominated by the clock reads, not the histogram.
+	r := NewRegistry()
+	h := r.RegisterHistogram("entitlement_bench_since_seconds", "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		h.ObserveSince(start)
+	}
+}

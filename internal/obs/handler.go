@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// expvarHandler adapts expvar's handler (normally mounted only on the
+// DefaultServeMux) onto the obs mux.
+func expvarHandler(w http.ResponseWriter, req *http.Request) {
+	expvar.Handler().ServeHTTP(w, req)
+}
+
+// NewHandler builds the observability HTTP handler over r (nil means the
+// Default registry):
+//
+//	/metrics      Prometheus text exposition
+//	/healthz      liveness probe ("ok" + process uptime)
+//	/debug/vars   expvar JSON (includes the "entitlement" snapshot)
+//	/debug/pprof  the standard runtime profiles
+func NewHandler(r *Registry) http.Handler {
+	if r == nil {
+		r = Default()
+	}
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok uptime=%s\n", time.Since(start).Round(time.Second))
+	})
+	mux.HandleFunc("/debug/vars", expvarHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the observability handler on addr (e.g. ":9090") over r
+// (nil means Default). It returns once the listener is bound; requests are
+// served on a background goroutine until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewHandler(r)}
+	go srv.Serve(l)
+	return &Server{l: l, srv: srv}, nil
+}

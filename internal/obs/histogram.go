@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram uses exponential (factor-2) buckets whose upper bounds are
+// 2^k seconds for k in [histMinExp, histMaxExp], plus a +Inf overflow
+// bucket. That spans ~0.95µs to 64s — everything from a counter increment
+// to a wedged RPC deadline — in 27 finite buckets, and lets Observe find
+// its bucket with one math.Frexp instead of a log or a search.
+const (
+	histMinExp    = -20 // smallest finite upper bound: 2^-20 s ≈ 0.95µs
+	histMaxExp    = 6   // largest finite upper bound: 64 s
+	histNumFinite = histMaxExp - histMinExp + 1
+)
+
+// Histogram is a lock-free latency histogram: per-bucket atomic counts, an
+// atomic total, and a CAS-maintained float64 sum. Observe is wait-free on
+// the buckets and lock-free on the sum; quantiles are estimated from the
+// bucket distribution with linear interpolation inside the winning bucket.
+type Histogram struct {
+	desc
+	buckets [histNumFinite + 1]atomic.Int64 // last slot is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// RegisterHistogram registers a histogram in r.
+func (r *Registry) RegisterHistogram(name, help string) *Histogram {
+	h := &Histogram{desc: desc{name, help}}
+	r.register(h)
+	return h
+}
+
+// bucketIndex maps a sample to its bucket: the first bucket whose upper
+// bound 2^k satisfies x <= 2^k. Non-positive samples land in bucket 0.
+func bucketIndex(x float64) int {
+	if x <= 0 {
+		return 0
+	}
+	frac, exp := math.Frexp(x) // x = frac × 2^exp, frac ∈ [0.5, 1)
+	if frac == 0.5 {
+		exp-- // exact powers of two belong in their own bucket (le is ≤)
+	}
+	switch {
+	case exp < histMinExp:
+		return 0
+	case exp > histMaxExp:
+		return histNumFinite
+	}
+	return exp - histMinExp
+}
+
+// upperBound returns bucket i's inclusive upper bound in seconds (+Inf for
+// the overflow bucket).
+func upperBound(i int) float64 {
+	if i >= histNumFinite {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, histMinExp+i)
+}
+
+// Observe records one sample (in seconds for latency histograms, but the
+// scale is the caller's).
+func (h *Histogram) Observe(x float64) {
+	h.buckets[bucketIndex(x)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveSince records the elapsed time since start in seconds.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of recorded samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) from the bucket
+// distribution: it finds the bucket holding the target rank and linearly
+// interpolates between the bucket's bounds. Samples in the overflow bucket
+// report the largest finite bound. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			hi := upperBound(i)
+			if math.IsInf(hi, 1) {
+				return upperBound(histNumFinite - 1)
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = upperBound(i - 1)
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return upperBound(histNumFinite - 1)
+}
+
+// writePromSeries writes the bucket/sum/count sample lines with extraLabels
+// (either empty or `label="value",`) spliced into the braces.
+func (h *Histogram) writePromSeries(w io.Writer, extraLabels string) {
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", h.metricName, extraLabels, formatFloat(upperBound(i)), cum)
+	}
+	if extraLabels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", h.metricName, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", h.metricName, h.Count())
+		return
+	}
+	trimmed := extraLabels[:len(extraLabels)-1] // drop the trailing comma
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", h.metricName, trimmed, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", h.metricName, trimmed, h.Count())
+}
+
+func (h *Histogram) writeProm(w io.Writer) {
+	promHeader(w, h.desc, "histogram")
+	h.writePromSeries(w, "")
+}
+
+func (h *Histogram) snapshot() interface{} {
+	return map[string]interface{}{
+		"count": h.Count(),
+		"sum":   h.Sum(),
+		"p50":   h.Quantile(0.50),
+		"p95":   h.Quantile(0.95),
+		"p99":   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,395 @@
+// Package obs is the repository's observability plane: a stdlib-only,
+// allocation-free metrics registry (atomic counters, float gauges, and
+// exponential-bucket latency histograms), Prometheus text-format
+// exposition, expvar publishing, and an HTTP handler serving /metrics,
+// /healthz, and net/http/pprof. Every runtime layer — the wire RPC
+// transport, the enforcement agents, the kvstore/contractdb servers, and
+// the flow/risk solvers — registers its instruments here, so a single
+// scrape tells the whole story of a deployment (and of a chaos test).
+//
+// Design constraints, in order:
+//
+//   - Hot-path cost. Counter.Inc/Add and Histogram.Observe are single
+//     atomic adds (plus one CAS for the histogram sum); no locks, no maps,
+//     no allocation. BenchmarkObsCounter/BenchmarkObsHistogram keep the
+//     uncontended cost under 50ns/op so instruments can live inside the
+//     flow allocator and the per-scenario risk loop.
+//   - Registration is startup-time and strict: metric names must match
+//     ^entitlement_[a-z0-9_]+$ and be unique per registry, enforced by
+//     panic at registration (and cross-checked at the source level by
+//     TestVetMetricNames / `make vet-metrics`).
+//   - One global Default registry, package-init registered, because the
+//     instruments aggregate across all clients/servers/agents in the
+//     process — tests assert on deltas or build private registries.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// NameRE is the pattern every registered metric name must match. The
+// entitlement_ prefix namespaces the process in a shared Prometheus.
+var NameRE = regexp.MustCompile(`^entitlement_[a-z0-9_]+$`)
+
+// metric is anything the registry can expose.
+type metric interface {
+	name() string
+	// writeProm appends the metric's exposition-format lines.
+	writeProm(w io.Writer)
+	// snapshot returns a JSON-marshalable view for expvar.
+	snapshot() interface{}
+}
+
+// desc is the shared identity of every instrument.
+type desc struct {
+	metricName string
+	help       string
+}
+
+func (d desc) name() string { return d.metricName }
+
+func promHeader(w io.Writer, d desc, kind string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", d.metricName, d.help, d.metricName, kind)
+}
+
+// Registry holds registered metrics and renders them. Registration is
+// synchronized; reads of the instruments themselves are lock-free.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]metric
+	order  []metric
+}
+
+// NewRegistry builds an empty registry (tests; the runtime uses Default).
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]metric)}
+}
+
+var defaultRegistry = NewRegistry()
+var expvarOnce sync.Once
+
+// Default returns the process-wide registry every package-level Register*
+// function registers into, published under the "entitlement" expvar.
+func Default() *Registry {
+	expvarOnce.Do(func() {
+		expvar.Publish("entitlement", expvar.Func(func() interface{} {
+			return defaultRegistry.Snapshot()
+		}))
+	})
+	return defaultRegistry
+}
+
+// register validates and stores m, panicking on an invalid or duplicate
+// name: both are programming errors that must fail at process start, not
+// surface as silent double counting in a dashboard.
+func (r *Registry) register(m metric) {
+	name := m.name()
+	if !NameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: metric name %q does not match %s", name, NameRE))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.byName[name] = m
+	r.order = append(r.order, m)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	metrics := make([]metric, len(r.order))
+	copy(metrics, r.order)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		m.writeProm(w)
+	}
+}
+
+// Snapshot returns a name → value view of the registry for expvar and
+// structured dumps. Counters are int64, gauges float64, histograms a
+// summary object, vecs a map per label value.
+func (r *Registry) Snapshot() map[string]interface{} {
+	r.mu.Lock()
+	metrics := make([]metric, len(r.order))
+	copy(metrics, r.order)
+	r.mu.Unlock()
+	out := make(map[string]interface{}, len(metrics))
+	for _, m := range metrics {
+		out[m.name()] = m.snapshot()
+	}
+	return out
+}
+
+// --- Counter ---------------------------------------------------------------
+
+// Counter is a monotonically increasing atomic int64.
+type Counter struct {
+	desc
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are a programming error and are ignored.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) writeProm(w io.Writer) {
+	promHeader(w, c.desc, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.metricName, c.v.Load())
+}
+
+func (c *Counter) snapshot() interface{} { return c.v.Load() }
+
+// RegisterCounter registers a counter in r.
+func (r *Registry) RegisterCounter(name, help string) *Counter {
+	c := &Counter{desc: desc{name, help}}
+	r.register(c)
+	return c
+}
+
+// --- Gauge -----------------------------------------------------------------
+
+// Gauge is an atomic float64 that can go up and down.
+type Gauge struct {
+	desc
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds dv (CAS loop; gauges are updated at cycle cadence, not per-packet).
+func (g *Gauge) Add(dv float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+dv)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) writeProm(w io.Writer) {
+	promHeader(w, g.desc, "gauge")
+	fmt.Fprintf(w, "%s %s\n", g.metricName, formatFloat(g.Value()))
+}
+
+func (g *Gauge) snapshot() interface{} { return g.Value() }
+
+// RegisterGauge registers a gauge in r.
+func (r *Registry) RegisterGauge(name, help string) *Gauge {
+	g := &Gauge{desc: desc{name, help}}
+	r.register(g)
+	return g
+}
+
+// --- Vecs ------------------------------------------------------------------
+
+// vec is the shared child table of the labeled instruments: one label
+// dimension (method, kind, host — all the runtime needs), children created
+// lazily and cached in a sync.Map so the steady-state lookup is lock-free.
+type vec struct {
+	desc
+	label    string
+	children sync.Map // label value -> child metric
+}
+
+// sortedChildren returns (labelValue, metric) pairs sorted by label value,
+// so exposition output is stable.
+func (v *vec) sortedChildren() []struct {
+	value string
+	m     metric
+} {
+	var out []struct {
+		value string
+		m     metric
+	}
+	v.children.Range(func(k, val interface{}) bool {
+		out = append(out, struct {
+			value string
+			m     metric
+		}{k.(string), val.(metric)})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// CounterVec is a family of counters keyed by one label.
+type CounterVec struct{ vec }
+
+// With returns (creating if needed) the counter for the label value.
+func (v *CounterVec) With(value string) *Counter {
+	if c, ok := v.children.Load(value); ok {
+		return c.(*Counter)
+	}
+	c, _ := v.children.LoadOrStore(value, &Counter{desc: v.desc})
+	return c.(*Counter)
+}
+
+func (v *CounterVec) writeProm(w io.Writer) {
+	promHeader(w, v.desc, "counter")
+	for _, ch := range v.sortedChildren() {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.metricName, v.label, escapeLabel(ch.value), ch.m.(*Counter).Value())
+	}
+}
+
+func (v *CounterVec) snapshot() interface{} {
+	out := map[string]interface{}{}
+	for _, ch := range v.sortedChildren() {
+		out[ch.value] = ch.m.snapshot()
+	}
+	return out
+}
+
+// RegisterCounterVec registers a one-label counter family in r.
+func (r *Registry) RegisterCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{vec{desc: desc{name, help}, label: label}}
+	r.register(v)
+	return v
+}
+
+// GaugeVec is a family of gauges keyed by one label.
+type GaugeVec struct{ vec }
+
+// With returns (creating if needed) the gauge for the label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	if g, ok := v.children.Load(value); ok {
+		return g.(*Gauge)
+	}
+	g, _ := v.children.LoadOrStore(value, &Gauge{desc: v.desc})
+	return g.(*Gauge)
+}
+
+func (v *GaugeVec) writeProm(w io.Writer) {
+	promHeader(w, v.desc, "gauge")
+	for _, ch := range v.sortedChildren() {
+		fmt.Fprintf(w, "%s{%s=%q} %s\n", v.metricName, v.label, escapeLabel(ch.value), formatFloat(ch.m.(*Gauge).Value()))
+	}
+}
+
+func (v *GaugeVec) snapshot() interface{} {
+	out := map[string]interface{}{}
+	for _, ch := range v.sortedChildren() {
+		out[ch.value] = ch.m.snapshot()
+	}
+	return out
+}
+
+// RegisterGaugeVec registers a one-label gauge family in r.
+func (r *Registry) RegisterGaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{vec{desc: desc{name, help}, label: label}}
+	r.register(v)
+	return v
+}
+
+// HistogramVec is a family of histograms keyed by one label.
+type HistogramVec struct{ vec }
+
+// With returns (creating if needed) the histogram for the label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	if h, ok := v.children.Load(value); ok {
+		return h.(*Histogram)
+	}
+	h, _ := v.children.LoadOrStore(value, &Histogram{desc: v.desc})
+	return h.(*Histogram)
+}
+
+func (v *HistogramVec) writeProm(w io.Writer) {
+	promHeader(w, v.desc, "histogram")
+	for _, ch := range v.sortedChildren() {
+		ch.m.(*Histogram).writePromSeries(w, fmt.Sprintf("%s=%q,", v.label, escapeLabel(ch.value)))
+	}
+}
+
+func (v *HistogramVec) snapshot() interface{} {
+	out := map[string]interface{}{}
+	for _, ch := range v.sortedChildren() {
+		out[ch.value] = ch.m.snapshot()
+	}
+	return out
+}
+
+// RegisterHistogramVec registers a one-label histogram family in r.
+func (r *Registry) RegisterHistogramVec(name, help, label string) *HistogramVec {
+	v := &HistogramVec{vec{desc: desc{name, help}, label: label}}
+	r.register(v)
+	return v
+}
+
+// --- Default-registry conveniences -----------------------------------------
+//
+// These are what runtime packages call at init; TestVetMetricNames scans
+// the source tree for exactly these call sites to enforce the naming
+// contract and source-level uniqueness.
+
+// RegisterCounter registers a counter in the Default registry.
+func RegisterCounter(name, help string) *Counter { return Default().RegisterCounter(name, help) }
+
+// RegisterGauge registers a gauge in the Default registry.
+func RegisterGauge(name, help string) *Gauge { return Default().RegisterGauge(name, help) }
+
+// RegisterHistogram registers a histogram in the Default registry.
+func RegisterHistogram(name, help string) *Histogram { return Default().RegisterHistogram(name, help) }
+
+// RegisterCounterVec registers a counter family in the Default registry.
+func RegisterCounterVec(name, help, label string) *CounterVec {
+	return Default().RegisterCounterVec(name, help, label)
+}
+
+// RegisterGaugeVec registers a gauge family in the Default registry.
+func RegisterGaugeVec(name, help, label string) *GaugeVec {
+	return Default().RegisterGaugeVec(name, help, label)
+}
+
+// RegisterHistogramVec registers a histogram family in the Default registry.
+func RegisterHistogramVec(name, help, label string) *HistogramVec {
+	return Default().RegisterHistogramVec(name, help, label)
+}
+
+// formatFloat renders floats the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}

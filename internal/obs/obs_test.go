@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.RegisterCounter("entitlement_test_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.RegisterGauge("entitlement_test_depth", "depth")
+	g.Set(2.5)
+	g.Inc()
+	g.Dec()
+	g.Add(0.5)
+	if got := g.Value(); got != 3.0 {
+		t.Fatalf("gauge = %v, want 3.0", got)
+	}
+}
+
+func TestRegisterPanicsOnBadNameAndDup(t *testing.T) {
+	r := NewRegistry()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad prefix", func() { r.RegisterCounter("wire_calls_total", "x") })
+	mustPanic("bad chars", func() { r.RegisterCounter("entitlement_Calls", "x") })
+	r.RegisterCounter("entitlement_test_dup_total", "x")
+	mustPanic("duplicate", func() { r.RegisterGauge("entitlement_test_dup_total", "x") })
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.RegisterHistogram("entitlement_test_latency_seconds", "latency")
+	// 100 samples at ~1ms, 10 at ~100ms, 1 at 10s.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.1)
+	}
+	h.Observe(10)
+	if h.Count() != 111 {
+		t.Fatalf("count = %d, want 111", h.Count())
+	}
+	if want := 100*0.001 + 10*0.1 + 10; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	// p50 must land in the ~1ms bucket, p95 in the ~100ms one, p99+ near 10s.
+	if p50 := h.Quantile(0.50); p50 <= 0 || p50 > 0.002 {
+		t.Errorf("p50 = %v, want in (0, 2ms]", p50)
+	}
+	if p95 := h.Quantile(0.95); p95 < 0.05 || p95 > 0.2 {
+		t.Errorf("p95 = %v, want in [50ms, 200ms]", p95)
+	}
+	if p999 := h.Quantile(0.999); p999 < 5 || p999 > 20 {
+		t.Errorf("p99.9 = %v, want near 10s", p999)
+	}
+	if q := h.Quantile(1); q < 5 {
+		t.Errorf("p100 = %v, want >= 5", q)
+	}
+}
+
+func TestHistogramEdgeSamples(t *testing.T) {
+	r := NewRegistry()
+	h := r.RegisterHistogram("entitlement_test_edges_seconds", "edges")
+	h.Observe(0)               // non-positive → bucket 0
+	h.Observe(-1)              // non-positive → bucket 0
+	h.Observe(1e-12)           // below range → bucket 0
+	h.Observe(1e9)             // above range → +Inf bucket
+	h.Observe(math.Ldexp(1, histMinExp)) // exactly the first bound
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.buckets[0].Load(); got != 4 {
+		t.Fatalf("bucket 0 = %d, want 4", got)
+	}
+	if got := h.buckets[histNumFinite].Load(); got != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", got)
+	}
+	// An empty histogram reports 0.
+	h2 := r.RegisterHistogram("entitlement_test_empty_seconds", "empty")
+	if h2.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+}
+
+func TestBucketIndexPowersOfTwo(t *testing.T) {
+	// le is inclusive: an exact power of two must fall in the bucket whose
+	// upper bound equals it, not the next one up.
+	for k := histMinExp; k <= histMaxExp; k++ {
+		x := math.Ldexp(1, k)
+		i := bucketIndex(x)
+		if ub := upperBound(i); ub != x {
+			t.Fatalf("bucketIndex(2^%d) → bound %v, want %v", k, ub, x)
+		}
+	}
+}
+
+func TestVecs(t *testing.T) {
+	r := NewRegistry()
+	cv := r.RegisterCounterVec("entitlement_test_calls_total", "calls", "method")
+	cv.With("put").Add(3)
+	cv.With("get").Inc()
+	cv.With("put").Inc()
+	if got := cv.With("put").Value(); got != 4 {
+		t.Fatalf("put = %d, want 4", got)
+	}
+	gv := r.RegisterGaugeVec("entitlement_test_stale_seconds", "stale", "host")
+	gv.With("h1").Set(2.5)
+	hv := r.RegisterHistogramVec("entitlement_test_rpc_seconds", "rpc", "method")
+	hv.With("put").Observe(0.01)
+	hv.With("put").Observe(0.02)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`entitlement_test_calls_total{method="get"} 1`,
+		`entitlement_test_calls_total{method="put"} 4`,
+		`entitlement_test_stale_seconds{host="h1"} 2.5`,
+		`entitlement_test_rpc_seconds_count{method="put"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusOutputParsesAndRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCounter("entitlement_test_a_total", "a").Add(42)
+	r.RegisterGauge("entitlement_test_b", "b").Set(1.5)
+	h := r.RegisterHistogram("entitlement_test_c_seconds", "c")
+	h.Observe(0.25)
+	h.Observe(0.5)
+	cv := r.RegisterCounterVec("entitlement_test_d_total", "d", "kind")
+	cv.With("x").Inc()
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	scrape, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, b.String())
+	}
+	if v := scrape.Value("entitlement_test_a_total"); v != 42 {
+		t.Errorf("a_total = %v, want 42", v)
+	}
+	if v := scrape.Value("entitlement_test_b"); v != 1.5 {
+		t.Errorf("b = %v, want 1.5", v)
+	}
+	if v := scrape.Value("entitlement_test_c_seconds_count"); v != 2 {
+		t.Errorf("c_count = %v, want 2", v)
+	}
+	if v := scrape.Value("entitlement_test_c_seconds_sum"); v != 0.75 {
+		t.Errorf("c_sum = %v, want 0.75", v)
+	}
+	if v := scrape.Value(`entitlement_test_d_total{kind="x"}`); v != 1 {
+		t.Errorf("d{x} = %v, want 1", v)
+	}
+	// Histogram buckets are cumulative and end at +Inf == count.
+	if v := scrape.Value(`entitlement_test_c_seconds_bucket{le="+Inf"}`); v != 2 {
+		t.Errorf("+Inf bucket = %v, want 2", v)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCounter("entitlement_test_handler_total", "h").Inc()
+	srv := httptest.NewServer(NewHandler(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "entitlement_test_handler_total 1") {
+		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+	if _, err := ParseText(strings.NewReader(body)); err != nil {
+		t.Errorf("/metrics output unparseable: %v", err)
+	}
+	code, body = get("/healthz")
+	if code != 200 || !strings.HasPrefix(body, "ok") {
+		t.Errorf("/healthz: code %d body %q", code, body)
+	}
+	code, body = get("/debug/vars")
+	if code != 200 {
+		t.Errorf("/debug/vars: code %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Errorf("/debug/vars not JSON: %v", err)
+	}
+	code, _ = get("/debug/pprof/cmdline")
+	if code != 200 {
+		t.Errorf("/debug/pprof/cmdline: code %d", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterGauge("entitlement_test_serve", "s").Set(7)
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	scrape, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := scrape.Value("entitlement_test_serve"); v != 7 {
+		t.Fatalf("scraped %v, want 7", v)
+	}
+}
+
+func TestDefaultRegistryExpvar(t *testing.T) {
+	// Default() publishes the snapshot under expvar; just make sure the
+	// snapshot marshals and includes a metric registered via the
+	// package-level helpers (which the runtime packages use).
+	snap := Default().Snapshot()
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not marshalable: %v", err)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.RegisterCounter("entitlement_test_conc_total", "c")
+	h := r.RegisterHistogram("entitlement_test_conc_seconds", "h")
+	cv := r.RegisterCounterVec("entitlement_test_conc_vec_total", "cv", "k")
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.ObserveDuration(time.Duration(i%100) * time.Microsecond)
+				cv.With("a").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if cv.With("a").Value() != workers*per {
+		t.Fatalf("vec = %d, want %d", cv.With("a").Value(), workers*per)
+	}
+}

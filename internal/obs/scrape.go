@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Scrape is a parsed Prometheus text-format exposition: sample name (with
+// its label set, exactly as rendered) → value. It exists so tests — the
+// chaos harness in particular — can assert on what an external scraper
+// would actually see, not on in-process state.
+type Scrape map[string]float64
+
+// Value returns the sample for key ("name" or `name{label="v"}`), or 0.
+func (s Scrape) Value(key string) float64 { return s[key] }
+
+// Has reports whether the sample exists.
+func (s Scrape) Has(key string) bool { _, ok := s[key]; return ok }
+
+// ParseText parses Prometheus text exposition format. It understands the
+// subset this package emits (and that real scrapers rely on): comment/HELP/
+// TYPE lines are skipped, samples are `name[{labels}] value`.
+func ParseText(r io.Reader) (Scrape, error) {
+	out := Scrape{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the last space-separated field; the name (with any
+		// label braces, which may themselves contain spaces inside quotes)
+		// is everything before it.
+		idx := strings.LastIndexByte(line, ' ')
+		if idx <= 0 {
+			return nil, fmt.Errorf("obs: unparseable sample line %q", line)
+		}
+		name := strings.TrimSpace(line[:idx])
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad value in %q: %w", line, err)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("obs: duplicate sample %q", name)
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

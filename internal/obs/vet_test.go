@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestVetMetricNames is the `make vet-metrics` lint: it walks every .go
+// file in the module and checks that each obs.Register* call site uses a
+// string-literal name matching NameRE, and that no name is registered more
+// than once across the whole tree (the Default registry would panic at
+// runtime, but only on the code path that actually imports both packages —
+// this catches it at CI time regardless of linkage).
+func TestVetMetricNames(t *testing.T) {
+	root := moduleRoot(t)
+	registered := map[string]string{} // name -> "file:line"
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !strings.HasPrefix(sel.Sel.Name, "Register") {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "obs" {
+				return true
+			}
+			pos := fset.Position(call.Pos())
+			at := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			if len(call.Args) == 0 {
+				t.Errorf("%s: %s call without arguments", at, sel.Sel.Name)
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				t.Errorf("%s: %s name must be a string literal so it can be linted", at, sel.Sel.Name)
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				t.Errorf("%s: unquote %s: %v", at, lit.Value, err)
+				return true
+			}
+			if !NameRE.MatchString(name) {
+				t.Errorf("%s: metric name %q does not match %s", at, name, NameRE)
+			}
+			if prev, dup := registered[name]; dup {
+				t.Errorf("%s: metric %q already registered at %s", at, name, prev)
+			}
+			registered[name] = at
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(registered) == 0 {
+		t.Fatal("no obs.Register* call sites found — the scanner is broken")
+	}
+	t.Logf("checked %d obs.Register* call sites", len(registered))
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

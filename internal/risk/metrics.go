@@ -1,0 +1,16 @@
+package risk
+
+import "entitlement/internal/obs"
+
+// Risk-simulation instruments. The throughput and utilization gauges
+// describe the most recent Assess call: scenarios_per_second is the
+// realized simulation rate, worker_utilization the fraction of the
+// worker-pool's wall-clock budget spent solving (1.0 = perfectly parallel,
+// low values = stragglers or contention).
+var (
+	mAssessSeconds   = obs.RegisterHistogram("entitlement_risk_assess_seconds", "Wall-clock duration of one risk assessment (all scenarios).")
+	mScenarios       = obs.RegisterCounter("entitlement_risk_scenarios_total", "Failure scenarios evaluated across all assessments.")
+	mScenarioSeconds = obs.RegisterHistogram("entitlement_risk_scenario_seconds", "Latency of evaluating one failure scenario (sample + solve).")
+	mScenarioRate    = obs.RegisterGauge("entitlement_risk_scenarios_per_second", "Realized scenario throughput of the most recent assessment.")
+	mWorkerUtil      = obs.RegisterGauge("entitlement_risk_worker_utilization", "Fraction of the worker pool's wall-clock budget spent evaluating scenarios in the most recent assessment.")
+)

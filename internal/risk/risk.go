@@ -26,6 +26,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"entitlement/internal/flow"
 	"entitlement/internal/topology"
@@ -166,6 +167,7 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 	topo.Dense()
 
 	evalScenario := func(r *flow.Runner, slot int) {
+		begin := time.Now()
 		var state *topology.FailureState
 		if offset == 1 && slot == 0 {
 			state = topo.AllUp()
@@ -177,6 +179,8 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 		for di, d := range demands {
 			cols[di][slot] = alloc.Admitted[d.Key]
 		}
+		mScenarios.Inc()
+		mScenarioSeconds.ObserveSince(begin)
 	}
 
 	workers := opts.Workers
@@ -186,11 +190,14 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 	if workers > total {
 		workers = total
 	}
+	assessStart := time.Now()
+	var busyNanos int64 // summed per-worker solve time, for the utilization gauge
 	if workers <= 1 {
 		r := flow.NewRunner(topo)
 		for slot := 0; slot < total; slot++ {
 			evalScenario(r, slot)
 		}
+		busyNanos = time.Since(assessStart).Nanoseconds()
 	} else {
 		var next int64
 		var wg sync.WaitGroup
@@ -198,17 +205,25 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				workerStart := time.Now()
 				r := flow.NewRunner(topo)
 				for {
 					slot := int(atomic.AddInt64(&next, 1)) - 1
 					if slot >= total {
-						return
+						break
 					}
 					evalScenario(r, slot)
 				}
+				atomic.AddInt64(&busyNanos, time.Since(workerStart).Nanoseconds())
 			}()
 		}
 		wg.Wait()
+	}
+	wall := time.Since(assessStart)
+	mAssessSeconds.Observe(wall.Seconds())
+	if wall > 0 {
+		mScenarioRate.Set(float64(total) / wall.Seconds())
+		mWorkerUtil.Set(float64(busyNanos) / (wall.Seconds() * 1e9 * float64(workers)))
 	}
 
 	res := &Result{Curves: make(map[string]*Curve, len(demands))}

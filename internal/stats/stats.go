@@ -211,13 +211,17 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// Histogram is a fixed-width bucket histogram over [Lo, Hi).
+// Histogram is a fixed-width bucket histogram over [Lo, Hi). Observations
+// outside the range are not dropped: they accumulate in Below and Above,
+// so Total always equals sum(Counts) + Below + Above and a mis-sized range
+// is visible instead of silently truncated.
 type Histogram struct {
 	Lo, Hi float64
 	Counts []int
-	under  int
-	over   int
-	total  int
+	// Below counts observations x < Lo; Above counts x >= Hi.
+	Below int
+	Above int
+	total int
 }
 
 // NewHistogram creates a histogram with n buckets spanning [lo, hi).
@@ -233,9 +237,9 @@ func (h *Histogram) Add(x float64) {
 	h.total++
 	switch {
 	case x < h.Lo:
-		h.under++
+		h.Below++
 	case x >= h.Hi:
-		h.over++
+		h.Above++
 	default:
 		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
 		if i >= len(h.Counts) {

@@ -246,6 +246,30 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramBelowAbove(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-3, -0.001, 0, 5, 9.999, 10, 1e9} {
+		h.Add(x)
+	}
+	if h.Below != 2 {
+		t.Errorf("Below = %d, want 2 (x < Lo)", h.Below)
+	}
+	if h.Above != 2 {
+		t.Errorf("Above = %d, want 2 (x >= Hi, boundary included)", h.Above)
+	}
+	inRange := 0
+	for _, c := range h.Counts {
+		inRange += c
+	}
+	if inRange != 3 {
+		t.Errorf("in-range count = %d, want 3", inRange)
+	}
+	if h.Total() != inRange+h.Below+h.Above {
+		t.Errorf("Total %d != Counts %d + Below %d + Above %d",
+			h.Total(), inRange, h.Below, h.Above)
+	}
+}
+
 func TestHistogramInvalid(t *testing.T) {
 	defer func() {
 		if recover() == nil {

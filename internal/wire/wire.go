@@ -87,20 +87,29 @@ func IsTransient(err error) bool {
 
 // WriteMessage marshals v as JSON and writes one length-prefixed frame.
 func WriteMessage(w io.Writer, v interface{}) error {
+	_, err := writeMessageN(w, v)
+	return err
+}
+
+// writeMessageN is WriteMessage returning the frame size (header + body)
+// so callers can maintain byte counters without re-marshaling.
+func writeMessageN(w io.Writer, v interface{}) (int, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("wire: marshal: %w", err)
+		return 0, fmt.Errorf("wire: marshal: %w", err)
 	}
 	if len(body) > MaxMessageSize {
-		return ErrMessageTooLarge
+		return 0, ErrMessageTooLarge
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err = w.Write(body)
-	return err
+	if _, err := w.Write(body); err != nil {
+		return 0, err
+	}
+	return 4 + len(body), nil
 }
 
 // readFrame reads one length-prefixed frame body. The frame header has been
@@ -210,7 +219,9 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	mServerConns.Inc()
 	defer func() {
+		mServerConns.Dec()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -219,10 +230,15 @@ func (s *Server) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	respond := func(resp *Response) bool {
-		if err := WriteMessage(bw, resp); err != nil {
+		n, err := writeMessageN(bw, resp)
+		if err != nil {
 			return false
 		}
-		return bw.Flush() == nil
+		if bw.Flush() != nil {
+			return false
+		}
+		mServerBytesOut.Add(int64(n))
+		return true
 	}
 	for {
 		if s.opts.ReadIdleTimeout > 0 {
@@ -233,28 +249,36 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Tell the peer what went wrong before hanging up; the frame
 			// header promised more bytes than we will read, so the stream
 			// cannot be resynced and the connection must die.
+			mServerErrors.Inc()
 			respond(&Response{Error: ErrMessageTooLarge.Error()})
 			return
 		}
 		if err != nil {
 			return
 		}
+		mServerBytesIn.Add(int64(4 + len(body)))
 		var req Request
 		if err := json.Unmarshal(body, &req); err != nil {
 			// Framing is intact (the whole body was consumed), so answer
 			// the error and keep serving.
+			mServerErrors.Inc()
 			if !respond(&Response{Error: fmt.Sprintf("wire: bad request: %v", err)}) {
 				return
 			}
 			continue
 		}
+		mServerRequests.With(req.Method).Inc()
 		var resp Response
+		mServerInflight.Inc()
 		result, err := s.handler(req.Method, req.Payload)
+		mServerInflight.Dec()
 		if err != nil {
+			mServerErrors.Inc()
 			resp.Error = err.Error()
 		} else if result != nil {
 			body, merr := json.Marshal(result)
 			if merr != nil {
+				mServerErrors.Inc()
 				resp.Error = merr.Error()
 			} else {
 				resp.Payload = body
@@ -355,6 +379,10 @@ type Client struct {
 	backoff    time.Duration
 	nextDialAt time.Time
 	closed     bool
+	// everConnected distinguishes first connects from reconnects in the
+	// dial metrics: a successful dial after it is set counts as a repair
+	// of a broken connection.
+	everConnected bool
 }
 
 // Dial connects a client to addr (TCP) with default options: 5s dial
@@ -404,11 +432,17 @@ func (c *Client) dialLocked() error {
 	if c.opts.DialTimeout > 0 {
 		d.Timeout = c.opts.DialTimeout
 	}
+	mClientDials.Inc()
 	conn, err := d.Dial("tcp", c.addr)
 	if err != nil {
+		mClientDialFails.Inc()
 		c.bumpBackoffLocked()
 		return &TransientError{Err: err}
 	}
+	if c.everConnected {
+		mClientReconnects.Inc()
+	}
+	c.everConnected = true
 	c.conn = conn
 	c.br = bufio.NewReader(conn)
 	c.bw = bufio.NewWriter(conn)
@@ -449,6 +483,7 @@ func (c *Client) ensureConn() (net.Conn, *bufio.Reader, *bufio.Writer, error) {
 		return nil, nil, nil, ErrBrokenConn
 	}
 	if now := c.opts.Now(); now.Before(c.nextDialAt) {
+		mClientBackoff.Inc()
 		return nil, nil, nil, &TransientError{
 			Err: fmt.Errorf("reconnect to %s backed off for %s", c.addr, c.nextDialAt.Sub(now).Round(time.Millisecond)),
 		}
@@ -465,6 +500,7 @@ func (c *Client) fail(conn net.Conn) {
 	c.mu.Lock()
 	if c.conn == conn {
 		c.conn, c.br, c.bw = nil, nil, nil
+		mClientBroken.Inc()
 	}
 	c.mu.Unlock()
 }
@@ -473,12 +509,20 @@ func (c *Client) fail(conn net.Conn) {
 // (which may be nil to discard it). Transport failures — including the
 // per-call deadline firing — come back wrapped in TransientError; a
 // RemoteError means the server processed the request and rejected it.
-func (c *Client) Call(method string, args interface{}, reply interface{}) error {
+func (c *Client) Call(method string, args interface{}, reply interface{}) (err error) {
+	mClientCalls.With(method).Inc()
+	mClientInflight.Inc()
+	defer func() {
+		mClientInflight.Dec()
+		if err != nil {
+			mClientErrors.With(classify(err)).Inc()
+		}
+	}()
 	var payload json.RawMessage
 	if args != nil {
-		body, err := json.Marshal(args)
-		if err != nil {
-			return fmt.Errorf("wire: marshal args: %w", err)
+		body, merr := json.Marshal(args)
+		if merr != nil {
+			return fmt.Errorf("wire: marshal args: %w", merr)
 		}
 		payload = body
 	}
@@ -488,10 +532,16 @@ func (c *Client) Call(method string, args interface{}, reply interface{}) error 
 	if err != nil {
 		return err
 	}
+	// Latency is measured only for calls that reached the transport;
+	// backoff fast-fails above would otherwise flood the histogram with
+	// near-zero samples.
+	start := time.Now()
+	defer mClientCallSec.With(method).ObserveSince(start)
 	if c.opts.CallTimeout > 0 {
 		conn.SetDeadline(c.opts.Now().Add(c.opts.CallTimeout))
 	}
-	if err := WriteMessage(bw, &Request{Method: method, Payload: payload}); err != nil {
+	n, err := writeMessageN(bw, &Request{Method: method, Payload: payload})
+	if err != nil {
 		c.fail(conn)
 		return &TransientError{Err: err}
 	}
@@ -499,10 +549,17 @@ func (c *Client) Call(method string, args interface{}, reply interface{}) error 
 		c.fail(conn)
 		return &TransientError{Err: err}
 	}
-	var resp Response
-	if err := ReadMessage(br, &resp); err != nil {
+	mClientBytesOut.Add(int64(n))
+	body, err := readFrame(br)
+	if err != nil {
 		c.fail(conn)
 		return &TransientError{Err: err}
+	}
+	mClientBytesIn.Add(int64(4 + len(body)))
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		c.fail(conn)
+		return &TransientError{Err: fmt.Errorf("wire: unmarshal: %w", err)}
 	}
 	if c.opts.CallTimeout > 0 {
 		conn.SetDeadline(time.Time{})
