@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet vet-metrics test race chaos bench cover figures examples
+.PHONY: all build vet vet-metrics test race chaos slo bench bench-smoke cover figures examples
 
 all: build vet vet-metrics test
 
@@ -33,8 +33,21 @@ vet-metrics:
 test:
 	go test ./...
 
+# SLO conformance plane: engine/recorder unit+property tests, then the
+# acceptance drill — an injected network incident must breach exactly one
+# contract, fire the fast-burn alert exactly once, and burn the error
+# budget monotonically, asserted from the report JSON and live /metrics.
+slo:
+	go test -race -count=1 -timeout 120s ./internal/slo/
+	go test -race -count=1 -timeout 120s -run TestSLOConformanceIncident -v ./internal/integration/
+
 bench:
 	go test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or panic without paying for a full measurement run.
+bench-smoke:
+	go test -run=NONE -bench=. -benchtime=1x ./...
 
 cover:
 	go test -cover ./internal/...

@@ -31,6 +31,7 @@ import (
 	"entitlement/internal/enforce"
 	"entitlement/internal/kvstore"
 	"entitlement/internal/obs"
+	"entitlement/internal/slo"
 	"entitlement/internal/topology"
 	"entitlement/internal/wire"
 )
@@ -49,6 +50,7 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 2*time.Second, "per-attempt dial timeout")
 	callTimeout := flag.Duration("call-timeout", 2*time.Second, "per-RPC deadline")
 	staleness := flag.Duration("staleness-budget", 0, "fail-static window on store outages (0 = 3x rate TTL)")
+	sloReport := flag.Bool("slo-report", false, "track this contract's SLO conformance (serve /slo, print the report on exit)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
 	logLevel := flag.String("log-level", "info", "cycle trace level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit cycle traces as JSON instead of text")
@@ -59,6 +61,7 @@ func main() {
 		dbAddr: *dbAddr, kvAddr: *kvAddr, rateGbps: *rateGbps,
 		period: *period, cycles: *cycles, policyName: *policyName,
 		dialTimeout: *dialTimeout, callTimeout: *callTimeout, staleness: *staleness,
+		sloReport:   *sloReport,
 		metricsAddr: *metricsAddr, logLevel: *logLevel, logJSON: *logJSON,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "agent: %v\n", err)
@@ -76,6 +79,7 @@ type config struct {
 	dialTimeout                  time.Duration
 	callTimeout                  time.Duration
 	staleness                    time.Duration
+	sloReport                    bool
 	metricsAddr                  string
 	logLevel                     string
 	logJSON                      bool
@@ -90,8 +94,22 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	// The conformance engine sees only this agent's own samples (grant vs
+	// usage attestation — a single segment of the contract's fleet view);
+	// the network-attributed side lives with whoever aggregates delivery
+	// ground truth. Real time throughout: SRE-standard windows apply.
+	var eng *slo.Engine
+	if cfg.sloReport {
+		eng = slo.NewEngine(slo.NewRecorder(slo.DefaultRingCapacity), slo.Options{})
+	}
 	if cfg.metricsAddr != "" {
-		ms, err := obs.Serve(cfg.metricsAddr, nil)
+		var routes []obs.Route
+		if eng != nil {
+			routes = append(routes, obs.Route{Pattern: "/slo", Handler: eng.Handler(func() time.Time {
+				return time.Now().UTC()
+			})})
+		}
+		ms, err := obs.Serve(cfg.metricsAddr, nil, routes...)
 		if err != nil {
 			return fmt.Errorf("metrics server: %w", err)
 		}
@@ -100,8 +118,10 @@ func run(cfg config) error {
 	}
 	// Lazy connections: the agent starts (and keeps running) whether or
 	// not the servers are reachable; the wire layer re-dials with capped
-	// backoff behind every call.
-	opts := wire.ClientOptions{DialTimeout: cfg.dialTimeout, CallTimeout: cfg.callTimeout}
+	// backoff behind every call. The Logger surfaces per-call client spans
+	// — method, request_id, took — at debug level; the request IDs match
+	// the ones the servers log, so one grep follows a call end to end.
+	opts := wire.ClientOptions{DialTimeout: cfg.dialTimeout, CallTimeout: cfg.callTimeout, Logger: logger}
 	db := contractdb.Connect(cfg.dbAddr, opts)
 	defer db.Close()
 	kv := kvstore.Connect(cfg.kvAddr, opts)
@@ -112,11 +132,15 @@ func run(cfg config) error {
 		policy = enforce.FlowBased
 	}
 	prog := bpf.NewProgram(bpf.NewMap())
-	agent, err := enforce.NewAgent(enforce.AgentConfig{
+	acfg := enforce.AgentConfig{
 		Host: cfg.host, NPG: contract.NPG(cfg.npg), Class: class, Region: topology.Region(cfg.region),
 		DB: db, Rates: kv, Meter: enforce.NewStateful(), Prog: prog,
 		Policy: policy, RateTTL: 10 * cfg.period, StalenessBudget: cfg.staleness,
-	})
+	}
+	if eng != nil {
+		acfg.Conformance = eng.Recorder()
+	}
+	agent, err := enforce.NewAgent(acfg)
 	if err != nil {
 		return err
 	}
@@ -130,6 +154,7 @@ func run(cfg config) error {
 	localTotal := cfg.rateGbps * 1e9
 	localConform := localTotal
 	n := 0
+	haveObjective := false
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	err = agent.Run(ctx, func() (float64, float64) { return localTotal, localConform }, enforce.RunOptions{
@@ -170,11 +195,27 @@ func run(cfg config) error {
 				localConform = localTotal
 			}
 			n++
+			if eng != nil {
+				// The SLO target lives in the approval record; fetch it
+				// lazily so the agent still starts when contractdb is down,
+				// and keep trying until a cycle finds it.
+				if !haveObjective {
+					if target, ok, err := db.SLO(contract.NPG(cfg.npg)); err == nil && ok {
+						eng.SetObjective(cfg.npg, target)
+						haveObjective = true
+					}
+				}
+				eng.Evaluate(time.Now().UTC())
+			}
 			if cfg.cycles > 0 && n >= cfg.cycles {
 				cancel()
 			}
 		},
 	})
+	if eng != nil {
+		fmt.Println()
+		fmt.Print(eng.Report(time.Now().UTC()).Text())
+	}
 	if errors.Is(err, context.Canceled) {
 		return nil
 	}

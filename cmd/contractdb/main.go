@@ -19,6 +19,7 @@ import (
 	"entitlement/internal/contract"
 	"entitlement/internal/contractdb"
 	"entitlement/internal/obs"
+	"entitlement/internal/wire"
 )
 
 func main() {
@@ -79,7 +80,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "contractdb: %v\n", err)
 		os.Exit(1)
 	}
-	srv := contractdb.NewServer(l, store)
+	// The wire Logger emits one span per handled request at debug level,
+	// carrying the client-generated request_id — grep the same ID across
+	// agent and server logs to follow a call end to end.
+	srv := contractdb.NewServerOpts(l, store, wire.ServerOptions{Logger: logger})
 	fmt.Printf("contractdb listening on %s\n", srv.Addr())
 	logger.Info("contractdb up", "addr", srv.Addr(), "contracts", store.Len())
 

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	drill [-hosts N] [-stage-ticks N] [-policy host|flow] [-meter stateful|stateless] [-series]
+//	      [-slo-report] [-incident-start T -incident-end T [-incident-drop F]]
+//
+// With -slo-report the drill feeds ground-truth delivery samples into the
+// SLO conformance engine and prints the per-contract report at the end;
+// the -incident-* flags blackhole a fraction of ALL drill traffic
+// (conforming included) for a tick range, which shows up in the report as
+// a network-attributed SLO breach.
 package main
 
 import (
@@ -14,12 +21,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"entitlement/internal/enforce"
 	"entitlement/internal/netsim"
 	"entitlement/internal/obs"
+	"entitlement/internal/slo"
 	"entitlement/internal/stats"
 )
 
@@ -29,18 +38,12 @@ func main() {
 	policy := flag.String("policy", "host", "remark policy: host or flow")
 	meter := flag.String("meter", "stateful", "metering algorithm: stateful or stateless")
 	series := flag.Bool("series", false, "print full per-tick series")
+	sloReport := flag.Bool("slo-report", false, "track per-contract SLO conformance during the drill and print the report")
+	incidentStart := flag.Int("incident-start", -1, "inject a network incident from this tick (-1 disables; implies -slo-report)")
+	incidentEnd := flag.Int("incident-end", -1, "incident ends before this tick")
+	incidentDrop := flag.Float64("incident-drop", 0.5, "fraction of ALL drill traffic — conforming included — the incident blackholes")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while the drill runs (empty disables)")
 	flag.Parse()
-
-	if *metricsAddr != "" {
-		ms, err := obs.Serve(*metricsAddr, nil)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "drill: metrics server: %v\n", err)
-			os.Exit(1)
-		}
-		defer ms.Close()
-		fmt.Printf("metrics on http://%s/metrics while the drill runs\n", ms.Addr())
-	}
 
 	opts := netsim.DefaultDrillOptions()
 	opts.Hosts = *hosts
@@ -51,6 +54,46 @@ func main() {
 	if *meter == "stateless" {
 		opts.NewMeter = func() enforce.Meter { return enforce.Stateless{} }
 	}
+	if *incidentStart >= 0 {
+		*sloReport = true
+		opts.Incident = &netsim.DrillIncident{
+			StartTick: *incidentStart, EndTick: *incidentEnd, DropFraction: *incidentDrop,
+		}
+	}
+
+	// simNow lets the /slo endpoint report against simulation time: the
+	// drill's samples are stamped with sim-clock seconds, so evaluating
+	// them against the wall clock would age every window out instantly.
+	var simNow atomic.Value // time.Time of the last completed tick
+	var eng *slo.Engine
+	if *sloReport {
+		// Windows compressed to the drill's one-second ticks, scaled so the
+		// fast pair reacts within a stage and the slow pair spans the run.
+		st := time.Duration(*stageTicks) * time.Second
+		eng = slo.NewEngine(slo.NewRecorder(slo.DefaultRingCapacity), slo.Options{
+			Windows: slo.Windows{Fast: st / 2, FastLong: st, Slow: 5 * st, SlowLong: 10 * st},
+		})
+		opts.Conformance = eng
+	}
+
+	if *metricsAddr != "" {
+		var routes []obs.Route
+		if eng != nil {
+			routes = append(routes, obs.Route{Pattern: "/slo", Handler: eng.Handler(func() time.Time {
+				if t, ok := simNow.Load().(time.Time); ok {
+					return t
+				}
+				return time.Time{}
+			})})
+		}
+		ms, err := obs.Serve(*metricsAddr, nil, routes...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drill: metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics while the drill runs\n", ms.Addr())
+	}
 
 	t0 := time.Now()
 	rep, err := netsim.RunDrill(opts)
@@ -58,6 +101,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "drill: %v\n", err)
 		os.Exit(1)
 	}
+	simNow.Store(rep.Sim.Now())
 	fmt.Printf("drill: %d hosts × %d flows, %s remarking, %s meter, %d ticks in %v\n\n",
 		opts.Hosts, opts.FlowsPerHost, opts.Policy, *meter,
 		rep.Sim.Metrics.Ticks(), time.Since(t0).Round(time.Millisecond))
@@ -100,6 +144,11 @@ func main() {
 			fmt.Printf("  %4d %8.1f %8.1f %8.1f %6.3f\n",
 				i, total[i]/1e9, conform[i]/1e9, entitled[i]/1e9, rep.ConformRatio[i])
 		}
+	}
+
+	if eng != nil {
+		fmt.Println()
+		fmt.Print(eng.Report(rep.Sim.Now()).Text())
 	}
 
 	// The drill itself finishes in well under a second, so a scraper would

@@ -52,9 +52,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kvstore: %v\n", err)
 		os.Exit(1)
 	}
+	// The wire Logger emits one span per handled request at debug level,
+	// carrying the client-generated request_id — grep the same ID across
+	// agent and server logs to follow a call end to end.
 	srv := kvstore.NewServerOpts(l, store, kvstore.ServerOptions{
 		CompactEvery: *compactEvery,
-		Wire:         wire.ServerOptions{ReadIdleTimeout: *idleTimeout},
+		Wire:         wire.ServerOptions{ReadIdleTimeout: *idleTimeout, Logger: logger},
 	})
 	fmt.Printf("kvstore listening on %s (compact every %s)\n", srv.Addr(), *compactEvery)
 	logger.Info("kvstore up", "addr", srv.Addr(), "compact_every", *compactEvery)

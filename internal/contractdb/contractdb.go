@@ -84,6 +84,34 @@ func (s *Store) List() []contract.Contract {
 	return out
 }
 
+// SLO returns the availability objective attached to npg's approved
+// contract, for the conformance plane: the SLO is part of the approval
+// record (§4.3 fixes it before admission), so enforcement-side burn
+// accounting reads it from here rather than trusting the service.
+func (s *Store) SLO(npg contract.NPG) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.contracts[npg]
+	if !ok || !c.Approved || c.SLO <= 0 {
+		return 0, false
+	}
+	return float64(c.SLO), true
+}
+
+// Objectives returns every approved contract's availability SLO, keyed by
+// NPG — the conformance engine's objective set.
+func (s *Store) Objectives() map[string]float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]float64, len(s.contracts))
+	for npg, c := range s.contracts {
+		if c.Approved && c.SLO > 0 {
+			out[string(npg)] = float64(c.SLO)
+		}
+	}
+	return out
+}
+
 // EntitledRate implements Database. Only approved contracts are enforced;
 // an unapproved contract's flow sets report no entitlement.
 func (s *Store) EntitledRate(npg contract.NPG, class contract.Class, region topology.Region, dir contract.Direction, at time.Time) (float64, bool, error) {
@@ -124,16 +152,31 @@ type rateReply struct {
 	Found bool    `json:"found"`
 }
 
+type sloArgs struct {
+	NPG string `json:"npg"`
+}
+
+type sloReply struct {
+	SLO   float64 `json:"slo"`
+	Found bool    `json:"found"`
+}
+
 // Server exposes a Store over TCP.
 type Server struct {
 	store *Store
 	srv   *wire.Server
 }
 
-// NewServer serves store on l.
+// NewServer serves store on l with default wire options.
 func NewServer(l net.Listener, store *Store) *Server {
+	return NewServerOpts(l, store, wire.ServerOptions{})
+}
+
+// NewServerOpts serves store on l with explicit wire hardening/logging
+// options (the Logger surfaces client request IDs in this server's spans).
+func NewServerOpts(l net.Listener, store *Store, opts wire.ServerOptions) *Server {
 	s := &Server{store: store}
-	s.srv = wire.NewServer(l, s.handle)
+	s.srv = wire.NewServerOpts(l, s.handle, opts)
 	return s
 }
 
@@ -171,6 +214,13 @@ func (s *Server) handle(method string, payload json.RawMessage) (reply interface
 			return nil, err
 		}
 		return rateReply{Rate: rate, Found: found}, nil
+	case "get_slo":
+		var a sloArgs
+		if err := json.Unmarshal(payload, &a); err != nil {
+			return nil, err
+		}
+		slo, found := s.store.SLO(contract.NPG(a.NPG))
+		return sloReply{SLO: slo, Found: found}, nil
 	case "put_contract":
 		var c contract.Contract
 		if err := json.Unmarshal(payload, &c); err != nil {
@@ -223,6 +273,20 @@ func (c *Client) EntitledRate(npg contract.NPG, class contract.Class, region top
 	}
 	return r.Rate, r.Found, nil
 }
+
+// SLO fetches npg's contractual availability objective from the approval
+// record.
+func (c *Client) SLO(npg contract.NPG) (float64, bool, error) {
+	var r sloReply
+	if err := c.c.Call("get_slo", sloArgs{NPG: string(npg)}, &r); err != nil {
+		return 0, false, err
+	}
+	return r.SLO, r.Found, nil
+}
+
+// SetTrace forwards a trace ID to the wire client: subsequent request IDs
+// carry it, correlating this client's calls with the caller's operation.
+func (c *Client) SetTrace(trace string) { c.c.SetTrace(trace) }
 
 // Put uploads a contract.
 func (c *Client) Put(ct contract.Contract) error {

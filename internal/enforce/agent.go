@@ -9,6 +9,7 @@ import (
 	"entitlement/internal/contract"
 	"entitlement/internal/contractdb"
 	"entitlement/internal/kvstore"
+	"entitlement/internal/slo"
 	"entitlement/internal/topology"
 )
 
@@ -82,7 +83,16 @@ type AgentConfig struct {
 	// shared clock so every agent in the fleet agrees without coordination.
 	// Zero disables rotation (the marked set is pinned, maximally visible).
 	RotatePeriod time.Duration
+	// Conformance, when set, receives one SLO sample per enforcement cycle
+	// (this agent's contract-level grant/usage view) on the series
+	// (NPG, Region/Host, Class). Optional; nil disables emission.
+	Conformance *slo.Recorder
 }
+
+// traceSetter is what the agent needs from a dependency to propagate its
+// per-cycle trace ID; the wire-backed kvstore and contractdb clients
+// implement it, in-process stores don't (and don't need to).
+type traceSetter interface{ SetTrace(string) }
 
 // Agent is the per-host enforcement agent of Figure 9's user-space
 // component: it publishes this host's rates, reads the service aggregate,
@@ -111,6 +121,16 @@ type Agent struct {
 	// agents in a mode; counters count entries into it).
 	wasDegraded   bool
 	wasFailedOpen bool
+
+	// cycleSeq numbers this agent's cycles for trace IDs; dbTrace and
+	// ratesTrace are the dependencies' SetTrace hooks when wire-backed
+	// (nil otherwise), resolved once at construction.
+	cycleSeq   uint64
+	dbTrace    traceSetter
+	ratesTrace traceSetter
+	// sloSeries is the cached flight-recorder handle (nil when Conformance
+	// is unset); caching keeps the record path off the sync.Map lookup.
+	sloSeries *slo.Series
 }
 
 // NewAgent validates the configuration and builds an agent.
@@ -127,10 +147,24 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.StalenessBudget <= 0 {
 		cfg.StalenessBudget = 3 * cfg.RateTTL
 	}
-	return &Agent{
+	a := &Agent{
 		cfg: cfg,
 		key: bpf.MapKey{NPG: cfg.NPG, Class: cfg.Class, Region: cfg.Region},
-	}, nil
+	}
+	if ts, ok := cfg.DB.(traceSetter); ok {
+		a.dbTrace = ts
+	}
+	if ts, ok := cfg.Rates.(traceSetter); ok {
+		a.ratesTrace = ts
+	}
+	if cfg.Conformance != nil {
+		a.sloSeries = cfg.Conformance.Series(slo.Key{
+			Contract: string(cfg.NPG),
+			Segment:  string(cfg.Region) + "/" + cfg.Host,
+			Class:    cfg.Class.String(),
+		})
+	}
+	return a, nil
 }
 
 // CycleReport captures one enforcement cycle's observations and decision.
@@ -155,6 +189,10 @@ type CycleReport struct {
 	FailedOpen bool
 	// Faults lists the dependency errors behind a degraded cycle.
 	Faults []string
+	// TraceID is this cycle's trace token: it prefixes every RPC request ID
+	// the cycle issued (grep the servers' logs for it) and is attached to
+	// the agent's own cycle log line.
+	TraceID string
 }
 
 // fault records a dependency failure on the report.
@@ -175,20 +213,52 @@ func (r *CycleReport) fault(op string, err error) {
 // decision was made — inspect CycleReport.Degraded/StaleFor/FailedOpen for
 // the mode.
 func (a *Agent) Cycle(now time.Time, localTotal, localConform float64) (CycleReport, error) {
+	a.cycleSeq++
+	trace := fmt.Sprintf("%s-c%d", a.cfg.Host, a.cycleSeq)
+	if a.dbTrace != nil {
+		a.dbTrace.SetTrace(trace)
+	}
+	if a.ratesTrace != nil {
+		a.ratesTrace.SetTrace(trace)
+	}
 	start := time.Now()
 	rep, err := a.cycle(now, localTotal, localConform)
-	a.observeCycle(rep, err, time.Since(start))
+	rep.TraceID = trace
+	a.observeCycle(now, rep, err, time.Since(start))
+	if err == nil && a.sloSeries != nil {
+		// The agent's own conformance view: what the contract granted, what
+		// the service's conforming traffic used, and how far total demand
+		// overshot the grant (service-attributed per the §3.3 demarcation).
+		// Loss between marking and delivery is the network's to report
+		// (ground truth comes from the simulator or drill harness).
+		over := rep.TotalRate - rep.EntitledRate
+		if !rep.Enforced || over < 0 {
+			over = 0
+		}
+		a.sloSeries.Record(slo.Sample{
+			At:      now,
+			Granted: rep.EntitledRate,
+			Used:    rep.ConformRate,
+			Overage: over,
+		})
+	}
 	return rep, err
 }
 
 // observeCycle maintains the enforcement metrics after one cycle: the
 // duration histogram, per-mode counters, and the transition-tracked
 // degraded/fail-open gauges.
-func (a *Agent) observeCycle(rep CycleReport, err error, took time.Duration) {
+func (a *Agent) observeCycle(now time.Time, rep CycleReport, err error, took time.Duration) {
 	mCycles.Inc()
 	mCycleSeconds.ObserveDuration(took)
 	if err != nil {
 		return // hard failure: no decision was made, modes are unchanged
+	}
+	if !rep.Degraded {
+		// Sub-second resolution: chaos tests assert this gauge freezes
+		// during an outage and strictly advances on recovery, with cycle
+		// periods well under a second.
+		mLastSuccess.With(a.cfg.Host).Set(float64(now.UnixNano()) / 1e9)
 	}
 	if rep.Degraded {
 		mDegradedCycles.Inc()

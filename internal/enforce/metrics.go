@@ -17,6 +17,7 @@ var (
 	mFailOpenAgents = obs.RegisterGauge("entitlement_enforce_failopen_agents", "Agents currently failed open (marking action deleted).")
 	mFailOpenTrans  = obs.RegisterCounter("entitlement_enforce_failopen_transitions_total", "Times an agent crossed from enforcing into fail-open (staleness budget exhausted or no data since startup).")
 	mStaleSeconds   = obs.RegisterGaugeVec("entitlement_enforce_stale_seconds", "Age of the oldest cached datum the agent's last decision used, by host.", "host")
+	mLastSuccess    = obs.RegisterGaugeVec("entitlement_enforce_last_success_timestamp_seconds", "Cycle time (unix seconds, agent clock) of the host's last fully healthy — non-degraded — enforcement cycle; frozen while the agent runs on cached data.", "host")
 
 	mPublishFails   = obs.RegisterCounter("entitlement_enforce_publish_failures_total", "Failed rate publishes to the rate store.")
 	mAggregateFails = obs.RegisterCounter("entitlement_enforce_aggregate_failures_total", "Failed service-wide rate aggregations.")

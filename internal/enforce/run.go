@@ -87,7 +87,7 @@ func (a *Agent) Run(ctx context.Context, measure Measure, opts RunOptions) error
 		took := time.Since(start)
 		switch {
 		case err != nil:
-			a.trace(opts.Logger, cycleID, took, CycleReport{}, err)
+			a.trace(opts.Logger, cycleID, took, rep, err)
 			if opts.OnError != nil {
 				opts.OnError(err)
 			}
@@ -118,6 +118,11 @@ func (a *Agent) trace(l *slog.Logger, id uint64, took time.Duration, rep CycleRe
 		slog.String("host", a.cfg.Host),
 		slog.String("npg", string(a.cfg.NPG)),
 		slog.Duration("took", took),
+	}
+	if rep.TraceID != "" {
+		// Grep the kvstore/contractdb server logs for this token: every RPC
+		// request ID the cycle issued carries it as a prefix.
+		attrs = append(attrs, slog.String("trace_id", rep.TraceID))
 	}
 	if err != nil {
 		l.Error("enforce.cycle", append(attrs, slog.Any("err", err))...)

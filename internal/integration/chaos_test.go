@@ -230,6 +230,14 @@ func TestChaosEnforcementSurvivesOutage(t *testing.T) {
 	if got := healthy.Value("entitlement_enforce_degraded_agents") - base.Value("entitlement_enforce_degraded_agents"); got != 0 {
 		t.Errorf("metrics: degraded_agents moved by %v during the healthy phase", got)
 	}
+	lastSuccessKey := func(host string) string {
+		return fmt.Sprintf("entitlement_enforce_last_success_timestamp_seconds{host=%q}", host)
+	}
+	for _, m := range fleet {
+		if v := healthy.Value(lastSuccessKey(m.id)); v <= 0 {
+			t.Errorf("metrics: last_success{%s} = %v after healthy cycles, want a recent timestamp", m.id, v)
+		}
+	}
 
 	// --- Phase 2: both stores black-holed past the budget. ------------
 	outageStart := time.Now()
@@ -294,6 +302,14 @@ func TestChaosEnforcementSurvivesOutage(t *testing.T) {
 	if got := outage.Value("entitlement_enforce_degraded_cycles_total") - base.Value("entitlement_enforce_degraded_cycles_total"); got < hosts {
 		t.Errorf("metrics: degraded_cycles delta = %v, want >= %d", got, hosts)
 	}
+	// Every outage cycle is degraded, so the last-success timestamp must be
+	// frozen at its healthy-phase value: staleness is computable from
+	// scrapes alone, without CycleReports.
+	for _, m := range fleet {
+		if h, o := healthy.Value(lastSuccessKey(m.id)), outage.Value(lastSuccessKey(m.id)); o != h {
+			t.Errorf("metrics: last_success{%s} advanced during the outage: %v -> %v", m.id, h, o)
+		}
+	}
 
 	// --- Phase 3: outage lifts; reconverge within 5 cycles. -----------
 	dbProxy.SetMode(faults.Pass)
@@ -350,6 +366,11 @@ func TestChaosEnforcementSurvivesOutage(t *testing.T) {
 	for _, m := range fleet {
 		if got := final.Value(fmt.Sprintf("entitlement_enforce_stale_seconds{host=%q}", m.id)); got != 0 {
 			t.Errorf("metrics: stale_seconds{%s} after recovery = %v, want 0", m.id, got)
+		}
+		// Recovery phase: the last-success timestamp must strictly advance
+		// past its outage-frozen value once healthy cycles resume.
+		if o, f := outage.Value(lastSuccessKey(m.id)), final.Value(lastSuccessKey(m.id)); f <= o {
+			t.Errorf("metrics: last_success{%s} did not advance after recovery: %v -> %v", m.id, o, f)
 		}
 	}
 

@@ -1,0 +1,207 @@
+package integration
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"entitlement/internal/netsim"
+	"entitlement/internal/obs"
+	"entitlement/internal/slo"
+)
+
+// findContract pulls one contract's verdict out of a report.
+func findContract(t *testing.T, rep *slo.Report, name string) *slo.ContractVerdict {
+	t.Helper()
+	for i := range rep.Contracts {
+		if rep.Contracts[i].Contract == name {
+			return &rep.Contracts[i]
+		}
+	}
+	t.Fatalf("contract %q missing from report (have %d contracts)", name, len(rep.Contracts))
+	return nil
+}
+
+// TestSLOConformanceIncident is the acceptance drill for the conformance
+// plane: a netsim drill runs with an injected network incident that
+// blackholes half of Coldstorage's traffic — conforming included — for 20
+// simulated seconds. The conformance report (fetched as JSON from the live
+// /slo endpoint) must show Coldstorage below its 99.9% SLO with the breach
+// attributed to the network and localized to the ground-truth "TEST/net"
+// segment, the fast burn-rate alert must fire exactly once and clear exactly
+// once (hysteresis: no flapping), the error budget must decrease
+// monotonically while the incident is in progress, and the bystander
+// Warmstorage contract must stay conformant. The same story must be visible
+// to an external scraper on /metrics.
+func TestSLOConformanceIncident(t *testing.T) {
+	const (
+		stageTicks = 30
+		totalTicks = 6 * stageTicks
+		// The incident sits inside the "entitlement-reduced" stage, clear of
+		// the drill's own NonConformOnly ACL stages (which, by design, do
+		// NOT breach the SLO: they only drop out-of-entitlement traffic).
+		incidentLo = 35
+		incidentHi = 55
+		objective  = 0.999
+	)
+	// The drill simulator starts at netsim's fixed epoch and advances one
+	// second per tick; OnTick(tick) fires after the (tick+1)-th step.
+	simStart := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	simTimeAt := func(tick int) time.Time {
+		return simStart.Add(time.Duration(tick+1) * time.Second)
+	}
+
+	// Windows compressed to simulation scale: the fast pair spans
+	// 30s/60s so the alert both fires during the 20s incident and clears
+	// well before the run ends; the slow pair covers the whole run, making
+	// the "3d" budget window the drill's full history.
+	eng := slo.NewEngine(slo.NewRecorder(slo.DefaultRingCapacity), slo.Options{
+		Windows: slo.Windows{
+			Fast:     30 * time.Second,
+			FastLong: 60 * time.Second,
+			Slow:     300 * time.Second,
+			SlowLong: 600 * time.Second,
+		},
+	})
+
+	ms, err := obs.Serve("127.0.0.1:0", nil, obs.Route{
+		Pattern: "/slo",
+		Handler: eng.Handler(func() time.Time { return simTimeAt(totalTicks - 1) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	base := scrapeHTTP(t, ms.Addr())
+
+	opts := netsim.DefaultDrillOptions()
+	opts.Hosts = 10
+	opts.FlowsPerHost = 2
+	opts.StageTicks = stageTicks
+	opts.Conformance = eng
+	opts.Incident = &netsim.DrillIncident{StartTick: incidentLo, EndTick: incidentHi, DropFraction: 0.5}
+
+	var (
+		fires, clears int
+		prevActive    bool
+		budgets       []float64 // Coldstorage budget, one sample per incident tick
+	)
+	opts.OnTick = func(tick int) {
+		rep := eng.Report(simTimeAt(tick))
+		cold := findContract(t, rep, "Coldstorage")
+		if cold.FastBurnActive != prevActive {
+			if cold.FastBurnActive {
+				fires++
+			} else {
+				clears++
+			}
+			prevActive = cold.FastBurnActive
+		}
+		if tick >= incidentLo && tick < incidentHi {
+			budgets = append(budgets, cold.BudgetRemaining)
+		}
+	}
+
+	if _, err := netsim.RunDrill(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- The report, fetched the way an operator would: GET /slo. -------
+	resp, err := http.Get("http://" + ms.Addr() + "/slo?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep slo.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("decode /slo JSON: %v", err)
+	}
+	resp.Body.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	cold := findContract(t, &rep, "Coldstorage")
+	warm := findContract(t, &rep, "Warmstorage")
+
+	if cold.Conformant {
+		t.Error("Coldstorage reported conformant despite the incident")
+	}
+	if got := cold.Windows[3].Availability; got >= objective {
+		t.Errorf("Coldstorage budget-window availability %v, want < %v", got, objective)
+	}
+	if warm.Windows[3].Availability < objective || !warm.Conformant {
+		t.Errorf("bystander Warmstorage not conformant: avail=%v conformant=%v",
+			warm.Windows[3].Availability, warm.Conformant)
+	}
+	if !strings.HasPrefix(cold.WorstSegment, "TEST/net") {
+		t.Errorf("worst segment %q, want the ground-truth network segment TEST/net", cold.WorstSegment)
+	}
+	// The breach is the network's: in-entitlement traffic was denied. The
+	// incident spans 20 ticks; allow ramp slack at its edges.
+	if cold.Attribution.NetworkBadIntervals < incidentHi-incidentLo-3 {
+		t.Errorf("network-attributed bad intervals = %d, want ~%d",
+			cold.Attribution.NetworkBadIntervals, incidentHi-incidentLo)
+	}
+	if cold.Attribution.ThrottledRate <= 0 {
+		t.Error("no throttled in-entitlement rate attributed to the network")
+	}
+
+	// --- Alert discipline: one fire, one clear, no flapping. ------------
+	if fires != 1 {
+		t.Errorf("fast burn alert fired %d times, want exactly 1", fires)
+	}
+	if clears != 1 {
+		t.Errorf("fast burn alert cleared %d times, want exactly 1", clears)
+	}
+
+	// --- Error budget burns monotonically while the incident runs. ------
+	if len(budgets) != incidentHi-incidentLo {
+		t.Fatalf("captured %d budget samples, want %d", len(budgets), incidentHi-incidentLo)
+	}
+	for i := 1; i < len(budgets); i++ {
+		if budgets[i] > budgets[i-1]+1e-9 {
+			t.Errorf("error budget rose mid-incident at tick %d: %v -> %v",
+				incidentLo+i, budgets[i-1], budgets[i])
+		}
+	}
+	if budgets[len(budgets)-1] >= budgets[0] {
+		t.Errorf("error budget did not decrease across the incident: %v -> %v",
+			budgets[0], budgets[len(budgets)-1])
+	}
+
+	// --- The same story from a live /metrics scrape. --------------------
+	final := scrapeHTTP(t, ms.Addr())
+	if got := final.Value(`entitlement_slo_availability_3d{contract="Coldstorage"}`); got >= objective {
+		t.Errorf("scrape: Coldstorage 3d availability %v, want < %v", got, objective)
+	}
+	if got := final.Value(`entitlement_slo_availability_3d{contract="Warmstorage"}`); got < objective {
+		t.Errorf("scrape: Warmstorage 3d availability %v, want >= %v", got, objective)
+	}
+	if got := final.Value(`entitlement_slo_error_budget_remaining{contract="Coldstorage"}`); got >= 0 {
+		t.Errorf("scrape: Coldstorage error budget %v, want overspent (< 0)", got)
+	}
+	trans := final.Value(`entitlement_slo_fast_burn_transitions_total{contract="Coldstorage"}`) -
+		base.Value(`entitlement_slo_fast_burn_transitions_total{contract="Coldstorage"}`)
+	if trans != float64(fires+clears) {
+		t.Errorf("scrape: fast burn transitions = %v, want %d (the observed fire+clear count)", trans, fires+clears)
+	}
+	if got := final.Value(`entitlement_slo_fast_burn_active{contract="Coldstorage"}`); got != 0 {
+		t.Errorf("scrape: fast burn still active (%v) at run end", got)
+	}
+
+	// The human-facing text rendering must carry the verdicts too.
+	resp, err = http.Get("http://" + ms.Addr() + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text strings.Builder
+	if _, err := io.Copy(&text, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	http.DefaultClient.CloseIdleConnections()
+	if !strings.Contains(text.String(), "BREACH") {
+		t.Errorf("/slo text report lacks a BREACH verdict:\n%s", text.String())
+	}
+}

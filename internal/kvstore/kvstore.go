@@ -312,6 +312,11 @@ func Connect(addr string, opts wire.ClientOptions) *Client {
 	return &Client{c: wire.Connect(addr, opts)}
 }
 
+// SetTrace forwards a trace ID to the wire client: subsequent request IDs
+// carry it, correlating this client's calls with the caller's operation
+// (e.g. one enforcement cycle).
+func (c *Client) SetTrace(trace string) { c.c.SetTrace(trace) }
+
 // Put implements RateStore.
 func (c *Client) Put(key string, value float64, ttl time.Duration) error {
 	return c.c.Call("put", putArgs{Key: key, Value: value, TTLMs: ttl.Milliseconds()}, nil)

@@ -8,6 +8,7 @@ import (
 	"entitlement/internal/contractdb"
 	"entitlement/internal/enforce"
 	"entitlement/internal/kvstore"
+	"entitlement/internal/slo"
 	"entitlement/internal/topology"
 )
 
@@ -31,6 +32,35 @@ type DrillOptions struct {
 	App      StorageOptions
 	Tick     time.Duration
 	Seed     int64
+
+	// Conformance, when set, turns the drill into an SLO test bench: agents
+	// record their per-cycle grant/usage samples into the engine's flight
+	// recorder, the simulator records per-tick ground-truth goodput samples
+	// (segment "<region>/net"), contract objectives are loaded from the
+	// drill database, and the engine is evaluated once per tick on the
+	// simulated clock.
+	Conformance *slo.Engine
+	// Incident, when set, injects a network fault that blackholes a
+	// fraction of ALL the drill service's traffic (conforming included) for
+	// a tick range — unlike the drill's own NonConformOnly ACL stages, this
+	// is a pure network-attributed SLO breach.
+	Incident *DrillIncident
+	// OnTick, when set, runs after every simulated tick (after conformance
+	// evaluation), letting callers sample engine state mid-run.
+	OnTick func(tick int)
+}
+
+// DrillIncident is an injected network fault: drop DropFraction of every
+// drill-service packet, conforming or not, during ticks [StartTick, EndTick).
+type DrillIncident struct {
+	StartTick    int
+	EndTick      int
+	DropFraction float64
+}
+
+// Active reports whether the incident covers tick.
+func (d *DrillIncident) Active(tick int) bool {
+	return d != nil && tick >= d.StartTick && tick < d.EndTick
 }
 
 // DefaultDrillOptions returns a compressed version of the September-2021
@@ -87,6 +117,8 @@ func (r *DrillReport) StageOf(i int) *DrillStage {
 const (
 	drillNPG     = contract.NPG("Coldstorage")
 	drillClass   = contract.C4Low
+	bgNPG        = contract.NPG("Warmstorage")
+	bgClass      = contract.ClassB
 	testRegion   = topology.Region("TEST")
 	clientRegion = topology.Region("REMOTE")
 )
@@ -129,8 +161,27 @@ func RunDrill(opts DrillOptions) (*DrillReport, error) {
 		})
 	}
 	putEntitlement(opts.Demand * 2)
+	// The bystander service holds its own approved contract (and SLO) so
+	// the conformance plane can witness it staying conformant while the
+	// drill service breaches.
+	db.Put(contract.Contract{
+		NPG: bgNPG, SLO: 0.999, Approved: true,
+		Entitlements: []contract.Entitlement{{
+			NPG: bgNPG, Class: bgClass, Region: testRegion,
+			Direction: contract.Egress, Rate: opts.LinkCapacity * 0.2,
+			Start: sim.Now().Add(-time.Hour), End: sim.Now().Add(24 * time.Hour),
+		}},
+	})
 
 	rates := kvstore.NewWithClock(sim.Now)
+
+	var rec *slo.Recorder
+	if opts.Conformance != nil {
+		rec = opts.Conformance.Recorder()
+		for npg, obj := range db.Objectives() {
+			opts.Conformance.SetObjective(npg, obj)
+		}
+	}
 
 	// Hosts, flows, agents.
 	perFlowDemand := opts.Demand / float64(opts.Hosts*opts.FlowsPerHost)
@@ -144,6 +195,7 @@ func RunDrill(opts DrillOptions) (*DrillReport, error) {
 			Host: h.ID, NPG: drillNPG, Class: drillClass, Region: testRegion,
 			DB: db, Rates: rates, Meter: opts.NewMeter(), Prog: h.Prog,
 			Policy: opts.Policy, RateTTL: 10 * opts.Tick * time.Duration(opts.AgentPeriod),
+			Conformance: rec,
 		})
 		if err != nil {
 			return nil, err
@@ -152,7 +204,7 @@ func RunDrill(opts DrillOptions) (*DrillReport, error) {
 	}
 	// A well-behaved background service shares the link within its
 	// entitlement, to witness that conforming traffic is protected.
-	bg := sim.AddHost("warm-000", testRegion, "Warmstorage", contract.ClassB)
+	bg := sim.AddHost("warm-000", testRegion, bgNPG, bgClass)
 	sim.AddFlow(bg, clientRegion, []*Link{link}, opts.LinkCapacity*0.1)
 
 	app := NewStorageApp(sim.Hosts()[:opts.Hosts], opts.App)
@@ -174,12 +226,18 @@ func RunDrill(opts DrillOptions) (*DrillReport, error) {
 		switch tick {
 		case stages[1].Start:
 			putEntitlement(opts.Entitled) // the drill's entitlement cut
-		case stages[2].Start, stages[3].Start, stages[4].Start:
-			link.ClearACLs()
-			link.AddACL(ACL{NPG: drillNPG, NonConformOnly: true, DropFraction: report.StageOf(tick).ACLDrop})
 		case stages[5].Start:
-			link.ClearACLs()
 			putEntitlement(opts.Demand * 2) // rollback
+		}
+		// ACLs are rebuilt every tick so the stage rule and an injected
+		// incident compose (drop fractions stack multiplicatively on the
+		// link).
+		link.ClearACLs()
+		if s := report.StageOf(tick); s != nil && s.ACLDrop > 0 {
+			link.AddACL(ACL{NPG: drillNPG, NonConformOnly: true, DropFraction: s.ACLDrop})
+		}
+		if opts.Incident.Active(tick) {
+			link.AddACL(ACL{NPG: drillNPG, DropFraction: opts.Incident.DropFraction})
 		}
 		// Agents run on their period, using last tick's host measurements.
 		if tick%opts.AgentPeriod == 0 {
@@ -199,8 +257,50 @@ func RunDrill(opts DrillOptions) (*DrillReport, error) {
 		entitled, _, _ := db.EntitledRate(drillNPG, drillClass, testRegion, contract.Egress, sim.Now())
 		report.Entitled = append(report.Entitled, entitled)
 		report.ConformRatio = append(report.ConformRatio, report.lastRatio)
+		if opts.Conformance != nil {
+			bgEntitled, _, _ := db.EntitledRate(bgNPG, bgClass, testRegion, contract.Egress, sim.Now())
+			recordGroundTruth(opts.Conformance, sim, drillNPG, drillClass, entitled)
+			recordGroundTruth(opts.Conformance, sim, bgNPG, bgClass, bgEntitled)
+			opts.Conformance.Evaluate(sim.Now())
+		}
+		if opts.OnTick != nil {
+			opts.OnTick(tick)
+		}
 	}
 	return report, nil
+}
+
+// recordGroundTruth emits one network-ground-truth SLO sample for npg: the
+// conforming goodput the fabric actually delivered versus what conforming
+// senders offered. The shortfall goes in Sample.Throttled — in-contract
+// traffic the network failed to carry, the §3.3 network-attributed
+// quantity — while demand beyond the entitlement goes in Overage
+// (service-attributed).
+func recordGroundTruth(eng *slo.Engine, sim *Sim, npg contract.NPG, class contract.Class, entitled float64) {
+	series := sim.Metrics.NPGSeries(npg)
+	if len(series) == 0 {
+		return
+	}
+	nt := series[len(series)-1]
+	throttled := nt.ConformRate - nt.ConformDeliveredRate
+	if throttled < 0 {
+		throttled = 0
+	}
+	over := nt.TotalRate - entitled
+	if over < 0 {
+		over = 0
+	}
+	eng.Record(slo.Key{
+		Contract: string(npg),
+		Segment:  string(testRegion) + "/net",
+		Class:    class.String(),
+	}, slo.Sample{
+		At:        sim.Now(),
+		Granted:   entitled,
+		Used:      nt.ConformDeliveredRate,
+		Throttled: throttled,
+		Overage:   over,
+	})
 }
 
 // ServiceRates returns the drill service's per-tick total and conforming

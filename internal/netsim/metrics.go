@@ -25,11 +25,16 @@ type TickStats struct {
 	Flows         int // flows active in the group
 }
 
-// NPGTick is one tick's per-service rates as the endhosts report them —
-// the Figure 12 series.
+// NPGTick is one tick's per-service rates. TotalRate and ConformRate are
+// what the endhosts report (the Figure 12 series); ConformDeliveredRate is
+// the network's ground truth — the conforming bits that actually survived
+// the fabric. ConformRate − ConformDeliveredRate is therefore in-contract
+// traffic the network failed to carry: the quantity the availability SLO
+// is judged on.
 type NPGTick struct {
-	TotalRate   float64
-	ConformRate float64
+	TotalRate            float64
+	ConformRate          float64
+	ConformDeliveredRate float64
 }
 
 // Metrics accumulates per-tick series for every traffic group and NPG.
@@ -106,6 +111,7 @@ func (m *Metrics) record(flows []*Flow, tick time.Duration) {
 		n.TotalRate += f.lastSent / dt
 		if f.lastConforming {
 			n.ConformRate += f.lastSent / dt
+			n.ConformDeliveredRate += f.lastDelivered / dt
 		}
 	}
 

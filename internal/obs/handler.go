@@ -15,6 +15,14 @@ func expvarHandler(w http.ResponseWriter, req *http.Request) {
 	expvar.Handler().ServeHTTP(w, req)
 }
 
+// Route mounts an extra handler on the observability mux — how binaries
+// attach planes that live outside this package (e.g. the SLO conformance
+// report on /slo) to the same port as /metrics.
+type Route struct {
+	Pattern string // http.ServeMux pattern, e.g. "/slo"
+	Handler http.Handler
+}
+
 // NewHandler builds the observability HTTP handler over r (nil means the
 // Default registry):
 //
@@ -22,12 +30,18 @@ func expvarHandler(w http.ResponseWriter, req *http.Request) {
 //	/healthz      liveness probe ("ok" + process uptime)
 //	/debug/vars   expvar JSON (includes the "entitlement" snapshot)
 //	/debug/pprof  the standard runtime profiles
-func NewHandler(r *Registry) http.Handler {
+//
+// Additional routes are mounted verbatim; their patterns must not collide
+// with the built-ins.
+func NewHandler(r *Registry, routes ...Route) http.Handler {
 	if r == nil {
 		r = Default()
 	}
 	start := time.Now()
 	mux := http.NewServeMux()
+	for _, rt := range routes {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
@@ -58,14 +72,14 @@ func (s *Server) Addr() string { return s.l.Addr().String() }
 func (s *Server) Close() error { return s.srv.Close() }
 
 // Serve starts the observability handler on addr (e.g. ":9090") over r
-// (nil means Default). It returns once the listener is bound; requests are
-// served on a background goroutine until Close.
-func Serve(addr string, r *Registry) (*Server, error) {
+// (nil means Default), plus any extra routes. It returns once the listener
+// is bound; requests are served on a background goroutine until Close.
+func Serve(addr string, r *Registry, routes ...Route) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewHandler(r)}
+	srv := &http.Server{Handler: NewHandler(r, routes...)}
 	go srv.Serve(l)
 	return &Server{l: l, srv: srv}, nil
 }

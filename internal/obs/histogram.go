@@ -23,6 +23,13 @@ const (
 // atomic total, and a CAS-maintained float64 sum. Observe is wait-free on
 // the buckets and lock-free on the sum; quantiles are estimated from the
 // bucket distribution with linear interpolation inside the winning bucket.
+//
+// Quantile error bound: an estimate always lands inside the bucket holding
+// the true quantile, so with factor-2 buckets it is off by at most one
+// exponential bucket width — within [q/2, 2q] of the true value q — for
+// samples inside the finite range [2^-20, 2^6] seconds. Samples outside
+// the range saturate to the nearest finite bound and carry no interpolation
+// guarantee. TestHistogramQuantileAccuracy enforces the bound.
 type Histogram struct {
 	desc
 	buckets [histNumFinite + 1]atomic.Int64 // last slot is +Inf

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"entitlement/internal/stats"
+)
+
+// TestHistogramQuantileAccuracy feeds a known distribution and asserts the
+// p50/p95/p99 estimates stay within one exponential-bucket width of the
+// exact sample quantiles — the bound documented on the Histogram type.
+// With factor-2 buckets, "one bucket width" means within [truth/2, 2×truth].
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	r := NewRegistry()
+	h := r.RegisterHistogram("entitlement_test_quantile_seconds", "quantile accuracy probe")
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	samples := make([]float64, n)
+	logLo, logHi := math.Log(1e-3), math.Log(10.0)
+	for i := range samples {
+		// Log-uniform over [1ms, 10s]: spreads mass across ~13 buckets so
+		// every probed quantile lands in a populated finite bucket.
+		x := math.Exp(logLo + rng.Float64()*(logHi-logLo))
+		samples[i] = x
+		h.Observe(x)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		truth := stats.QuantileSorted(samples, q)
+		got := h.Quantile(q)
+		if got < truth/2 || got > truth*2 {
+			t.Errorf("p%g: estimate %gs outside one bucket width of true %gs", q*100, got, truth)
+		}
+	}
+}

@@ -30,7 +30,6 @@ import (
 	"math"
 	"regexp"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -242,13 +241,6 @@ func (v *vec) sortedChildren() []struct {
 	return out
 }
 
-// escapeLabel escapes a label value per the exposition format.
-func escapeLabel(s string) string {
-	s = strings.ReplaceAll(s, `\`, `\\`)
-	s = strings.ReplaceAll(s, `"`, `\"`)
-	return strings.ReplaceAll(s, "\n", `\n`)
-}
-
 // CounterVec is a family of counters keyed by one label.
 type CounterVec struct{ vec }
 
@@ -264,7 +256,9 @@ func (v *CounterVec) With(value string) *Counter {
 func (v *CounterVec) writeProm(w io.Writer) {
 	promHeader(w, v.desc, "counter")
 	for _, ch := range v.sortedChildren() {
-		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.metricName, v.label, escapeLabel(ch.value), ch.m.(*Counter).Value())
+		// %q escapes \, " and newlines exactly as the exposition format
+		// requires; no extra escaping pass (it would double-escape).
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.metricName, v.label, ch.value, ch.m.(*Counter).Value())
 	}
 }
 
@@ -298,7 +292,7 @@ func (v *GaugeVec) With(value string) *Gauge {
 func (v *GaugeVec) writeProm(w io.Writer) {
 	promHeader(w, v.desc, "gauge")
 	for _, ch := range v.sortedChildren() {
-		fmt.Fprintf(w, "%s{%s=%q} %s\n", v.metricName, v.label, escapeLabel(ch.value), formatFloat(ch.m.(*Gauge).Value()))
+		fmt.Fprintf(w, "%s{%s=%q} %s\n", v.metricName, v.label, ch.value, formatFloat(ch.m.(*Gauge).Value()))
 	}
 }
 
@@ -332,7 +326,7 @@ func (v *HistogramVec) With(value string) *Histogram {
 func (v *HistogramVec) writeProm(w io.Writer) {
 	promHeader(w, v.desc, "histogram")
 	for _, ch := range v.sortedChildren() {
-		ch.m.(*Histogram).writePromSeries(w, fmt.Sprintf("%s=%q,", v.label, escapeLabel(ch.value)))
+		ch.m.(*Histogram).writePromSeries(w, fmt.Sprintf("%s=%q,", v.label, ch.value))
 	}
 }
 

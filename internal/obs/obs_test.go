@@ -83,10 +83,10 @@ func TestHistogramBucketsAndQuantiles(t *testing.T) {
 func TestHistogramEdgeSamples(t *testing.T) {
 	r := NewRegistry()
 	h := r.RegisterHistogram("entitlement_test_edges_seconds", "edges")
-	h.Observe(0)               // non-positive → bucket 0
-	h.Observe(-1)              // non-positive → bucket 0
-	h.Observe(1e-12)           // below range → bucket 0
-	h.Observe(1e9)             // above range → +Inf bucket
+	h.Observe(0)                         // non-positive → bucket 0
+	h.Observe(-1)                        // non-positive → bucket 0
+	h.Observe(1e-12)                     // below range → bucket 0
+	h.Observe(1e9)                       // above range → +Inf bucket
 	h.Observe(math.Ldexp(1, histMinExp)) // exactly the first bound
 	if h.Count() != 5 {
 		t.Fatalf("count = %d, want 5", h.Count())

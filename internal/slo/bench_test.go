@@ -1,0 +1,59 @@
+package slo
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Guard: the flight-recorder record path sits inside every enforcement
+// cycle, so it must stay <100ns/op (same guard style as BenchmarkObs*).
+// Measured on the CI container: ~54ns/op, 1 alloc (the published sample
+// copy). If a change pushes this past 100ns, it is a regression — the
+// enforcement loop budget assumes recording is free.
+
+func BenchmarkSLORecord(b *testing.B) {
+	rec := NewRecorder(1024)
+	s := rec.Series(Key{Contract: "Coldstorage", Segment: "TEST/cold-000", Class: "c4_low"})
+	sm := Sample{At: time.Unix(1700000000, 0), Granted: 1e12, Used: 9e11, Throttled: 0, Overage: 1e11}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Record(sm)
+	}
+}
+
+// BenchmarkSLORecordViaRecorder includes the sync.Map key lookup cold
+// callers pay; hot callers cache the Series handle (see BenchmarkSLORecord).
+func BenchmarkSLORecordViaRecorder(b *testing.B) {
+	rec := NewRecorder(1024)
+	k := Key{Contract: "Coldstorage", Segment: "TEST/cold-000", Class: "c4_low"}
+	rec.Series(k)
+	sm := Sample{At: time.Unix(1700000000, 0), Granted: 1e12, Used: 9e11}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(k, sm)
+	}
+}
+
+// BenchmarkSLOEvaluate covers the evaluation side at a realistic fan-in:
+// 41 series (40 agents + ground truth) × one fresh sample per pass.
+func BenchmarkSLOEvaluate(b *testing.B) {
+	rec := NewRecorder(1024)
+	e := NewEngine(rec, Options{})
+	e.SetObjective("Coldstorage", 0.999)
+	series := make([]*Series, 41)
+	for i := range series {
+		series[i] = rec.Series(Key{Contract: "Coldstorage", Segment: fmt.Sprintf("TEST/cold-%03d", i), Class: "c4_low"})
+	}
+	base := time.Unix(1700000000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := base.Add(time.Duration(i) * time.Second)
+		for _, s := range series {
+			s.Record(Sample{At: at, Granted: 1e12, Used: 9e11})
+		}
+		e.Evaluate(at)
+	}
+}

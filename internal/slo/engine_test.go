@@ -1,0 +1,260 @@
+package slo
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shortWindows compresses the SRE horizons so seconds of synthetic samples
+// exercise the full window machinery.
+func shortWindows() Windows {
+	return Windows{Fast: 10 * time.Second, FastLong: 10 * time.Second,
+		Slow: 60 * time.Second, SlowLong: 60 * time.Second}
+}
+
+func good(at time.Time) Sample {
+	return Sample{At: at, Granted: 100, Used: 90}
+}
+
+func bad(at time.Time) Sample {
+	return Sample{At: at, Granted: 100, Used: 40, Throttled: 50}
+}
+
+// TestEngineBurnAndAvailability checks the core math: availability over a
+// window, burn rate against the SLO, and budget remaining.
+func TestEngineBurnAndAvailability(t *testing.T) {
+	e := NewEngine(nil, Options{Windows: shortWindows(), FastBurn: 2})
+	e.SetObjective("Burnmath", 0.8) // budget = 0.2
+	k := Key{Contract: "Burnmath", Segment: "r1", Class: "c4_low"}
+	base := ts(1000)
+	// 6 good + 4 bad samples inside every window.
+	for i := 0; i < 6; i++ {
+		e.Record(k, good(base.Add(time.Duration(i)*time.Second)))
+	}
+	for i := 6; i < 10; i++ {
+		e.Record(k, bad(base.Add(time.Duration(i)*time.Second)))
+	}
+	now := base.Add(9 * time.Second)
+	e.Evaluate(now)
+	rep := e.Report(now)
+	if len(rep.Contracts) != 1 {
+		t.Fatalf("report has %d contracts, want 1", len(rep.Contracts))
+	}
+	c := rep.Contracts[0]
+	if !c.HasSLO || c.SLO != 0.8 {
+		t.Fatalf("SLO = %v (has=%v), want 0.8", c.SLO, c.HasSLO)
+	}
+	wantAvail := 0.6
+	for _, w := range c.Windows {
+		if !close6(w.Availability, wantAvail) {
+			t.Fatalf("window %s availability = %v, want %v", w.Window, w.Availability, wantAvail)
+		}
+		if wantBurn := (1 - wantAvail) / 0.2; !close6(w.BurnRate, wantBurn) {
+			t.Fatalf("window %s burn = %v, want %v", w.Window, w.BurnRate, wantBurn)
+		}
+	}
+	if wantBudget := 1 - 0.4/0.2; !close6(c.BudgetRemaining, wantBudget) {
+		t.Fatalf("budget remaining = %v, want %v", c.BudgetRemaining, wantBudget)
+	}
+	if c.Conformant {
+		t.Fatal("contract at 60%% availability against a 80%% SLO must be non-conformant")
+	}
+	if c.Attribution.NetworkBadIntervals != 4 {
+		t.Fatalf("network bad intervals = %d, want 4", c.Attribution.NetworkBadIntervals)
+	}
+}
+
+func close6(a, b float64) bool { d := a - b; return d < 1e-6 && d > -1e-6 }
+
+// TestEngineWindowAging checks that a breach rolls out of a short window
+// while a longer window still remembers it.
+func TestEngineWindowAging(t *testing.T) {
+	e := NewEngine(nil, Options{Windows: shortWindows()})
+	e.SetObjective("Aging", 0.9)
+	k := Key{Contract: "Aging", Segment: "r1", Class: "c4_low"}
+	base := ts(5000)
+	e.Record(k, bad(base))
+	for i := 1; i <= 30; i++ {
+		e.Record(k, good(base.Add(time.Duration(i)*time.Second)))
+	}
+	now := base.Add(30 * time.Second)
+	e.Evaluate(now)
+	rep := e.Report(now)
+	c := rep.Contracts[0]
+	if a := c.Windows[0].Availability; a != 1 {
+		t.Fatalf("10s window availability = %v, want 1 (the bad sample aged out)", a)
+	}
+	if a := c.Windows[3].Availability; a >= 1 {
+		t.Fatalf("60s window availability = %v, want < 1 (the bad sample is still inside)", a)
+	}
+}
+
+// TestEngineAlertHysteresis drives burn across the firing threshold, lets
+// it hover inside the hysteresis band (above clear, below fire), then
+// drops it: the alert must fire exactly once, survive the hover without
+// flapping, and clear exactly once after ClearAfter clean evaluations.
+func TestEngineAlertHysteresis(t *testing.T) {
+	e := NewEngine(nil, Options{
+		// SlowBurn is parked out of reach so only the fast pair drives
+		// transitions in this test.
+		Windows: shortWindows(), FastBurn: 2, SlowBurn: 1e6, ClearRatio: 0.5, ClearAfter: 2,
+	})
+	e.SetObjective("Hyst", 0.8) // budget 0.2: burn = badFrac / 0.2
+	k := Key{Contract: "Hyst", Segment: "r1", Class: "c4_low"}
+	base := ts(10000)
+	i := 0
+	record := func(s Sample) { e.Record(k, s); i++ }
+	at := func() time.Time { return base.Add(time.Duration(i) * time.Second) }
+	var transitions []Transition
+
+	// Warm-up: all good, 10 samples — burn 0.
+	for n := 0; n < 10; n++ {
+		record(good(at()))
+		transitions = append(transitions, e.Evaluate(at())...)
+	}
+	if len(transitions) != 0 {
+		t.Fatalf("alert fired during clean warm-up: %+v", transitions)
+	}
+	// Incident: 5 bad samples → 10s window is 5/10 bad → burn 2.5 ≥ 2.
+	for n := 0; n < 5; n++ {
+		record(bad(at()))
+		transitions = append(transitions, e.Evaluate(at())...)
+	}
+	if len(transitions) != 1 || !transitions[0].Active || transitions[0].Alert != "fast_burn" {
+		t.Fatalf("want exactly one fast_burn fire, got %+v", transitions)
+	}
+	// Hover: alternate good/bad keeps the 10s window ~40-50%% bad → burn
+	// ~2.0-2.5 or, as bad samples rotate out, above the clear band (1.0).
+	// No transition may occur.
+	for n := 0; n < 6; n++ {
+		if n%2 == 0 {
+			record(good(at()))
+		} else {
+			record(bad(at()))
+		}
+		transitions = append(transitions, e.Evaluate(at())...)
+	}
+	if len(transitions) != 1 {
+		t.Fatalf("alert flapped during hover: %+v", transitions)
+	}
+	// Recovery: all good until the window is clean. Burn falls below the
+	// clear threshold (1.0); after 2 consecutive clean evaluations the
+	// alert clears — exactly once.
+	for n := 0; n < 15; n++ {
+		record(good(at()))
+		transitions = append(transitions, e.Evaluate(at())...)
+	}
+	if len(transitions) != 2 {
+		t.Fatalf("want exactly fire+clear, got %+v", transitions)
+	}
+	last := transitions[1]
+	if last.Active || last.Alert != "fast_burn" {
+		t.Fatalf("second transition should be the clear, got %+v", last)
+	}
+	if v := mFastTrans.With("Hyst").Value(); v != 2 {
+		t.Fatalf("entitlement_slo_fast_burn_transitions_total{Hyst} = %d, want 2", v)
+	}
+}
+
+// TestEngineWorstSegmentMin checks the paper's uptime rule: a contract's
+// availability is the minimum across its segments (all traffic must be
+// admitted), and the worst segment is named in the report.
+func TestEngineWorstSegmentMin(t *testing.T) {
+	e := NewEngine(nil, Options{Windows: shortWindows()})
+	e.SetObjective("Worst", 0.99)
+	base := ts(20000)
+	healthy := Key{Contract: "Worst", Segment: "region-a", Class: "c4_low"}
+	broken := Key{Contract: "Worst", Segment: "region-b", Class: "c4_low"}
+	for i := 0; i < 10; i++ {
+		at := base.Add(time.Duration(i) * time.Second)
+		e.Record(healthy, good(at))
+		if i < 5 {
+			e.Record(broken, bad(at))
+		} else {
+			e.Record(broken, good(at))
+		}
+	}
+	now := base.Add(9 * time.Second)
+	rep := e.Report(now)
+	c := rep.Contracts[0]
+	if !close6(c.Windows[3].Availability, 0.5) {
+		t.Fatalf("contract availability = %v, want min across segments = 0.5", c.Windows[3].Availability)
+	}
+	if !strings.Contains(c.WorstSegment, "region-b") {
+		t.Fatalf("worst segment = %q, want region-b", c.WorstSegment)
+	}
+	if !close6(c.WorstSegmentAvailability, 0.5) {
+		t.Fatalf("worst segment availability = %v, want 0.5", c.WorstSegmentAvailability)
+	}
+}
+
+// TestEngineDropAccounting laps the ring before the engine evaluates and
+// checks the exact dropped count.
+func TestEngineDropAccounting(t *testing.T) {
+	rec := NewRecorder(8)
+	e := NewEngine(rec, Options{Windows: shortWindows()})
+	k := Key{Contract: "Dropped", Segment: "r", Class: "c"}
+	base := ts(30000)
+	before := mSamplesDropped.Value()
+	for i := 0; i < 30; i++ {
+		rec.Record(k, good(base.Add(time.Duration(i)*time.Second)))
+	}
+	e.Evaluate(base.Add(30 * time.Second))
+	if d := mSamplesDropped.Value() - before; d != 22 {
+		t.Fatalf("dropped = %d, want 30-8 = 22", d)
+	}
+	rep := e.Report(base.Add(30 * time.Second))
+	if n := rep.Contracts[0].Intervals; n != 8 {
+		t.Fatalf("intervals = %d, want the 8 retained samples", n)
+	}
+}
+
+// TestEngineNoObjective: contracts without an SLO are reported but carry no
+// burn rates or alerts.
+func TestEngineNoObjective(t *testing.T) {
+	e := NewEngine(nil, Options{Windows: shortWindows()})
+	k := Key{Contract: "Nobody", Segment: "r", Class: "c"}
+	base := ts(40000)
+	for i := 0; i < 10; i++ {
+		e.Record(k, bad(base.Add(time.Duration(i)*time.Second)))
+	}
+	trans := e.Evaluate(base.Add(9 * time.Second))
+	if len(trans) != 0 {
+		t.Fatalf("contract without objective fired alerts: %+v", trans)
+	}
+	rep := e.Report(base.Add(9 * time.Second))
+	c := rep.Contracts[0]
+	if c.HasSLO || !c.Conformant {
+		t.Fatalf("no-SLO contract should be vacuously conformant, got %+v", c)
+	}
+}
+
+// TestReportJSONRoundtrip pins the JSON rendering: a report unmarshals back
+// into the same verdicts.
+func TestReportJSONRoundtrip(t *testing.T) {
+	e := NewEngine(nil, Options{Windows: shortWindows()})
+	e.SetObjective("Round", 0.999)
+	k := Key{Contract: "Round", Segment: "seg", Class: "c4_low"}
+	base := ts(50000)
+	for i := 0; i < 10; i++ {
+		e.Record(k, good(base.Add(time.Duration(i)*time.Second)))
+	}
+	rep := e.Report(base.Add(9 * time.Second))
+	body, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(body, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Contracts) != 1 || back.Contracts[0].Contract != "Round" ||
+		!back.Contracts[0].Conformant || back.Contracts[0].SLO != 0.999 {
+		t.Fatalf("roundtrip lost data: %+v", back.Contracts)
+	}
+	if txt := rep.Text(); !strings.Contains(txt, "Round") || !strings.Contains(txt, "OK") {
+		t.Fatalf("text report missing contract line:\n%s", txt)
+	}
+}

@@ -1,0 +1,34 @@
+package slo
+
+import (
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler serves the conformance report over HTTP (mounted as /slo on the
+// obs endpoint): text by default, JSON with ?format=json or an Accept
+// header asking for application/json. now supplies the evaluation clock
+// (nil means time.Now); simulations pass their own.
+func (e *Engine) Handler(now func() time.Time) http.Handler {
+	if now == nil {
+		now = time.Now
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rep := e.Report(now())
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			body, err := rep.JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(rep.Text()))
+	})
+}

@@ -1,0 +1,33 @@
+package slo
+
+import "entitlement/internal/obs"
+
+// Conformance-plane instruments. Window-scoped gauges put the window in the
+// metric name (obs vecs carry one label, spent on the contract). Alert
+// gauges are 0/1 state; the transition counters are what an operator (and
+// the integration test) watches for flapping — they move exactly once per
+// fire or clear.
+var (
+	mSamplesRecorded = obs.RegisterCounter("entitlement_slo_samples_recorded_total", "Samples written to the conformance flight recorder.")
+	mSamplesDropped  = obs.RegisterCounter("entitlement_slo_samples_dropped_total", "Samples overwritten in the flight recorder before the engine evaluated them (ring lapped).")
+	mSeries          = obs.RegisterGauge("entitlement_slo_series", "Distinct (contract, segment, class) flight-recorder series.")
+	mContracts       = obs.RegisterGauge("entitlement_slo_contracts", "Contracts with an SLO objective under conformance accounting.")
+	mEvaluations     = obs.RegisterCounter("entitlement_slo_evaluations_total", "Engine evaluation passes.")
+
+	mAvail5m = obs.RegisterGaugeVec("entitlement_slo_availability_5m", "Rolling 5m availability of in-entitlement traffic, by contract.", "contract")
+	mAvail1h = obs.RegisterGaugeVec("entitlement_slo_availability_1h", "Rolling 1h availability of in-entitlement traffic, by contract.", "contract")
+	mAvail6h = obs.RegisterGaugeVec("entitlement_slo_availability_6h", "Rolling 6h availability of in-entitlement traffic, by contract.", "contract")
+	mAvail3d = obs.RegisterGaugeVec("entitlement_slo_availability_3d", "Rolling 3d availability of in-entitlement traffic, by contract.", "contract")
+
+	mBurn5m = obs.RegisterGaugeVec("entitlement_slo_burn_rate_5m", "Error-budget burn rate over the rolling 5m window, by contract (1.0 = burning exactly the budget).", "contract")
+	mBurn1h = obs.RegisterGaugeVec("entitlement_slo_burn_rate_1h", "Error-budget burn rate over the rolling 1h window, by contract.", "contract")
+	mBurn6h = obs.RegisterGaugeVec("entitlement_slo_burn_rate_6h", "Error-budget burn rate over the rolling 6h window, by contract.", "contract")
+	mBurn3d = obs.RegisterGaugeVec("entitlement_slo_burn_rate_3d", "Error-budget burn rate over the rolling 3d window, by contract.", "contract")
+
+	mBudgetRemaining = obs.RegisterGaugeVec("entitlement_slo_error_budget_remaining", "Fraction of the slow-window error budget remaining, by contract (1 = untouched, <0 = overspent).", "contract")
+
+	mFastActive = obs.RegisterGaugeVec("entitlement_slo_fast_burn_active", "1 while the fast (5m AND 1h) burn-rate alert is firing, by contract.", "contract")
+	mSlowActive = obs.RegisterGaugeVec("entitlement_slo_slow_burn_active", "1 while the slow (6h AND 3d) burn-rate alert is firing, by contract.", "contract")
+	mFastTrans  = obs.RegisterCounterVec("entitlement_slo_fast_burn_transitions_total", "Fast burn-rate alert state transitions (fire or clear), by contract.", "contract")
+	mSlowTrans  = obs.RegisterCounterVec("entitlement_slo_slow_burn_transitions_total", "Slow burn-rate alert state transitions (fire or clear), by contract.", "contract")
+)

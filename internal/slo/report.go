@@ -1,0 +1,173 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WindowVerdict is one rolling window's view of a contract.
+type WindowVerdict struct {
+	Window       string  `json:"window"` // "5m", "1h", "6h", "3d"
+	Availability float64 `json:"availability"`
+	BurnRate     float64 `json:"burn_rate"`
+}
+
+// Attribution splits a contract's observed throttling along the paper's
+// accountability demarcation (§3.3): in-entitlement traffic that was denied
+// is on the network team; traffic offered beyond the entitlement is the
+// service team's own exposure. Counts and rates cover the budget (slow-long)
+// window.
+type Attribution struct {
+	// NetworkBadIntervals counts intervals where in-entitlement traffic was
+	// throttled beyond tolerance — SLO breaches, network-attributed.
+	NetworkBadIntervals int64 `json:"network_bad_intervals"`
+	// ServiceOverIntervals counts intervals where the service offered more
+	// than its entitlement — any damage to that excess is service-attributed.
+	ServiceOverIntervals int64 `json:"service_over_intervals"`
+	// ThrottledRate is the mean in-entitlement bits/s denied.
+	ThrottledRate float64 `json:"throttled_rate"`
+	// OverageRate is the mean bits/s offered beyond the entitlement.
+	OverageRate float64 `json:"overage_rate"`
+}
+
+// ContractVerdict is one contract's conformance summary.
+type ContractVerdict struct {
+	Contract string  `json:"contract"`
+	SLO      float64 `json:"slo"` // 0 when no objective is on record
+	HasSLO   bool    `json:"has_slo"`
+	// Conformant is the headline verdict: budget-window availability meets
+	// the SLO. Always true without an objective.
+	Conformant bool            `json:"conformant"`
+	Windows    []WindowVerdict `json:"windows"`
+	// BudgetRemaining is the fraction of the slow-long window's error
+	// budget left (1 = untouched, negative = overspent).
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// WorstSegment is the (segment, class) series with the lowest
+	// budget-window availability.
+	WorstSegment             string      `json:"worst_segment"`
+	WorstSegmentAvailability float64     `json:"worst_segment_availability"`
+	Attribution              Attribution `json:"attribution"`
+	FastBurnActive           bool        `json:"fast_burn_active"`
+	SlowBurnActive           bool        `json:"slow_burn_active"`
+	// Intervals is the number of demand-bearing intervals in the budget
+	// window, the availability denominator.
+	Intervals int64 `json:"intervals"`
+	// MeanGrantedRate and MeanUsedRate summarize the budget window.
+	MeanGrantedRate float64 `json:"mean_granted_rate"`
+	MeanUsedRate    float64 `json:"mean_used_rate"`
+}
+
+// Report is the full conformance report.
+type Report struct {
+	At        time.Time         `json:"at"`
+	Contracts []ContractVerdict `json:"contracts"`
+}
+
+// Report evaluates pending samples and renders the conformance state of
+// every contract seen so far, sorted by contract name.
+func (e *Engine) Report(now time.Time) *Report {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evaluateLocked(now)
+	rep := &Report{At: now}
+	for _, name := range e.order {
+		cs := e.contracts[name]
+		avail, agg, worst, worstAvail := cs.contractWindows(now)
+		slo, hasSLO := e.objectives[name]
+		v := ContractVerdict{
+			Contract:                 name,
+			SLO:                      slo,
+			HasSLO:                   hasSLO,
+			Conformant:               !hasSLO || avail[3] >= slo,
+			BudgetRemaining:          1,
+			WorstSegmentAvailability: worstAvail,
+			FastBurnActive:           cs.fast.active,
+			SlowBurnActive:           cs.slow.active,
+			Intervals:                agg.Total,
+			Attribution: Attribution{
+				NetworkBadIntervals:  agg.BadNetwork,
+				ServiceOverIntervals: agg.Over,
+			},
+		}
+		if worst != nil {
+			v.WorstSegment = worst.key.Segment
+			if worst.key.Class != "" {
+				v.WorstSegment += " " + worst.key.Class
+			}
+		}
+		// The sums span every series; normalize rates by sample count so
+		// they read as mean bits/s, not per-series stacks.
+		if samples := agg.Total; samples > 0 {
+			v.Attribution.ThrottledRate = agg.Throttled / float64(samples)
+			v.Attribution.OverageRate = agg.Overage / float64(samples)
+			v.MeanGrantedRate = agg.Granted / float64(samples)
+			v.MeanUsedRate = agg.Used / float64(samples)
+		}
+		for i, name := range windowNames {
+			wv := WindowVerdict{Window: name, Availability: avail[i]}
+			if hasSLO {
+				wv.BurnRate = burnRate(avail[i], slo)
+			}
+			v.Windows = append(v.Windows, wv)
+		}
+		if hasSLO {
+			v.BudgetRemaining = 1 - burnRate(avail[3], slo)
+		}
+		rep.Contracts = append(rep.Contracts, v)
+	}
+	sort.Slice(rep.Contracts, func(i, j int) bool { return rep.Contracts[i].Contract < rep.Contracts[j].Contract })
+	return rep
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Text renders the report as an operator-facing table plus per-contract
+// detail lines.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SLO conformance report @ %s\n\n", r.At.UTC().Format(time.RFC3339))
+	if len(r.Contracts) == 0 {
+		b.WriteString("no contracts observed\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-16s %8s %9s %9s %9s %9s %10s %8s\n",
+		"contract", "slo", "avail5m", "avail1h", "avail6h", "avail3d", "budget", "verdict")
+	for _, c := range r.Contracts {
+		verdict := "OK"
+		if !c.Conformant {
+			verdict = "BREACH"
+		}
+		if c.FastBurnActive {
+			verdict += "+PAGE"
+		} else if c.SlowBurnActive {
+			verdict += "+TICKET"
+		}
+		sloStr, budgetStr := "-", "-"
+		if c.HasSLO {
+			sloStr = fmt.Sprintf("%.4f", c.SLO)
+			budgetStr = fmt.Sprintf("%.1f%%", 100*c.BudgetRemaining)
+		}
+		avail := func(i int) string {
+			if i < len(c.Windows) {
+				return fmt.Sprintf("%.4f", c.Windows[i].Availability)
+			}
+			return "-"
+		}
+		fmt.Fprintf(&b, "%-16s %8s %9s %9s %9s %9s %10s %8s\n",
+			c.Contract, sloStr, avail(0), avail(1), avail(2), avail(3), budgetStr, verdict)
+	}
+	b.WriteString("\n")
+	for _, c := range r.Contracts {
+		fmt.Fprintf(&b, "%s: %d intervals, worst segment %q (avail %.4f), granted %.1f Gbps, used %.1f Gbps\n",
+			c.Contract, c.Intervals, c.WorstSegment, c.WorstSegmentAvailability,
+			c.MeanGrantedRate/1e9, c.MeanUsedRate/1e9)
+		fmt.Fprintf(&b, "  attribution: network-throttled %d intervals (%.2f Gbps denied in-entitlement), service-over %d intervals (%.2f Gbps offered beyond entitlement)\n",
+			c.Attribution.NetworkBadIntervals, c.Attribution.ThrottledRate/1e9,
+			c.Attribution.ServiceOverIntervals, c.Attribution.OverageRate/1e9)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package slo
+
+import "time"
+
+// windowBuckets is the number of rotating aggregate buckets per rolling
+// window. Memory per (series, window) is constant — windowBuckets ×
+// ~64B — so total engine memory is O(windows × series), independent of
+// sample volume or run length. The time resolution of a window is
+// dur/windowBuckets (e.g. 5s for the 5m window), which is far finer than
+// the burn-rate thresholds need.
+const windowBuckets = 60
+
+// bucket aggregates the samples of one window-resolution time slice.
+type bucket struct {
+	epoch int64 // slice index = unixNanos / width; stale slices are reused
+	agg   windowAgg
+}
+
+// windowAgg is the additive aggregate a window exposes.
+type windowAgg struct {
+	Good       int64 // samples with tolerable in-entitlement loss
+	BadNetwork int64 // bad samples: in-entitlement traffic denied (network-attributed)
+	Over       int64 // samples where the service offered beyond its entitlement
+	Total      int64
+
+	Granted   float64 // sums of the sample rates, for window averages
+	Used      float64
+	Throttled float64
+	Overage   float64
+}
+
+func (a *windowAgg) add(b windowAgg) {
+	a.Good += b.Good
+	a.BadNetwork += b.BadNetwork
+	a.Over += b.Over
+	a.Total += b.Total
+	a.Granted += b.Granted
+	a.Used += b.Used
+	a.Throttled += b.Throttled
+	a.Overage += b.Overage
+}
+
+// availability is the good fraction of counted samples; an empty window is
+// vacuously available (no demand, no breach).
+func (a windowAgg) availability() float64 {
+	if a.Total == 0 {
+		return 1
+	}
+	return float64(a.Good) / float64(a.Total)
+}
+
+// rolling is a rolling-window aggregate: a ring of windowBuckets slices of
+// width dur/windowBuckets each, reused in place as time advances. Not
+// goroutine-safe; the engine serializes access under its mutex.
+type rolling struct {
+	width   time.Duration
+	buckets [windowBuckets]bucket
+}
+
+func newRolling(dur time.Duration) *rolling {
+	w := dur / windowBuckets
+	if w <= 0 {
+		w = time.Nanosecond
+	}
+	return &rolling{width: w}
+}
+
+func (r *rolling) epochOf(at time.Time) int64 {
+	return at.UnixNano() / int64(r.width)
+}
+
+// add folds one pre-aggregated sample into the slice covering at.
+func (r *rolling) add(at time.Time, a windowAgg) {
+	e := r.epochOf(at)
+	b := &r.buckets[uint64(e)%windowBuckets]
+	if b.epoch != e {
+		// The slice this slot last served has rotated out of the window.
+		b.epoch = e
+		b.agg = windowAgg{}
+	}
+	b.agg.add(a)
+}
+
+// stats sums the slices still inside the window ending at now.
+func (r *rolling) stats(now time.Time) windowAgg {
+	newest := r.epochOf(now)
+	oldest := newest - windowBuckets + 1
+	var out windowAgg
+	for i := range r.buckets {
+		if e := r.buckets[i].epoch; e >= oldest && e <= newest {
+			out.add(r.buckets[i].agg)
+		}
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// syncBuffer is a goroutine-safe log sink (the server logs from its
+// connection goroutine).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func debugLogger(w *syncBuffer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
+var requestIDRE = regexp.MustCompile(`request_id=(\S+)`)
+
+// TestRequestIDPropagatedToLogs is the trace-propagation contract: for one
+// call, the SAME client-generated request ID appears in the client's span
+// and in the server's span.
+func TestRequestIDPropagatedToLogs(t *testing.T) {
+	var clientLog, serverLog syncBuffer
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerOpts(l, func(method string, _ json.RawMessage) (interface{}, error) {
+		return map[string]string{"pong": method}, nil
+	}, ServerOptions{Logger: debugLogger(&serverLog)})
+	defer srv.Close()
+
+	c, err := DialOpts(l.Addr().String(), ClientOptions{Logger: debugLogger(&clientLog)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var reply map[string]string
+	if err := c.Call("ping", nil, &reply); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // flush: the server span is written before the response, but close anyway
+
+	m := requestIDRE.FindStringSubmatch(clientLog.String())
+	if m == nil {
+		t.Fatalf("no request_id in client log:\n%s", clientLog.String())
+	}
+	id := m[1]
+	if id == "" {
+		t.Fatal("empty request ID in client span")
+	}
+	if !strings.Contains(serverLog.String(), "request_id="+id) {
+		t.Fatalf("request ID %s from the client span is missing from the server log:\n%s", id, serverLog.String())
+	}
+}
+
+// TestSetTracePrefixesRequestIDs: after SetTrace, every request ID carries
+// the trace prefix, so a cycle's whole fan-out greps under one token.
+func TestSetTracePrefixesRequestIDs(t *testing.T) {
+	var clientLog syncBuffer
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(l, func(string, json.RawMessage) (interface{}, error) { return nil, nil })
+	defer srv.Close()
+	c, err := DialOpts(l.Addr().String(), ClientOptions{Logger: debugLogger(&clientLog)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.SetTrace("host-7-c42")
+	if err := c.Call("a", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call("b", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.SetTrace("")
+	if err := c.Call("c", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	ids := requestIDRE.FindAllStringSubmatch(clientLog.String(), -1)
+	if len(ids) != 3 {
+		t.Fatalf("want 3 spans, got %d:\n%s", len(ids), clientLog.String())
+	}
+	for _, m := range ids[:2] {
+		if !strings.HasPrefix(m[1], "host-7-c42.") {
+			t.Fatalf("traced request ID %q lacks the trace prefix", m[1])
+		}
+	}
+	if strings.HasPrefix(ids[2][1], "host-7-c42.") {
+		t.Fatalf("request ID %q still carries a cleared trace", ids[2][1])
+	}
+}
+
+// TestRequestIDOnErrors: both RemoteError and TransientError surface the
+// request ID of the failed call.
+func TestRequestIDOnErrors(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(l, func(method string, _ json.RawMessage) (interface{}, error) {
+		return nil, fmt.Errorf("handler says no")
+	})
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.Call("denied", nil, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RemoteError, got %v", err)
+	}
+	if re.RequestID == "" {
+		t.Fatal("RemoteError without a request ID")
+	}
+	if !strings.Contains(re.Error(), re.RequestID) {
+		t.Fatalf("RemoteError message %q does not include its request ID", re.Error())
+	}
+
+	srv.Close() // next call fails in transport
+	err = c.Call("gone", nil, nil)
+	var te *TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("want TransientError, got %v", err)
+	}
+	if te.RequestID == "" {
+		t.Fatal("TransientError without a request ID")
+	}
+	if !strings.Contains(te.Error(), te.RequestID) {
+		t.Fatalf("TransientError message %q does not include its request ID", te.Error())
+	}
+}
+
+// TestResponseIDMismatchBreaksConnection: a response carrying a different
+// request's ID means the stream is desynced; the client must fail the call
+// transiently and drop the connection.
+func TestResponseIDMismatchBreaksConnection(t *testing.T) {
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var req Request
+		if err := ReadMessage(server, &req); err != nil {
+			return
+		}
+		WriteMessage(server, &Response{ID: "not-your-request"})
+	}()
+	c := NewClient(client)
+	defer c.Close()
+	err := c.Call("m", nil, nil)
+	<-done
+	if !IsTransient(err) {
+		t.Fatalf("want transient desync error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "not-your-request") {
+		t.Fatalf("error %q does not explain the ID mismatch", err)
+	}
+	// The connection must be marked broken: a pipe-backed client cannot
+	// re-dial, so the next call fails fast.
+	if err := c.Call("m2", nil, nil); !errors.Is(err, ErrBrokenConn) {
+		t.Fatalf("connection not marked broken after desync: %v", err)
+	}
+}

@@ -17,6 +17,13 @@
 // anything. The server side guards against idle or byte-dribbling peers
 // with an optional per-connection read idle timeout and answers protocol
 // violations with an error response instead of a silent disconnect.
+//
+// Every request carries a client-generated request ID which the server
+// echoes back; both sides attach it to their slog spans (when a Logger is
+// configured) and the client stamps it onto returned errors, so one
+// enforcement cycle's RPC fan-out is correlatable end to end across
+// processes. Client.SetTrace prefixes subsequent IDs with a caller-chosen
+// trace ID (e.g. the enforcement cycle's), tying the fan-out together.
 package wire
 
 import (
@@ -27,9 +34,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -50,10 +59,20 @@ var ErrBrokenConn = errors.New("wire: connection broken")
 // failures, deadline expiry, or the backoff gate rejecting a call while a
 // re-dial is pending. Permanent failures — a RemoteError (the server is up
 // and answered), marshaling problems, oversized frames — are returned bare.
-type TransientError struct{ Err error }
+type TransientError struct {
+	Err error
+	// RequestID is the failed call's request ID, when the failure happened
+	// inside Call (empty for raw transport helpers).
+	RequestID string
+}
 
 // Error implements the error interface.
-func (e *TransientError) Error() string { return fmt.Sprintf("wire: transient: %v", e.Err) }
+func (e *TransientError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("wire: transient [%s]: %v", e.RequestID, e.Err)
+	}
+	return fmt.Sprintf("wire: transient: %v", e.Err)
+}
 
 // Unwrap exposes the underlying error.
 func (e *TransientError) Unwrap() error { return e.Err }
@@ -145,12 +164,18 @@ func ReadMessage(r io.Reader, v interface{}) error {
 
 // Request is the RPC envelope sent by clients.
 type Request struct {
-	Method  string          `json:"method"`
+	Method string `json:"method"`
+	// ID is the client-generated request ID; the server echoes it in the
+	// Response. Optional for wire compatibility with bare senders.
+	ID      string          `json:"id,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
 // Response is the RPC envelope returned by servers.
 type Response struct {
+	// ID echoes the request's ID, correlating the two sides' logs (and
+	// letting the client detect a desynced stream).
+	ID      string          `json:"id,omitempty"`
 	Error   string          `json:"error,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
 }
@@ -166,6 +191,10 @@ type ServerOptions struct {
 	// so a byte-dribbling client cannot hold a goroutine by trickling one
 	// byte at a time. Zero means no timeout.
 	ReadIdleTimeout time.Duration
+	// Logger, if set, emits one span per handled request (method,
+	// request_id, took; Debug on success, Warn on handler error), carrying
+	// the client's request ID so the two sides' logs line up.
+	Logger *slog.Logger
 }
 
 // Server accepts connections and dispatches requests to a Handler.
@@ -268,9 +297,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			continue
 		}
 		mServerRequests.With(req.Method).Inc()
-		var resp Response
+		resp := Response{ID: req.ID} // echo the request ID for correlation
 		mServerInflight.Inc()
+		start := time.Now()
 		result, err := s.handler(req.Method, req.Payload)
+		took := time.Since(start)
 		mServerInflight.Dec()
 		if err != nil {
 			mServerErrors.Inc()
@@ -280,8 +311,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			if merr != nil {
 				mServerErrors.Inc()
 				resp.Error = merr.Error()
+				err = merr
 			} else {
 				resp.Payload = body
+			}
+		}
+		if l := s.opts.Logger; l != nil {
+			attrs := []any{
+				slog.String("method", req.Method),
+				slog.String("request_id", req.ID),
+				slog.Duration("took", took),
+			}
+			if err != nil {
+				l.Warn("wire.serve", append(attrs, slog.Any("err", err))...)
+			} else {
+				l.Debug("wire.serve", attrs...)
 			}
 		}
 		if !respond(&resp) {
@@ -336,6 +380,10 @@ type ClientOptions struct {
 	// Now supplies the clock for backoff bookkeeping; defaults to
 	// time.Now. Tests inject a fake.
 	Now func() time.Time
+	// Logger, if set, emits one span per Call (method, request_id, took;
+	// Debug on success, Warn on failure). The request ID matches the span
+	// the server logs for the same call.
+	Logger *slog.Logger
 }
 
 func (o ClientOptions) withDefaults(addr string) ClientOptions {
@@ -383,6 +431,55 @@ type Client struct {
 	// dial metrics: a successful dial after it is set counts as a repair
 	// of a broken connection.
 	everConnected bool
+
+	// Request-ID state: idBase identifies this client instance, reqSeq
+	// numbers its calls, and trace (guarded by mu) is the optional caller
+	// trace prefix set via SetTrace.
+	idBase string
+	reqSeq atomic.Uint64
+	trace  string
+}
+
+// clientInstances distinguishes clients within one process; combined with
+// a per-process salt it keeps request IDs unique across an agent fleet.
+var clientInstances atomic.Uint64
+
+var processSalt = func() uint32 {
+	h := fnv.New32a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	h.Write(b[:])
+	return h.Sum32()
+}()
+
+// newIDBase builds the per-client request-ID prefix.
+func newIDBase(addr string) string {
+	h := fnv.New32a()
+	h.Write([]byte(addr))
+	return fmt.Sprintf("%08x", h.Sum32()^processSalt^uint32(clientInstances.Add(1)<<24))
+}
+
+// SetTrace sets a trace ID prefixed onto every subsequent request ID (use
+// "" to clear), so a multi-call operation — an enforcement cycle's fan-out
+// to the rate store and contract database — shares one grep-able token
+// across client and server logs.
+func (c *Client) SetTrace(trace string) {
+	c.mu.Lock()
+	c.trace = trace
+	c.mu.Unlock()
+}
+
+// nextRequestID mints the ID for one call: "<trace>.<base>-<seq>" with a
+// trace set, "<base>-<seq>" without.
+func (c *Client) nextRequestID() string {
+	seq := c.reqSeq.Add(1)
+	c.mu.Lock()
+	trace := c.trace
+	c.mu.Unlock()
+	if trace != "" {
+		return fmt.Sprintf("%s.%s-%d", trace, c.idBase, seq)
+	}
+	return fmt.Sprintf("%s-%d", c.idBase, seq)
 }
 
 // Dial connects a client to addr (TCP) with default options: 5s dial
@@ -410,7 +507,7 @@ func DialOpts(addr string, opts ClientOptions) (*Client, error) {
 // It never fails, which is what long-running agents want at startup — the
 // servers may simply not be up yet.
 func Connect(addr string, opts ClientOptions) *Client {
-	return &Client{addr: addr, opts: opts.withDefaults(addr)}
+	return &Client{addr: addr, opts: opts.withDefaults(addr), idBase: newIDBase(addr)}
 }
 
 // NewClient wraps an existing connection. Without an address the client
@@ -422,7 +519,8 @@ func NewClient(conn net.Conn) *Client {
 		bw:   bufio.NewWriter(conn),
 		// No CallTimeout default: the conn may be a pipe in tests, and the
 		// historical NewClient contract had no deadlines.
-		opts: ClientOptions{DialTimeout: -1, CallTimeout: -1, DisableReconnect: true, Now: time.Now},
+		opts:   ClientOptions{DialTimeout: -1, CallTimeout: -1, DisableReconnect: true, Now: time.Now},
+		idBase: newIDBase(conn.RemoteAddr().String()),
 	}
 }
 
@@ -509,13 +607,42 @@ func (c *Client) fail(conn net.Conn) {
 // (which may be nil to discard it). Transport failures — including the
 // per-call deadline firing — come back wrapped in TransientError; a
 // RemoteError means the server processed the request and rejected it.
+// Either way the error carries this call's request ID, matching the span
+// the server logged.
 func (c *Client) Call(method string, args interface{}, reply interface{}) (err error) {
+	id := c.nextRequestID()
 	mClientCalls.With(method).Inc()
 	mClientInflight.Inc()
+	var spanStart time.Time
+	if c.opts.Logger != nil {
+		spanStart = time.Now()
+	}
 	defer func() {
 		mClientInflight.Dec()
 		if err != nil {
 			mClientErrors.With(classify(err)).Inc()
+			// Stamp the ID onto the error for log correlation. Both error
+			// types are freshly allocated per failure, so this mutation
+			// cannot race another caller.
+			var te *TransientError
+			var re *RemoteError
+			if errors.As(err, &te) {
+				te.RequestID = id
+			} else if errors.As(err, &re) {
+				re.RequestID = id
+			}
+		}
+		if l := c.opts.Logger; l != nil {
+			attrs := []any{
+				slog.String("method", method),
+				slog.String("request_id", id),
+				slog.Duration("took", time.Since(spanStart)),
+			}
+			if err != nil {
+				l.Warn("wire.call", append(attrs, slog.Any("err", err))...)
+			} else {
+				l.Debug("wire.call", attrs...)
+			}
 		}
 	}()
 	var payload json.RawMessage
@@ -540,7 +667,7 @@ func (c *Client) Call(method string, args interface{}, reply interface{}) (err e
 	if c.opts.CallTimeout > 0 {
 		conn.SetDeadline(c.opts.Now().Add(c.opts.CallTimeout))
 	}
-	n, err := writeMessageN(bw, &Request{Method: method, Payload: payload})
+	n, err := writeMessageN(bw, &Request{Method: method, ID: id, Payload: payload})
 	if err != nil {
 		c.fail(conn)
 		return &TransientError{Err: err}
@@ -563,6 +690,13 @@ func (c *Client) Call(method string, args interface{}, reply interface{}) (err e
 	}
 	if c.opts.CallTimeout > 0 {
 		conn.SetDeadline(time.Time{})
+	}
+	if resp.ID != "" && resp.ID != id {
+		// The stream delivered someone else's response: framing has
+		// desynced (or the server is broken). Drop the connection rather
+		// than mis-attribute replies.
+		c.fail(conn)
+		return &TransientError{Err: fmt.Errorf("wire: response ID %q does not match request %q", resp.ID, id)}
 	}
 	if resp.Error != "" {
 		return &RemoteError{Method: method, Message: resp.Error}
@@ -593,9 +727,15 @@ func (c *Client) Close() error {
 type RemoteError struct {
 	Method  string
 	Message string
+	// RequestID is the failed call's request ID, matching the server's
+	// span for the same request.
+	RequestID string
 }
 
 // Error implements the error interface.
 func (e *RemoteError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("wire: remote error from %s [%s]: %s", e.Method, e.RequestID, e.Message)
+	}
 	return fmt.Sprintf("wire: remote error from %s: %s", e.Method, e.Message)
 }
