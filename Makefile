@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet vet-metrics test race chaos slo bench bench-smoke cover figures examples
+.PHONY: all build vet vet-metrics vet-imports test race chaos slo bench bench-smoke cover figures examples grantd-demo
 
-all: build vet vet-metrics test
+all: build vet vet-metrics vet-imports test
 
 race:
 	go test -race ./...
@@ -30,6 +30,12 @@ vet-metrics:
 	go vet ./...
 	go test -run TestVetMetricNames -count=1 ./internal/obs/
 
+# Stdlib-only lint: scans the import block of every .go file in the module
+# and fails if anything imports outside the standard library and this module.
+# Guards the repo invariant that builds need no network and no vendoring.
+vet-imports:
+	go test -run TestVetStdlibImports -count=1 ./internal/obs/
+
 test:
 	go test ./...
 
@@ -42,12 +48,12 @@ slo:
 	go test -race -count=1 -timeout 120s -run TestSLOConformanceIncident -v ./internal/integration/
 
 bench:
-	go test -bench=. -benchmem ./...
+	go test -count=1 -bench=. -benchmem ./...
 
 # One iteration of every benchmark: catches benchmarks that no longer
 # compile or panic without paying for a full measurement run.
 bench-smoke:
-	go test -run=NONE -bench=. -benchtime=1x ./...
+	go test -count=1 -run=NONE -bench=. -benchtime=1x ./...
 
 cover:
 	go test -cover ./internal/...
@@ -55,6 +61,11 @@ cover:
 # Regenerate every evaluation figure (text). Use FIGURE=fig-25 to filter.
 figures:
 	go run ./cmd/benchgen $(if $(FIGURE),-figure $(FIGURE),)
+
+# Self-contained grantd walkthrough: in-process contract database, one
+# online grant through the service, two enforcement agents picking it up.
+grantd-demo:
+	go run ./cmd/grantd -demo
 
 examples:
 	go run ./examples/quickstart

@@ -1,11 +1,14 @@
-// Command granting runs the full entitlement-granting pipeline (§3.2 steps
-// 1–3) on a synthetic WAN and workload: demand forecast → segmented-hose
-// contract representation → SLO-aware approval. It prints the resulting
-// contracts and any counter-proposals.
+// Command granting runs the entitlement-granting pipeline (§3.2 steps 1–3)
+// on a synthetic WAN and workload: demand forecast → segmented-hose contract
+// representation → SLO-aware admission. The decision itself goes through
+// internal/granting — the same code path grantd serves online — so the batch
+// output here is byte-identical to what a grantd with the same configuration
+// decides; -submit routes the prepared requests to a running grantd instead
+// of deciding in-process.
 //
 // Usage:
 //
-//	granting [-regions N] [-tail N] [-days N] [-rate Tbps] [-slo X] [-workers N] [-seed N] [-v]
+//	granting [-regions N] [-tail N] [-days N] [-rate Tbps] [-slo X] [-workers N] [-seed N] [-submit addr] [-v]
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"entitlement/internal/contractdb"
 	"entitlement/internal/core"
 	"entitlement/internal/forecast"
+	"entitlement/internal/granting"
 	"entitlement/internal/risk"
 	"entitlement/internal/topology"
 	"entitlement/internal/trace"
@@ -34,16 +38,16 @@ func main() {
 	workers := flag.Int("workers", 0, "risk-simulation worker goroutines (0 = all cores, 1 = serial)")
 	seed := flag.Int64("seed", 1, "random seed")
 	traceFile := flag.String("trace", "", "CSV traffic history (npg,class,src,dst,offset_seconds,bits_per_second) instead of synthetic demand")
-	verbose := flag.Bool("v", false, "print per-hose approvals")
+	submit := flag.String("submit", "", "grantd address: submit the prepared requests instead of deciding in-process")
 	flag.Parse()
 
-	if err := run(*regions, *tail, *days, *rateTbps, *slo, *scenarios, *workers, *seed, *traceFile, *verbose); err != nil {
+	if err := run(*regions, *tail, *days, *rateTbps, *slo, *scenarios, *workers, *seed, *traceFile, *submit); err != nil {
 		fmt.Fprintf(os.Stderr, "granting: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(regions, tail, days int, rateTbps, slo float64, scenarios, workers int, seed int64, traceFile string, verbose bool) error {
+func run(regions, tail, days int, rateTbps, slo float64, scenarios, workers int, seed int64, traceFile, submit string) error {
 	topoOpts := topology.DefaultBackboneOptions()
 	topoOpts.Regions = regions
 	topoOpts.Seed = seed
@@ -71,8 +75,6 @@ func run(regions, tail, days int, rateTbps, slo float64, scenarios, workers int,
 		for _, npg := range ds.NPGs() {
 			highTouch[npg] = true // user-supplied traces: entitle every NPG
 		}
-		// The topology must cover the trace's regions; add any missing ones
-		// so validation fails loudly later rather than silently dropping.
 		fmt.Printf("workload: %d flow aggregates loaded from %s\n", len(ds.Flows), traceFile)
 	} else {
 		specs := trace.DefaultOntology(tail)
@@ -105,50 +107,67 @@ func run(regions, tail, days int, rateTbps, slo float64, scenarios, workers int,
 	opts.MinPipeRate = 1e9
 	opts.Approval = approval.Options{
 		RepresentativeTMs: 4,
+		DefaultSLO:        opts.DefaultSLO,
 		Risk:              risk.Options{Scenarios: scenarios, Seed: seed + 2, Workers: workers},
 		Seed:              seed + 3,
 	}
 
+	// Steps 1–2: forecast and hose representation.
 	db := contractdb.NewStore()
 	fw := core.New(topo, db)
 	t0 := time.Now()
-	rep, err := fw.EstablishContracts(ds, opts)
+	rep, err := fw.PrepareRequests(ds, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("pipeline: %d pipes -> %d hoses -> %d contracts in %v\n",
-		len(rep.Pipes), len(rep.Hoses), len(rep.Contracts), time.Since(t0).Round(time.Millisecond))
-	fmt.Printf("approval fraction: %.1f%%\n", 100*rep.Approval.ApprovalFraction())
+	reqs := core.GrantRequests(rep.Hoses, opts, start.Unix())
+	gopts := granting.Options{Approval: opts.Approval, PeriodDays: forecast.QuarterDays}
 
-	if verbose {
-		fmt.Println("\nper-hose approvals:")
-		for i := range rep.Approval.Approvals {
-			a := &rep.Approval.Approvals[i]
-			status := "FULL"
-			if !a.FullyApproved {
-				status = "PARTIAL"
+	// Step 3: admission — in-process or via a running grantd.
+	var decs []granting.Decision
+	if submit == "" {
+		decs, err = granting.DecideBatch(topo, reqs, gopts)
+		if err != nil {
+			return err
+		}
+	} else {
+		client, err := granting.Dial(submit)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		ids, err := client.SubmitGroup(reqs)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			d, err := client.Decide(id, 5*time.Minute)
+			if err != nil {
+				return err
 			}
-			fmt.Printf("  %-48s %8.1fG of %8.1fG  %s\n",
-				a.Request.Key(), a.ApprovedRate/1e9, a.Request.Rate/1e9, status)
+			decs = append(decs, *d)
 		}
 	}
 
-	fmt.Println("\ncontracts:")
-	for _, c := range rep.Contracts {
-		total := 0.0
-		for _, e := range c.Entitlements {
-			total += e.Rate
+	// Admittable fraction keeps the Figure-22 semantics: approved volume
+	// over requested volume, counting partial approvals.
+	var requested, admittable float64
+	contracts := 0
+	for i := range decs {
+		for _, h := range decs[i].Hoses {
+			requested += h.Requested
+			admittable += h.Approved
 		}
-		fmt.Printf("  %-16s SLO %.4f  %2d entitlements  %8.1fG total\n",
-			c.NPG, float64(c.SLO), len(c.Entitlements), total/1e9)
+		if decs[i].Contract != nil {
+			contracts++
+		}
+	}
+	fmt.Printf("pipeline: %d pipes -> %d hoses -> %d requests (%d contracts) in %v\n",
+		len(rep.Pipes), len(rep.Hoses), len(reqs), contracts, time.Since(t0).Round(time.Millisecond))
+	if requested > 0 {
+		fmt.Printf("approval fraction: %.1f%%\n", 100*admittable/requested)
 	}
 
-	if len(rep.Proposals) > 0 {
-		fmt.Println("\ncounter-proposals (under-approved requests):")
-		for _, p := range rep.Proposals {
-			fmt.Printf("  %-48s admittable %8.1fG (short %8.1fG), alternatives: %v\n",
-				p.Hose.Key(), p.AdmittableRate/1e9, p.Shortfall/1e9, p.AlternativeRegions)
-		}
-	}
+	fmt.Print(granting.FormatDecisions(decs))
 	return nil
 }

@@ -305,6 +305,22 @@ func Approve(topo *topology.Topology, hoses []hose.Request, opts Options) (*Resu
 	return result, nil
 }
 
+// SortRequests orders hose requests canonically — by key, then rate — in
+// place. Approve seeds its per-hose samplers by input index, so hose ORDER
+// (not just set membership) is part of an assessment's identity; callers
+// that assemble a batch from concurrently arriving submissions (the granting
+// service's admission queue) sort first so the same request set is decided
+// byte-identically no matter the arrival interleaving.
+func SortRequests(hoses []hose.Request) {
+	sort.SliceStable(hoses, func(i, j int) bool {
+		ki, kj := hoses[i].Key(), hoses[j].Key()
+		if ki != kj {
+			return ki < kj
+		}
+		return hoses[i].Rate < hoses[j].Rate
+	})
+}
+
 func sortedRegions(m map[topology.Region]float64) []topology.Region {
 	out := make([]topology.Region, 0, len(m))
 	for r := range m {

@@ -367,3 +367,30 @@ func TestApproveJointFallsBackWithoutBothDirections(t *testing.T) {
 		t.Errorf("fallback approval = %v", res.Approvals[0].ApprovedRate)
 	}
 }
+
+func TestSortRequestsCanonicalOrder(t *testing.T) {
+	// Approve seeds samplers by input index, so arrival order changes the
+	// assessment identity; SortRequests is the canonicalization the online
+	// admission queue relies on for byte-identical decisions.
+	hoses := []hose.Request{
+		{NPG: "Web", Class: contract.C2Low, Region: "B", Direction: contract.Egress, Rate: 30},
+		{NPG: "Ads", Class: contract.C3Low, Region: "A", Direction: contract.Ingress, Rate: 10},
+		{NPG: "Web", Class: contract.C2Low, Region: "B", Direction: contract.Egress, Rate: 20},
+		{NPG: "Ads", Class: contract.C2Low, Region: "A", Direction: contract.Egress, Rate: 50},
+	}
+	SortRequests(hoses)
+	for i := 1; i < len(hoses); i++ {
+		ki, kj := hoses[i-1].Key(), hoses[i].Key()
+		if ki > kj || (ki == kj && hoses[i-1].Rate > hoses[i].Rate) {
+			t.Fatalf("not canonical at %d: %s %v then %s %v", i, ki, hoses[i-1].Rate, kj, hoses[i].Rate)
+		}
+	}
+	// Idempotent: sorting a sorted slice changes nothing.
+	again := append([]hose.Request(nil), hoses...)
+	SortRequests(again)
+	for i := range hoses {
+		if again[i].Key() != hoses[i].Key() || again[i].Rate != hoses[i].Rate {
+			t.Fatalf("sort not idempotent at %d", i)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"entitlement/internal/contract"
 	"entitlement/internal/contractdb"
 	"entitlement/internal/forecast"
+	"entitlement/internal/granting"
 	"entitlement/internal/hose"
 	"entitlement/internal/timeseries"
 	"entitlement/internal/topology"
@@ -107,17 +108,18 @@ func effectiveNPG(npg contract.NPG, highTouch map[contract.NPG]bool) contract.NP
 	return trace.LowTouchNPG
 }
 
-// EstablishContracts runs the full granting pipeline on a demand history and
-// stores the resulting contracts in the database.
-func (f *Framework) EstablishContracts(history *trace.DemandSet, opts Options) (*Report, error) {
-	if f.Topo == nil || f.DB == nil {
-		return nil, errors.New("core: framework missing topology or database")
+// PrepareRequests runs steps 1–2 of the granting pipeline — demand forecast
+// and segmented/balanced hose representation — and returns a report with
+// Pipes and Hoses filled. It is the demand side of the process, split out so
+// online admission (cmd/grantd, cmd/granting -submit) can prepare requests
+// once and route the decision through the granting service instead of the
+// in-process approval below.
+func (f *Framework) PrepareRequests(history *trace.DemandSet, opts Options) (*Report, error) {
+	if f.Topo == nil {
+		return nil, errors.New("core: framework missing topology")
 	}
 	if history == nil || len(history.Flows) == 0 {
 		return nil, errors.New("core: empty demand history")
-	}
-	if opts.PeriodStart.IsZero() {
-		return nil, errors.New("core: missing period start")
 	}
 
 	// --- Step 1: demand forecast per (grouped NPG, class, src, dst). -----
@@ -224,6 +226,23 @@ func (f *Framework) EstablishContracts(history *trace.DemandSet, opts Options) (
 		balanced = append(balanced, hose.BalanceHoses(byClass[c], regions, c)...)
 	}
 	report.Hoses = balanced
+	return report, nil
+}
+
+// EstablishContracts runs the full granting pipeline on a demand history and
+// stores the resulting contracts in the database: PrepareRequests (steps
+// 1–2), then approval (step 3) and contracts into the database (step 4).
+func (f *Framework) EstablishContracts(history *trace.DemandSet, opts Options) (*Report, error) {
+	if f.Topo == nil || f.DB == nil {
+		return nil, errors.New("core: framework missing topology or database")
+	}
+	if opts.PeriodStart.IsZero() {
+		return nil, errors.New("core: missing period start")
+	}
+	report, err := f.PrepareRequests(history, opts)
+	if err != nil {
+		return nil, err
+	}
 
 	// --- Step 3: approval. ------------------------------------------------
 	apprOpts := opts.Approval
@@ -233,7 +252,7 @@ func (f *Framework) EstablishContracts(history *trace.DemandSet, opts Options) (
 	if apprOpts.DefaultSLO == 0 {
 		apprOpts.DefaultSLO = opts.DefaultSLO
 	}
-	res, err := approval.Approve(f.Topo, balanced, apprOpts)
+	res, err := approval.Approve(f.Topo, report.Hoses, apprOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: approval: %w", err)
 	}
@@ -241,39 +260,42 @@ func (f *Framework) EstablishContracts(history *trace.DemandSet, opts Options) (
 	report.Proposals = approval.Negotiate(res)
 
 	// --- Step 4: contracts into the database. -----------------------------
-	periodEnd := opts.PeriodStart.Add(forecast.QuarterDays * 24 * time.Hour)
-	byNPG := make(map[contract.NPG]*contract.Contract)
-	var npgs []contract.NPG
-	for i := range res.Approvals {
-		a := &res.Approvals[i]
-		if a.Request.NPG == hose.DummyNPG {
-			continue // balancing filler is not a real customer
-		}
-		c := byNPG[a.Request.NPG]
-		if c == nil {
-			slo := opts.DefaultSLO
-			if s, ok := opts.SLO[a.Request.NPG]; ok {
-				slo = s
-			}
-			c = &contract.Contract{NPG: a.Request.NPG, SLO: slo, Approved: true}
-			byNPG[a.Request.NPG] = c
-			npgs = append(npgs, a.Request.NPG)
-		}
-		c.Entitlements = append(c.Entitlements, contract.Entitlement{
-			NPG: a.Request.NPG, Class: a.Request.Class, Region: a.Request.Region,
-			Direction: a.Request.Direction, Rate: a.ApprovedRate,
-			Start: opts.PeriodStart, End: periodEnd,
-		})
-	}
-	sort.Slice(npgs, func(i, j int) bool { return npgs[i] < npgs[j] })
-	for _, npg := range npgs {
-		c := byNPG[npg]
-		if err := f.DB.Put(*c); err != nil {
-			return nil, fmt.Errorf("core: store contract for %s: %w", npg, err)
-		}
-		report.Contracts = append(report.Contracts, *c)
+	if err := f.storeContracts(report, opts); err != nil {
+		return nil, err
 	}
 	return report, nil
+}
+
+// GrantRequests groups prepared hoses per NPG into granting requests — the
+// bridge from the demand pipeline to the online admission service. Hoses
+// keep their prepared order inside each request; requests come out sorted by
+// NPG (the balancing filler rides along so the assessment matches the batch
+// pipeline's competition exactly). Every request opts into the §8
+// negotiation fallback, so contracts land at the admittable volume — the
+// same semantics as EstablishContracts' step 4, which stores approved rates
+// even for partially approved hoses.
+func GrantRequests(hoses []hose.Request, opts Options, startUnix int64) []granting.Request {
+	byNPG := make(map[contract.NPG]*granting.Request)
+	var npgs []contract.NPG
+	for _, h := range hoses {
+		r := byNPG[h.NPG]
+		if r == nil {
+			var slo contract.SLO
+			if s, ok := opts.SLO[h.NPG]; ok {
+				slo = s
+			}
+			r = &granting.Request{NPG: h.NPG, SLO: slo, StartUnix: startUnix, Negotiate: true}
+			byNPG[h.NPG] = r
+			npgs = append(npgs, h.NPG)
+		}
+		r.Hoses = append(r.Hoses, h)
+	}
+	sort.Slice(npgs, func(i, j int) bool { return npgs[i] < npgs[j] })
+	out := make([]granting.Request, 0, len(npgs))
+	for _, npg := range npgs {
+		out = append(out, *byNPG[npg])
+	}
+	return out
 }
 
 // NegotiationRound records one automated negotiation iteration (§8:

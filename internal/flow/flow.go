@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"entitlement/internal/topology"
@@ -740,4 +741,68 @@ func (r *Runner) pushDemand(di int, want, maxPathLen float64) float64 {
 // hold a Runner instead to amortize the scratch buffers.
 func Allocate(t *topology.Topology, state *topology.FailureState, demands []Demand, opts AllocateOptions) *Allocation {
 	return NewRunner(t).Allocate(state, demands, opts)
+}
+
+// RunnerPool recycles Runners over one topology across successive risk
+// passes, so a long-running granting service does not rebuild Dijkstra/Dinic
+// scratch and residual arrays for every admission decision. Allocate fully
+// resets a Runner's state per call, so a recycled Runner produces
+// byte-identical allocations to a fresh one.
+//
+// The pool is safe for concurrent Get/Put; individual Runners remain
+// single-goroutine. The free list is capped so a one-off burst of workers
+// does not pin scratch memory forever.
+type RunnerPool struct {
+	topo *topology.Topology
+	mu   sync.Mutex
+	free []*Runner
+	// maxIdle bounds the free list; Put drops runners beyond it.
+	maxIdle int
+}
+
+// NewRunnerPool creates a pool whose Runners allocate over t. maxIdle bounds
+// the retained free list (<=0 means a default of 16).
+func NewRunnerPool(t *topology.Topology, maxIdle int) *RunnerPool {
+	if maxIdle <= 0 {
+		maxIdle = 16
+	}
+	return &RunnerPool{topo: t, maxIdle: maxIdle}
+}
+
+// Topology returns the topology the pool's Runners are bound to. Callers
+// sharing a pool across assessments must check it matches the topology they
+// are about to assess (a Runner is topology-specific).
+func (p *RunnerPool) Topology() *topology.Topology { return p.topo }
+
+// Get returns a free Runner or creates one.
+func (p *RunnerPool) Get() *Runner {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return r
+	}
+	p.mu.Unlock()
+	return NewRunner(p.topo)
+}
+
+// Put returns a Runner to the pool. Only Runners obtained from Get (or built
+// over the pool's topology) may be returned.
+func (p *RunnerPool) Put(r *Runner) {
+	if r == nil || r.topo != p.topo {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < p.maxIdle {
+		p.free = append(p.free, r)
+	}
+	p.mu.Unlock()
+}
+
+// Idle reports the current free-list size (for tests and stats).
+func (p *RunnerPool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
 }

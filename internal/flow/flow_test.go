@@ -468,3 +468,49 @@ func TestMaxFlowLineProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRunnerPoolRecycling checks the pool's reuse contract: recycled runners
+// allocate byte-identically to fresh ones, Put respects the idle cap and the
+// topology binding, and Get falls back to construction when empty.
+func TestRunnerPoolRecycling(t *testing.T) {
+	topo := topology.FigureSix()
+	demands := []Demand{
+		{Key: "x", Src: "A", Dst: "C", Rate: 800e9, Class: 0},
+		{Key: "y", Src: "B", Dst: "E", Rate: 600e9, Class: 1},
+	}
+	state := topo.AllUp()
+	state.FailLink(0)
+	fresh := NewRunner(topo).Allocate(state, demands, AllocateOptions{})
+
+	pool := NewRunnerPool(topo, 2)
+	r1 := pool.Get()
+	// Dirty the runner with a different allocation, recycle, and re-check.
+	r1.Allocate(topo.AllUp(), demands[:1], AllocateOptions{})
+	pool.Put(r1)
+	r2 := pool.Get()
+	if r2 != r1 {
+		t.Fatal("pool did not recycle the returned runner")
+	}
+	got := r2.Allocate(state, demands, AllocateOptions{})
+	for _, d := range demands {
+		if got.Admitted[d.Key] != fresh.Admitted[d.Key] {
+			t.Errorf("recycled runner admitted %v for %s, fresh %v",
+				got.Admitted[d.Key], d.Key, fresh.Admitted[d.Key])
+		}
+	}
+
+	// Idle cap: a third Put is dropped.
+	pool.Put(NewRunner(topo))
+	pool.Put(NewRunner(topo))
+	pool.Put(NewRunner(topo))
+	if n := pool.Idle(); n != 2 {
+		t.Errorf("idle = %d, want capped at 2", n)
+	}
+	// Foreign runners are refused.
+	other := topology.FigureSix()
+	empty := NewRunnerPool(topo, 2)
+	empty.Put(NewRunner(other))
+	if n := empty.Idle(); n != 0 {
+		t.Errorf("foreign runner retained (idle=%d)", n)
+	}
+}

@@ -1,0 +1,169 @@
+// The admission cache: everything the service reuses across decisions, all
+// keyed under the topology epoch so a capacity edit or link addition drops
+// the whole warm state at once (stale risk conclusions must never outlive
+// the network they were computed on).
+//
+// Two levels:
+//
+//   - Scenario level: Monte-Carlo failure-scenario sets per (seed, count),
+//     plugged into risk.Options.StatesFor, plus a flow.RunnerPool that
+//     recycles allocator scratch. Both keep a warm assessment allocation-
+//     light but still pay the full routing cost.
+//   - Decision level: a memo of whole-batch outcomes keyed by the canonical
+//     batch signature. A re-submitted request set (idempotent retries,
+//     replayed grants) skips the risk pass entirely — contracts are still
+//     re-stored so the grant stays effective.
+//
+// The decision memo keys on the WHOLE batch, never per request: co-batched
+// hoses compete for the same capacity, so a request's outcome is only
+// reusable when the entire batch composition matches.
+
+package granting
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+
+	"entitlement/internal/contract"
+	"entitlement/internal/flow"
+	"entitlement/internal/risk"
+	"entitlement/internal/topology"
+)
+
+type stateKey struct {
+	seed      int64
+	scenarios int
+}
+
+type cache struct {
+	topo *topology.Topology
+
+	mu        sync.Mutex
+	epoch     uint64
+	states    map[stateKey][]*topology.FailureState
+	pool      *flow.RunnerPool
+	decisions map[uint64][]Decision
+	maxMemo   int
+}
+
+func newCache(topo *topology.Topology) *cache {
+	c := &cache{topo: topo, maxMemo: 1024}
+	c.flushLocked()
+	c.epoch = topo.Epoch()
+	return c
+}
+
+// flushLocked drops all warm state (scenarios, runners, memoized decisions).
+func (c *cache) flushLocked() {
+	c.states = make(map[stateKey][]*topology.FailureState)
+	c.decisions = make(map[uint64][]Decision)
+	c.pool = flow.NewRunnerPool(c.topo, 0)
+}
+
+// ensureEpochLocked flushes if the topology mutated since the cache was
+// warmed.
+func (c *cache) ensureEpochLocked() {
+	if ep := c.topo.Epoch(); ep != c.epoch {
+		c.flushLocked()
+		c.epoch = ep
+		mCacheFlushes.Inc()
+	}
+}
+
+// statesFor is the risk.Options.StatesFor hook: it serves (and fills) the
+// scenario set for the per-pass seed/count the approval pipeline asks for.
+// Passes over other topologies (planned-change phases) are not cached.
+func (c *cache) statesFor(topo *topology.Topology, o risk.Options) []*topology.FailureState {
+	if topo != c.topo {
+		return nil // fall back to sampling
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureEpochLocked()
+	k := stateKey{seed: o.Seed, scenarios: o.Scenarios}
+	if s, ok := c.states[k]; ok {
+		mScenarioCacheHits.Inc()
+		return s
+	}
+	mScenarioCacheMisses.Inc()
+	s := risk.SampleStates(topo, risk.Options{Scenarios: o.Scenarios, Seed: o.Seed})
+	c.states[k] = s
+	return s
+}
+
+// runnerPool returns the epoch-current pool.
+func (c *cache) runnerPool() *flow.RunnerPool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureEpochLocked()
+	return c.pool
+}
+
+// batchKey hashes the canonical identity of a batch decision: the sorted
+// request signatures plus every option that changes outcomes. Risk.Workers
+// is deliberately excluded (parallelism never changes results).
+func batchKey(reqs []Request, o *Options) uint64 {
+	sigs := make([]string, len(reqs))
+	for i := range reqs {
+		sigs[i] = reqs[i].Signature()
+	}
+	sort.Strings(sigs)
+	h := fnv.New64a()
+	for _, s := range sigs {
+		h.Write([]byte(s))
+		h.Write([]byte{'\n'})
+	}
+	h.Write([]byte("opts|"))
+	h.Write([]byte(strconv.Itoa(o.Approval.RepresentativeTMs)))
+	h.Write([]byte{'|'})
+	h.Write([]byte(fhex(float64(o.Approval.DefaultSLO))))
+	h.Write([]byte{'|'})
+	h.Write([]byte(strconv.FormatBool(o.Approval.JointRealizations)))
+	h.Write([]byte{'|'})
+	h.Write([]byte(strconv.FormatInt(o.Approval.Seed, 10)))
+	h.Write([]byte{'|'})
+	h.Write([]byte(strconv.FormatInt(o.Approval.Risk.Seed, 10)))
+	h.Write([]byte{'|'})
+	h.Write([]byte(strconv.Itoa(o.Approval.Risk.Scenarios)))
+	h.Write([]byte{'|'})
+	h.Write([]byte(strconv.FormatBool(o.Approval.Risk.SkipAllUp)))
+	h.Write([]byte{'|'})
+	h.Write([]byte(strconv.Itoa(o.PeriodDays)))
+	keys := make([]string, 0, len(o.Approval.SLOs))
+	for npg := range o.Approval.SLOs {
+		keys = append(keys, string(npg))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Write([]byte{'|'})
+		h.Write([]byte(k))
+		h.Write([]byte{'='})
+		h.Write([]byte(fhex(float64(o.Approval.SLOs[contract.NPG(k)]))))
+	}
+	return h.Sum64()
+}
+
+// lookup returns a memoized decision set for the batch key, if the epoch is
+// still current.
+func (c *cache) lookup(key uint64) ([]Decision, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureEpochLocked()
+	d, ok := c.decisions[key]
+	return d, ok
+}
+
+// store memoizes a decided batch. The memo is bounded: at capacity it resets
+// (epoch-style) rather than tracking recency — correctness never depends on
+// a hit.
+func (c *cache) store(key uint64, decs []Decision) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureEpochLocked()
+	if len(c.decisions) >= c.maxMemo {
+		c.decisions = make(map[uint64][]Decision)
+	}
+	c.decisions[key] = decs
+}

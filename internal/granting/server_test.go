@@ -1,0 +1,120 @@
+package granting
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"entitlement/internal/contract"
+	"entitlement/internal/contractdb"
+	"entitlement/internal/hose"
+	"entitlement/internal/topology"
+)
+
+func startServer(t *testing.T, sink Sink) (*Service, *Server) {
+	t.Helper()
+	topo := topology.FigureSix()
+	svc := NewService(topo, sink, testOptions(0))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(l, svc)
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return svc, srv
+}
+
+// TestServerRoundTrip drives the full RPC surface over a real socket.
+func TestServerRoundTrip(t *testing.T) {
+	db := contractdb.NewStore()
+	_, srv := startServer(t, db)
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Submit + Decide: a negotiable ask lands a contract.
+	dec, err := client.SubmitWait(Request{
+		NPG: "Web", Negotiate: true, StartUnix: testStart.Unix(),
+		Hoses: []hose.Request{{Class: contract.C2Low, Region: "A", Direction: contract.Egress, Rate: 40e9}},
+	}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Status != StatusApproved && dec.Status != StatusNegotiated {
+		t.Fatalf("expected a grant, got %s (%s)", dec.Status, dec.Err)
+	}
+	if dec.Contract == nil || db.Len() != 1 {
+		t.Fatalf("granted contract not stored (db has %d)", db.Len())
+	}
+
+	// Status on a decided id, then on garbage.
+	state, sd, err := client.Status(dec.ID)
+	if err != nil || state != "decided" || sd == nil {
+		t.Fatalf("status(%s) = %s, %v, %v", dec.ID, state, sd, err)
+	}
+	state, _, err = client.Status("g-999999")
+	if err != nil || state != "unknown" {
+		t.Fatalf("status(bogus) = %s, %v", state, err)
+	}
+
+	// An oversubscribed ask over the wire: rejection with a proposal.
+	dec, err = client.SubmitWait(Request{
+		NPG: "Greedy", StartUnix: testStart.Unix(),
+		Hoses: []hose.Request{{Class: contract.C3Low, Region: "B", Direction: contract.Egress, Rate: 9e12}},
+	}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Status != StatusRejected {
+		t.Fatalf("oversubscribed ask not rejected: %s", dec.Status)
+	}
+	if len(dec.Proposals) == 0 || dec.Proposals[0].Shortfall <= 0 {
+		t.Fatalf("rejection carries no counter-proposal: %+v", dec.Proposals)
+	}
+	if dec.Contract != nil || db.Len() != 1 {
+		t.Fatal("rejected ask must not store a contract")
+	}
+
+	// Group submission keeps per-request ids aligned.
+	ids, err := client.SubmitGroup([]Request{
+		{NPG: "G1", Negotiate: true, StartUnix: testStart.Unix(),
+			Hoses: []hose.Request{{Class: contract.C3Low, Region: "C", Direction: contract.Egress, Rate: 5e9}}},
+		{NPG: "G2", Negotiate: true, StartUnix: testStart.Unix(),
+			Hoses: []hose.Request{{Class: contract.C3Low, Region: "D", Direction: contract.Egress, Rate: 5e9}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("group returned %d ids", len(ids))
+	}
+	for i, id := range ids {
+		d, err := client.Decide(id, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := contract.NPG([]string{"G1", "G2"}[i])
+		if d.NPG != want {
+			t.Errorf("id %s decided for %s, want %s", id, d.NPG, want)
+		}
+	}
+
+	// Report reflects the traffic.
+	rep, err := client.Report(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Decided != 4 || len(rep.Decisions) != 4 {
+		t.Errorf("report: %+v with %d decisions", rep.Stats, len(rep.Decisions))
+	}
+
+	// Invalid request is rejected server-side with a RemoteError.
+	if _, err := client.Submit(Request{}); err == nil {
+		t.Error("empty request accepted over the wire")
+	}
+}

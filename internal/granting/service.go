@@ -1,0 +1,396 @@
+package granting
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"entitlement/internal/contract"
+	"entitlement/internal/topology"
+)
+
+// Sink receives granted contracts; both contractdb.Store (in-process) and
+// contractdb.Client (remote database) satisfy it. A nil sink keeps grantd
+// decision-only.
+type Sink interface {
+	Put(c contract.Contract) error
+}
+
+// ErrPending is returned by Wait when the decision has not landed within the
+// caller's patience.
+var ErrPending = errors.New("granting: decision pending")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("granting: service closed")
+
+// Stats is a point-in-time snapshot of the service counters, for the report
+// endpoint and tests.
+type Stats struct {
+	Submitted  int64  `json:"submitted"`
+	Decided    int64  `json:"decided"`
+	Approved   int64  `json:"approved"`
+	Negotiated int64  `json:"negotiated"`
+	Rejected   int64  `json:"rejected"`
+	Errors     int64  `json:"errors"`
+	Batches    int64  `json:"batches"`
+	QueueDepth int    `json:"queue_depth"`
+	MemoHits   int64  `json:"decision_cache_hits"`
+	MemoMisses int64  `json:"decision_cache_misses"`
+	Epoch      uint64 `json:"topology_epoch"`
+}
+
+// submission is one queue entry: a group of requests decided atomically in
+// one risk pass (SubmitGroup), or a single request eligible for coalescing.
+type submission struct {
+	reqs     []Request
+	ids      []string
+	enqueued time.Time
+	done     chan struct{}
+	err      error
+}
+
+// Service is the admission queue around DecideBatch: a single decider
+// goroutine drains submissions — coalescing compatible singles into one
+// batch — decides them through the epoch-keyed cache, and pushes granted
+// contracts into the sink. Submissions are asynchronous; callers follow up
+// with Wait or Status.
+type Service struct {
+	topo *topology.Topology
+	sink Sink
+	opts Options
+	c    *cache
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*submission
+	subs    map[string]*submission // pending id → submission
+	decided map[string]*Decision
+	order   []string // decided ids, oldest first (retention ring)
+	stats   Stats
+	seq     uint64
+	closed  bool
+	done    chan struct{}
+}
+
+// NewService starts the decider. Close releases it.
+func NewService(topo *topology.Topology, sink Sink, opts Options) *Service {
+	s := &Service{
+		topo: topo,
+		sink: sink,
+		opts: opts.withDefaults(),
+		c:    newCache(topo),
+		subs: make(map[string]*submission),
+
+		decided: make(map[string]*Decision),
+		done:    make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+// Submit enqueues one request and returns its id immediately. The request is
+// validated up front so queue-time failures cannot happen; a zero StartUnix
+// is pinned to the submission clock (retries of the pinned request are then
+// idempotent and memoizable).
+func (s *Service) Submit(req Request) (string, error) {
+	ids, err := s.submit([]Request{req})
+	if err != nil {
+		return "", err
+	}
+	return ids[0], nil
+}
+
+// SubmitGroup enqueues requests that must be decided together in one risk
+// pass — the batch-CLI equivalence path. The group is atomic: it never
+// coalesces with other submissions.
+func (s *Service) SubmitGroup(reqs []Request) ([]string, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("granting: empty group")
+	}
+	return s.submit(reqs)
+}
+
+func (s *Service) submit(reqs []Request) ([]string, error) {
+	now := s.opts.Now()
+	for i := range reqs {
+		if err := reqs[i].Validate(s.topo); err != nil {
+			return nil, err
+		}
+		if reqs[i].StartUnix == 0 {
+			reqs[i].StartUnix = now.Unix()
+		}
+	}
+	if len(reqs) > 1 {
+		// Group members share one risk pass; colliding flow sets cannot.
+		seen := make(map[string]bool)
+		for i := range reqs {
+			for j := range reqs[i].Hoses {
+				k := reqs[i].Hoses[j].Key()
+				if seen[k] {
+					return nil, fmt.Errorf("granting: hose %s appears twice in group", k)
+				}
+				seen[k] = true
+			}
+		}
+	}
+	sub := &submission{reqs: reqs, enqueued: now, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	sub.ids = make([]string, len(reqs))
+	for i := range reqs {
+		s.seq++
+		sub.ids[i] = fmt.Sprintf("g-%d", s.seq)
+		s.subs[sub.ids[i]] = sub
+	}
+	s.queue = append(s.queue, sub)
+	s.stats.Submitted += int64(len(reqs))
+	mRequests.Add(int64(len(reqs)))
+	mQueueDepth.Set(float64(s.queueLenLocked()))
+	s.cond.Signal()
+	s.mu.Unlock()
+	return append([]string(nil), sub.ids...), nil
+}
+
+func (s *Service) queueLenLocked() int {
+	n := 0
+	for _, sub := range s.queue {
+		n += len(sub.reqs)
+	}
+	return n
+}
+
+// Wait blocks until the decision for id lands (or timeout; ErrPending).
+func (s *Service) Wait(id string, timeout time.Duration) (*Decision, error) {
+	s.mu.Lock()
+	if d, ok := s.decided[id]; ok {
+		s.mu.Unlock()
+		return d, nil
+	}
+	sub, ok := s.subs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("granting: unknown request id %q", id)
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-sub.done:
+	case <-t.C:
+		return nil, ErrPending
+	}
+	if sub.err != nil {
+		return nil, sub.err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.decided[id]; ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("granting: decision for %q evicted", id)
+}
+
+// Status reports "pending", "decided", or "unknown" for id, with the
+// decision when available.
+func (s *Service) Status(id string) (string, *Decision) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.decided[id]; ok {
+		return "decided", d
+	}
+	if _, ok := s.subs[id]; ok {
+		return "pending", nil
+	}
+	return "unknown", nil
+}
+
+// Stats snapshots the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.QueueDepth = s.queueLenLocked()
+	st.Epoch = s.topo.Epoch()
+	return st
+}
+
+// Recent returns up to n most recent decisions, newest first.
+func (s *Service) Recent(n int) []Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 || n > len(s.order) {
+		n = len(s.order)
+	}
+	out := make([]Decision, 0, n)
+	for i := len(s.order) - 1; i >= 0 && len(out) < n; i-- {
+		if d, ok := s.decided[s.order[i]]; ok {
+			out = append(out, *d)
+		}
+	}
+	return out
+}
+
+// Close stops accepting submissions, decides what is already queued, and
+// waits for the decider to drain.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.done
+}
+
+// run is the decider loop: it pops either one atomic group or a collision-
+// free run of singles (up to MaxBatch) and decides them in one pass.
+func (s *Service) run() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return // closed and drained
+		}
+		var batch []*submission
+		if len(s.queue[0].reqs) > 1 {
+			batch = []*submission{s.queue[0]}
+			s.queue = s.queue[1:]
+		} else {
+			// Coalesce queued singles into one risk pass; stop at a group,
+			// at MaxBatch, or at a hose-key collision (colliding flow sets
+			// must be assessed in separate passes).
+			seen := make(map[string]bool)
+			n := 0
+			for n < len(s.queue) && n < s.opts.MaxBatch && len(s.queue[n].reqs) == 1 {
+				collides := false
+				for j := range s.queue[n].reqs[0].Hoses {
+					if seen[s.queue[n].reqs[0].Hoses[j].Key()] {
+						collides = true
+						break
+					}
+				}
+				if collides {
+					break
+				}
+				for j := range s.queue[n].reqs[0].Hoses {
+					seen[s.queue[n].reqs[0].Hoses[j].Key()] = true
+				}
+				n++
+			}
+			batch = append([]*submission(nil), s.queue[:n]...)
+			s.queue = s.queue[n:]
+		}
+		mQueueDepth.Set(float64(s.queueLenLocked()))
+		s.mu.Unlock()
+		s.decide(batch)
+	}
+}
+
+// decide runs one coalesced batch through the cache + DecideBatch, stores
+// granted contracts, and publishes the outcomes.
+func (s *Service) decide(batch []*submission) {
+	var reqs []Request
+	var ids []string
+	for _, sub := range batch {
+		reqs = append(reqs, sub.reqs...)
+		ids = append(ids, sub.ids...)
+	}
+	mBatches.Inc()
+	mBatchSize.Observe(float64(len(reqs)))
+
+	var decs []Decision
+	var err error
+	memoizable := s.opts.Approval.PlannedTopology == nil
+	key := uint64(0)
+	hit := false
+	if memoizable {
+		key = batchKey(reqs, &s.opts)
+		if cached, ok := s.c.lookup(key); ok && len(cached) == len(reqs) {
+			// Copy before stamping ids; the cached slice stays pristine.
+			decs = append([]Decision(nil), cached...)
+			hit = true
+			mMemoHits.Inc()
+		}
+	}
+	if !hit {
+		if memoizable {
+			mMemoMisses.Inc()
+		}
+		opts := s.opts
+		opts.Approval.Risk.StatesFor = s.c.statesFor
+		opts.Approval.Risk.Pool = s.c.runnerPool()
+		decs, err = DecideBatch(s.topo, reqs, opts)
+		if err == nil && memoizable {
+			s.c.store(key, append([]Decision(nil), decs...))
+		}
+	}
+	updateHitRatio()
+
+	if err != nil {
+		// Whole-pass failure (unknown region slipped past validation,
+		// conflicting SLOs, risk engine error): every request in the batch
+		// gets an error decision.
+		decs = make([]Decision, len(reqs))
+		for i := range reqs {
+			decs[i] = Decision{NPG: reqs[i].NPG, Status: StatusError, Err: err.Error()}
+		}
+	}
+
+	for i := range decs {
+		decs[i].ID = ids[i]
+		if s.sink != nil && decs[i].Contract != nil {
+			if serr := s.sink.Put(*decs[i].Contract); serr != nil {
+				decs[i].Status = StatusError
+				decs[i].Err = fmt.Sprintf("store contract: %v", serr)
+				mStoreFails.Inc()
+			}
+		}
+		mDecisions.With(string(decs[i].Status)).Inc()
+	}
+
+	s.mu.Lock()
+	for i := range decs {
+		id := ids[i]
+		delete(s.subs, id)
+		s.decided[id] = &decs[i]
+		s.order = append(s.order, id)
+		s.stats.Decided++
+		switch decs[i].Status {
+		case StatusApproved:
+			s.stats.Approved++
+		case StatusNegotiated:
+			s.stats.Negotiated++
+		case StatusRejected:
+			s.stats.Rejected++
+		default:
+			s.stats.Errors++
+		}
+	}
+	s.stats.Batches++
+	if hit {
+		s.stats.MemoHits += int64(len(reqs))
+	} else {
+		s.stats.MemoMisses += int64(len(reqs))
+	}
+	for len(s.order) > s.opts.Retain {
+		delete(s.decided, s.order[0])
+		s.order = s.order[1:]
+	}
+	s.mu.Unlock()
+
+	for _, sub := range batch {
+		mDecisionSeconds.ObserveSince(sub.enqueued)
+		close(sub.done)
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestVetStdlibImports is the `make vet-imports` lint: the repo's standing
+// invariant is pure stdlib — no third-party modules, ever (go.mod has no
+// requirements, and CI machines build offline). This scans the import block
+// of every .go file in the module, test files included since a test
+// dependency would break the offline build just the same, and fails on
+// anything that is neither standard library nor this module.
+func TestVetStdlibImports(t *testing.T) {
+	root := moduleRoot(t)
+	const module = "entitlement"
+	fset := token.NewFileSet()
+	checked := 0
+
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		checked++
+		for _, imp := range f.Imports {
+			val, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return fmt.Errorf("%s: unquote %s: %w", path, imp.Path.Value, err)
+			}
+			if val == module || strings.HasPrefix(val, module+"/") {
+				continue // this module
+			}
+			// Standard library packages have no dot in their first path
+			// segment ("net/http" yes, "github.com/x/y" no) — the same
+			// heuristic the go tool documents for module paths.
+			first := val
+			if i := strings.IndexByte(val, '/'); i >= 0 {
+				first = val[:i]
+			}
+			if !strings.Contains(first, ".") {
+				continue // stdlib
+			}
+			pos := fset.Position(imp.Pos())
+			t.Errorf("%s:%d: import %q is outside the stdlib and this module (the repo is stdlib-only)", pos.Filename, pos.Line, val)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no .go files scanned — the walker is broken")
+	}
+	t.Logf("checked imports of %d files", checked)
+}

@@ -104,6 +104,45 @@ type Options struct {
 	// deterministic RNG and a dedicated output slot.
 	Workers int
 	Alloc   flow.AllocateOptions
+
+	// States, when non-nil, supplies the sampled failure scenarios instead
+	// of drawing them: States[j] is used for sampled scenario j and must
+	// have length Scenarios. SampleStates produces slot-for-slot exactly
+	// what Assess would draw itself, so injecting its output is
+	// byte-identical to sampling — this is how the granting service reuses
+	// one scenario set across many admission decisions.
+	States []*topology.FailureState
+	// StatesFor, consulted when States is nil, resolves a scenario set for
+	// the (topology, options) pair about to be assessed — the hook a
+	// scenario cache plugs in. It composes through AssessPhased and the
+	// approval pipeline, which vary Seed (and topology) per pass: the
+	// callback sees the effective per-pass options. Returning nil falls
+	// back to sampling.
+	StatesFor func(topo *topology.Topology, opts Options) []*topology.FailureState
+	// Pool, when non-nil and bound to the assessed topology, supplies the
+	// per-worker flow.Runners instead of constructing fresh ones, so a
+	// long-running service reuses allocator scratch across assessments.
+	// Pools bound to a different topology are ignored (AssessPhased
+	// assesses two topologies with one Options value).
+	Pool *flow.RunnerPool
+}
+
+// SampleStates precomputes the failure scenarios Assess would sample for
+// these options: scenario j is drawn from the deterministic per-scenario RNG
+// seed, exactly as the assessment loop does. The forced all-up scenario is
+// not included (it is not sampled). The returned slice can be passed as
+// Options.States to any number of assessments over the same topology with
+// the same Seed/Scenarios, with byte-identical results.
+func SampleStates(topo *topology.Topology, opts Options) []*topology.FailureState {
+	if opts.Scenarios <= 0 {
+		opts.Scenarios = 500
+	}
+	states := make([]*topology.FailureState, opts.Scenarios)
+	for j := range states {
+		rng := rand.New(rand.NewSource(scenarioSeed(opts.Seed, j)))
+		states[j] = topo.SampleFailures(rng)
+	}
+	return states
 }
 
 // Result holds per-pipe availability curves from one assessment.
@@ -140,6 +179,13 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 	if opts.Scenarios <= 0 {
 		opts.Scenarios = 500
 	}
+	states := opts.States
+	if states == nil && opts.StatesFor != nil {
+		states = opts.StatesFor(topo, opts)
+	}
+	if states != nil && len(states) != opts.Scenarios {
+		return nil, errors.New("risk: precomputed States length does not match Scenarios")
+	}
 	keyIdx := make(map[string]int, len(demands))
 	for i, d := range demands {
 		if _, dup := keyIdx[d.Key]; dup {
@@ -169,9 +215,12 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 	evalScenario := func(r *flow.Runner, slot int) {
 		begin := time.Now()
 		var state *topology.FailureState
-		if offset == 1 && slot == 0 {
+		switch {
+		case offset == 1 && slot == 0:
 			state = topo.AllUp()
-		} else {
+		case states != nil:
+			state = states[slot-offset]
+		default:
 			rng := rand.New(rand.NewSource(scenarioSeed(opts.Seed, slot-offset)))
 			state = topo.SampleFailures(rng)
 		}
@@ -190,13 +239,33 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 	if workers > total {
 		workers = total
 	}
+	// Per-worker Runners come from the caller's pool when it is bound to
+	// this topology; otherwise they are built fresh. Either way Allocate
+	// fully resets Runner state per scenario, so pooling cannot change
+	// results.
+	pool := opts.Pool
+	if pool != nil && pool.Topology() != topo {
+		pool = nil
+	}
+	getRunner := func() *flow.Runner {
+		if pool != nil {
+			return pool.Get()
+		}
+		return flow.NewRunner(topo)
+	}
+	putRunner := func(r *flow.Runner) {
+		if pool != nil {
+			pool.Put(r)
+		}
+	}
 	assessStart := time.Now()
 	var busyNanos int64 // summed per-worker solve time, for the utilization gauge
 	if workers <= 1 {
-		r := flow.NewRunner(topo)
+		r := getRunner()
 		for slot := 0; slot < total; slot++ {
 			evalScenario(r, slot)
 		}
+		putRunner(r)
 		busyNanos = time.Since(assessStart).Nanoseconds()
 	} else {
 		var next int64
@@ -206,7 +275,7 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 			go func() {
 				defer wg.Done()
 				workerStart := time.Now()
-				r := flow.NewRunner(topo)
+				r := getRunner()
 				for {
 					slot := int(atomic.AddInt64(&next, 1)) - 1
 					if slot >= total {
@@ -214,6 +283,7 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 					}
 					evalScenario(r, slot)
 				}
+				putRunner(r)
 				atomic.AddInt64(&busyNanos, time.Since(workerStart).Nanoseconds())
 			}()
 		}

@@ -412,3 +412,111 @@ func TestAssessPhasedValidation(t *testing.T) {
 		t.Error("fraction > 1 accepted")
 	}
 }
+
+// TestAssessPrecomputedStatesAndPool pins the byte-identity contract of the
+// granting service's scenario cache: an assessment fed SampleStates output
+// plus a recycled RunnerPool returns exactly the samples a plain assessment
+// draws itself, and the StatesFor hook is equivalent to passing States.
+func TestAssessPrecomputedStatesAndPool(t *testing.T) {
+	topo := topology.FigureSix()
+	regions := topo.RegionsSorted()
+	var demands []flow.Demand
+	for i := 0; i < 8; i++ {
+		src := regions[i%len(regions)]
+		dst := regions[(i+2)%len(regions)]
+		demands = append(demands, flow.Demand{
+			Key: string(src) + ">" + string(dst) + string(rune('a'+i)),
+			Src: src, Dst: dst, Rate: 400e9, Class: i % 3,
+		})
+	}
+	base := Options{Scenarios: 50, Seed: 11, Workers: 2}
+	ref, err := Assess(topo, demands, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	states := SampleStates(topo, base)
+	if len(states) != base.Scenarios {
+		t.Fatalf("SampleStates returned %d states, want %d", len(states), base.Scenarios)
+	}
+	pool := flow.NewRunnerPool(topo, 8)
+	withStates := base
+	withStates.States = states
+	withStates.Pool = pool
+	var hookCalls int
+	withHook := base
+	withHook.Pool = pool
+	withHook.StatesFor = func(tp *topology.Topology, o Options) []*topology.FailureState {
+		hookCalls++
+		if tp != topo || o.Seed != base.Seed || o.Scenarios != base.Scenarios {
+			t.Errorf("StatesFor saw (%p, seed %d, scenarios %d)", tp, o.Seed, o.Scenarios)
+		}
+		return states
+	}
+	for name, opts := range map[string]Options{"states": withStates, "hook": withHook} {
+		// Run twice so the second pass reuses pooled runners.
+		for pass := 0; pass < 2; pass++ {
+			res, err := Assess(topo, demands, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range demands {
+				want := ref.Curves[d.Key].Samples()
+				got := res.Curves[d.Key].Samples()
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("%s pass %d: %s sample %d: %v != %v", name, pass, d.Key, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	if hookCalls != 2 {
+		t.Errorf("StatesFor called %d times, want 2", hookCalls)
+	}
+	if pool.Idle() == 0 {
+		t.Error("pool retained no runners after assessments")
+	}
+
+	// A pool bound to another topology is ignored, not misused.
+	other := topology.FigureSix()
+	foreign := base
+	foreign.Pool = flow.NewRunnerPool(other, 4)
+	res, err := Assess(topo, demands, foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range demands {
+		want := ref.Curves[d.Key].Samples()
+		got := res.Curves[d.Key].Samples()
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("foreign pool: %s sample %d: %v != %v", d.Key, i, got[i], want[i])
+			}
+		}
+	}
+	if foreign.Pool.Idle() != 0 {
+		t.Errorf("foreign pool gained %d runners", foreign.Pool.Idle())
+	}
+
+	// Mismatched States length is rejected loudly.
+	bad := base
+	bad.States = states[:10]
+	if _, err := Assess(topo, demands, bad); err == nil {
+		t.Error("short States slice accepted")
+	}
+}
+
+func TestSampleStatesDefaultScenarios(t *testing.T) {
+	// Zero Scenarios falls back to the same 500-draw default Assess uses.
+	topo := reliableDiamond(0)
+	states := SampleStates(topo, Options{Seed: 3})
+	if len(states) != 500 {
+		t.Fatalf("default SampleStates drew %d scenarios, want 500", len(states))
+	}
+	for i, s := range states {
+		if s == nil {
+			t.Fatalf("scenario %d is nil", i)
+		}
+	}
+}

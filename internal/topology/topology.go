@@ -54,7 +54,18 @@ type Topology struct {
 	// mutations (AddRegion/AddLink). Safe for concurrent readers.
 	dense   atomic.Pointer[Dense]
 	denseMu sync.Mutex
+
+	// epoch counts mutations through the package API (AddRegion/AddLink,
+	// EnsureSRLG, SetCapacity). Caches keyed on (instance, epoch) — the
+	// granting service's scenario cache — stay coherent without hashing the
+	// whole graph. Direct writes through Link() pointers bypass it.
+	epoch atomic.Uint64
 }
+
+// Epoch returns the topology's mutation counter: any change made through the
+// package API bumps it, so a cache entry computed at Epoch e is valid while
+// Epoch() still returns e on the same instance.
+func (t *Topology) Epoch() uint64 { return t.epoch.Load() }
 
 // Dense is a CSR-style view of the topology over dense region indexes: the
 // outgoing link IDs of region index r are OutLinks[OutStart[r]:OutStart[r+1]],
@@ -112,7 +123,10 @@ func (t *Topology) Dense() *Dense {
 }
 
 // invalidateDense drops the cached CSR snapshot after a structural change.
-func (t *Topology) invalidateDense() { t.dense.Store(nil) }
+func (t *Topology) invalidateDense() {
+	t.dense.Store(nil)
+	t.epoch.Add(1)
+}
 
 // New creates an empty topology.
 func New() *Topology {
@@ -193,6 +207,7 @@ func (t *Topology) AddBidirectional(a, b Region, capacity, failProb float64, srl
 func (t *Topology) EnsureSRLG(id int, cutProb float64) int {
 	g := t.srlgByID(id)
 	g.CutProb = cutProb
+	t.epoch.Add(1) // changes failure sampling, not the dense adjacency
 	return g.ID
 }
 
@@ -450,5 +465,6 @@ func (t *Topology) SetCapacity(linkID int, capacity float64) error {
 		return fmt.Errorf("topology: non-positive capacity %v", capacity)
 	}
 	t.Links[linkID].Capacity = capacity
+	t.epoch.Add(1) // changes allocation outcomes, not the dense adjacency
 	return nil
 }

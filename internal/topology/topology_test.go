@@ -311,3 +311,40 @@ func TestSetCapacity(t *testing.T) {
 		t.Error("zero capacity accepted")
 	}
 }
+
+// TestEpochTracksMutations pins the cache-invalidation contract: every
+// mutation through the package API bumps Epoch, and reads leave it alone.
+func TestEpochTracksMutations(t *testing.T) {
+	topo := New()
+	e0 := topo.Epoch()
+	topo.AddRegion("A")
+	if topo.Epoch() == e0 {
+		t.Error("AddRegion did not bump epoch")
+	}
+	e1 := topo.Epoch()
+	if _, err := topo.AddLink("A", "B", 1e12, 0.001, -1); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Epoch() <= e1 {
+		t.Error("AddLink did not bump epoch")
+	}
+	e2 := topo.Epoch()
+	topo.EnsureSRLG(7, 0.01)
+	if topo.Epoch() <= e2 {
+		t.Error("EnsureSRLG did not bump epoch")
+	}
+	e3 := topo.Epoch()
+	if err := topo.SetCapacity(0, 2e12); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Epoch() <= e3 {
+		t.Error("SetCapacity did not bump epoch")
+	}
+	e4 := topo.Epoch()
+	topo.Dense()
+	topo.RegionsSorted()
+	topo.AllUp()
+	if topo.Epoch() != e4 {
+		t.Error("read-only accessors changed the epoch")
+	}
+}
