@@ -24,6 +24,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"entitlement/internal/contract"
@@ -37,6 +38,15 @@ type stateKey struct {
 	scenarios int
 }
 
+// memoEntry is one memoized batch decision. The full canonical signature is
+// kept (not just its hash) so a 64-bit collision can never serve another
+// batch's outcomes, and decisions are indexed by request signature so a
+// reordered resubmission maps each request back to its own decision.
+type memoEntry struct {
+	sig   string
+	bySig map[string]Decision
+}
+
 type cache struct {
 	topo *topology.Topology
 
@@ -44,7 +54,7 @@ type cache struct {
 	epoch     uint64
 	states    map[stateKey][]*topology.FailureState
 	pool      *flow.RunnerPool
-	decisions map[uint64][]Decision
+	decisions map[uint64]memoEntry
 	maxMemo   int
 }
 
@@ -58,7 +68,7 @@ func newCache(topo *topology.Topology) *cache {
 // flushLocked drops all warm state (scenarios, runners, memoized decisions).
 func (c *cache) flushLocked() {
 	c.states = make(map[stateKey][]*topology.FailureState)
-	c.decisions = make(map[uint64][]Decision)
+	c.decisions = make(map[uint64]memoEntry)
 	c.pool = flow.NewRunnerPool(c.topo, 0)
 }
 
@@ -101,69 +111,93 @@ func (c *cache) runnerPool() *flow.RunnerPool {
 	return c.pool
 }
 
-// batchKey hashes the canonical identity of a batch decision: the sorted
+// batchSig renders the canonical identity of a batch decision: the sorted
 // request signatures plus every option that changes outcomes. Risk.Workers
-// is deliberately excluded (parallelism never changes results).
-func batchKey(reqs []Request, o *Options) uint64 {
-	sigs := make([]string, len(reqs))
-	for i := range reqs {
-		sigs[i] = reqs[i].Signature()
+// is deliberately excluded (parallelism never changes results). The order-
+// insensitive sort is what makes a reordered resubmission hit; the memo
+// entry remaps decisions back to the submission order by request signature.
+func batchSig(reqSigs []string, o *Options) string {
+	sorted := append([]string(nil), reqSigs...)
+	sort.Strings(sorted)
+	var b strings.Builder
+	for _, s := range sorted {
+		b.WriteString(s)
+		b.WriteByte('\n')
 	}
-	sort.Strings(sigs)
-	h := fnv.New64a()
-	for _, s := range sigs {
-		h.Write([]byte(s))
-		h.Write([]byte{'\n'})
-	}
-	h.Write([]byte("opts|"))
-	h.Write([]byte(strconv.Itoa(o.Approval.RepresentativeTMs)))
-	h.Write([]byte{'|'})
-	h.Write([]byte(fhex(float64(o.Approval.DefaultSLO))))
-	h.Write([]byte{'|'})
-	h.Write([]byte(strconv.FormatBool(o.Approval.JointRealizations)))
-	h.Write([]byte{'|'})
-	h.Write([]byte(strconv.FormatInt(o.Approval.Seed, 10)))
-	h.Write([]byte{'|'})
-	h.Write([]byte(strconv.FormatInt(o.Approval.Risk.Seed, 10)))
-	h.Write([]byte{'|'})
-	h.Write([]byte(strconv.Itoa(o.Approval.Risk.Scenarios)))
-	h.Write([]byte{'|'})
-	h.Write([]byte(strconv.FormatBool(o.Approval.Risk.SkipAllUp)))
-	h.Write([]byte{'|'})
-	h.Write([]byte(strconv.Itoa(o.PeriodDays)))
+	b.WriteString("opts|")
+	b.WriteString(strconv.Itoa(o.Approval.RepresentativeTMs))
+	b.WriteByte('|')
+	b.WriteString(fhex(float64(o.Approval.DefaultSLO)))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatBool(o.Approval.JointRealizations))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(o.Approval.Seed, 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(o.Approval.Risk.Seed, 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(o.Approval.Risk.Scenarios))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatBool(o.Approval.Risk.SkipAllUp))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(o.PeriodDays))
 	keys := make([]string, 0, len(o.Approval.SLOs))
 	for npg := range o.Approval.SLOs {
 		keys = append(keys, string(npg))
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		h.Write([]byte{'|'})
-		h.Write([]byte(k))
-		h.Write([]byte{'='})
-		h.Write([]byte(fhex(float64(o.Approval.SLOs[contract.NPG(k)]))))
+		b.WriteByte('|')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(fhex(float64(o.Approval.SLOs[contract.NPG(k)])))
 	}
+	return b.String()
+}
+
+// batchKey is the memo's map key; the full sig is re-verified on lookup.
+func batchKey(sig string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(sig))
 	return h.Sum64()
 }
 
-// lookup returns a memoized decision set for the batch key, if the epoch is
-// still current.
-func (c *cache) lookup(key uint64) ([]Decision, bool) {
+// lookup returns the memoized decisions for this exact batch, remapped to
+// the caller's request order (reqSigs[i] is reqs[i].Signature()). The stored
+// canonical signature must match byte-for-byte — a hash collision is a miss,
+// never a wrong answer. The returned slice is fresh; callers may stamp ids.
+func (c *cache) lookup(key uint64, sig string, reqSigs []string) ([]Decision, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ensureEpochLocked()
-	d, ok := c.decisions[key]
-	return d, ok
+	e, ok := c.decisions[key]
+	if !ok || e.sig != sig {
+		return nil, false
+	}
+	decs := make([]Decision, len(reqSigs))
+	for i, s := range reqSigs {
+		d, ok := e.bySig[s]
+		if !ok {
+			return nil, false
+		}
+		decs[i] = d
+	}
+	return decs, true
 }
 
-// store memoizes a decided batch. The memo is bounded: at capacity it resets
-// (epoch-style) rather than tracking recency — correctness never depends on
-// a hit.
-func (c *cache) store(key uint64, decs []Decision) {
+// store memoizes a decided batch, indexed by request signature (unique
+// within a batch: duplicate hose keys are rejected before deciding). The
+// memo is bounded: at capacity it resets (epoch-style) rather than tracking
+// recency — correctness never depends on a hit.
+func (c *cache) store(key uint64, sig string, reqSigs []string, decs []Decision) {
+	bySig := make(map[string]Decision, len(decs))
+	for i := range decs {
+		bySig[reqSigs[i]] = decs[i]
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ensureEpochLocked()
 	if len(c.decisions) >= c.maxMemo {
-		c.decisions = make(map[uint64][]Decision)
+		c.decisions = make(map[uint64]memoEntry)
 	}
-	c.decisions[key] = decs
+	c.decisions[key] = memoEntry{sig: sig, bySig: bySig}
 }

@@ -105,6 +105,11 @@ func TestServiceMatchesBatch(t *testing.T) {
 		rev[i] = reqs[len(reqs)-1-i]
 	}
 	revDecs := decide(rev)
+	for i := range rev {
+		if revDecs[i].NPG != rev[i].NPG {
+			t.Fatalf("reversed submission misattributed decision %d: got %s, want %s", i, revDecs[i].NPG, rev[i].NPG)
+		}
+	}
 	byNPG := make(map[contract.NPG]Decision)
 	for _, d := range revDecs {
 		byNPG[d.NPG] = d
@@ -132,6 +137,56 @@ func TestServiceMatchesBatch(t *testing.T) {
 	after := svc.Stats()
 	if after.MemoHits <= before.MemoHits {
 		t.Errorf("expected a decision-memo hit, stats %+v -> %+v", before, after)
+	}
+}
+
+// TestMemoHitRespectsSubmissionOrder: resubmitting the same request SET in
+// a different order must serve from the decision memo AND pair every id
+// with its own request's decision (regression: the memo used to return the
+// first batch's decisions in the first batch's order, so the oversubscribed
+// request could receive another NPG's approval).
+func TestMemoHitRespectsSubmissionOrder(t *testing.T) {
+	topo := topology.FigureSix()
+	svc := NewService(topo, nil, testOptions(0))
+	defer svc.Close()
+
+	decide := func(rs []Request) []Decision {
+		t.Helper()
+		ids, err := svc.SubmitGroup(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]Decision, len(ids))
+		for i, id := range ids {
+			d, err := svc.Wait(id, 2*time.Minute)
+			if err != nil {
+				t.Fatalf("wait %s: %v", id, err)
+			}
+			out[i] = *d
+		}
+		return out
+	}
+
+	reqs := testRequests()
+	first := decide(append([]Request(nil), reqs...))
+	rev := make([]Request, len(reqs))
+	for i := range reqs {
+		rev[i] = reqs[len(reqs)-1-i]
+	}
+	before := svc.Stats()
+	revDecs := decide(rev)
+	after := svc.Stats()
+	if after.MemoHits <= before.MemoHits {
+		t.Fatalf("reordered resubmission missed the memo: %+v -> %+v", before, after)
+	}
+	for i := range rev {
+		if revDecs[i].NPG != rev[i].NPG {
+			t.Errorf("decision %d attributed to %s, want %s", i, revDecs[i].NPG, rev[i].NPG)
+		}
+		want := first[len(reqs)-1-i]
+		if revDecs[i].Status != want.Status {
+			t.Errorf("%s: status %s on memo hit, want %s", rev[i].NPG, revDecs[i].Status, want.Status)
+		}
 	}
 }
 

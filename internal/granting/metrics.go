@@ -14,8 +14,8 @@ var (
 	mBatchSize           = obs.RegisterHistogram("entitlement_grantd_batch_size", "Requests decided per risk pass.")
 	mDecisionSeconds     = obs.RegisterHistogram("entitlement_grantd_decision_seconds", "Latency from submission to decision, per request.")
 	mDecisions           = obs.RegisterCounterVec("entitlement_grantd_decisions_total", "Decisions by outcome.", "status")
-	mMemoHits            = obs.RegisterCounter("entitlement_grantd_decision_cache_hits_total", "Batches answered from the decision memo (no risk pass).")
-	mMemoMisses          = obs.RegisterCounter("entitlement_grantd_decision_cache_misses_total", "Batches that needed a full risk pass.")
+	mMemoHits            = obs.RegisterCounter("entitlement_grantd_decision_cache_hits_total", "Requests answered from the decision memo (no risk pass). Counted per request, matching the /grants report.")
+	mMemoMisses          = obs.RegisterCounter("entitlement_grantd_decision_cache_misses_total", "Requests that needed a full risk pass. Counted per request, matching the /grants report.")
 	mScenarioCacheHits   = obs.RegisterCounter("entitlement_grantd_scenario_cache_hits_total", "Assessments served a precomputed Monte-Carlo scenario set.")
 	mScenarioCacheMisses = obs.RegisterCounter("entitlement_grantd_scenario_cache_misses_total", "Assessments that sampled a fresh Monte-Carlo scenario set.")
 	mCacheHitRatio       = obs.RegisterGauge("entitlement_grantd_cache_hit_ratio", "Decision-memo hit ratio since start (hits / lookups).")

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"entitlement/internal/contract"
+	"entitlement/internal/hose"
 	"entitlement/internal/topology"
 )
 
@@ -113,6 +114,18 @@ func (s *Service) SubmitGroup(reqs []Request) ([]string, error) {
 }
 
 func (s *Service) submit(reqs []Request) ([]string, error) {
+	// Deep-copy first: Validate fills empty hose NPGs, a zero StartUnix is
+	// pinned below, and the decider goroutine reads the slice after submit
+	// returns — the caller keeps undisturbed ownership of its arguments.
+	cp := make([]Request, len(reqs))
+	copy(cp, reqs)
+	for i := range cp {
+		cp[i].Hoses = append([]hose.Request(nil), cp[i].Hoses...)
+		for j := range cp[i].Hoses {
+			cp[i].Hoses[j].Segments = append([]hose.Segment(nil), cp[i].Hoses[j].Segments...)
+		}
+	}
+	reqs = cp
 	now := s.opts.Now()
 	for i := range reqs {
 		if err := reqs[i].Validate(s.topo); err != nil {
@@ -312,27 +325,35 @@ func (s *Service) decide(batch []*submission) {
 	var decs []Decision
 	var err error
 	memoizable := s.opts.Approval.PlannedTopology == nil
-	key := uint64(0)
+	var key uint64
+	var sig string
+	var reqSigs []string
 	hit := false
 	if memoizable {
-		key = batchKey(reqs, &s.opts)
-		if cached, ok := s.c.lookup(key); ok && len(cached) == len(reqs) {
-			// Copy before stamping ids; the cached slice stays pristine.
-			decs = append([]Decision(nil), cached...)
+		reqSigs = make([]string, len(reqs))
+		for i := range reqs {
+			reqSigs[i] = reqs[i].Signature()
+		}
+		sig = batchSig(reqSigs, &s.opts)
+		key = batchKey(sig)
+		if cached, ok := s.c.lookup(key, sig, reqSigs); ok {
+			// lookup returns a fresh slice in this batch's request order;
+			// stamping ids below never touches the memoized entry.
+			decs = cached
 			hit = true
-			mMemoHits.Inc()
+			mMemoHits.Add(int64(len(reqs)))
 		}
 	}
 	if !hit {
 		if memoizable {
-			mMemoMisses.Inc()
+			mMemoMisses.Add(int64(len(reqs)))
 		}
 		opts := s.opts
 		opts.Approval.Risk.StatesFor = s.c.statesFor
 		opts.Approval.Risk.Pool = s.c.runnerPool()
 		decs, err = DecideBatch(s.topo, reqs, opts)
 		if err == nil && memoizable {
-			s.c.store(key, append([]Decision(nil), decs...))
+			s.c.store(key, sig, reqSigs, append([]Decision(nil), decs...))
 		}
 	}
 	updateHitRatio()
