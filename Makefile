@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet vet-metrics vet-imports test race chaos slo bench bench-smoke cover figures examples grantd-demo
+.PHONY: all build vet vet-metrics vet-imports test race chaos slo bench bench-smoke bench-delta bench-json cover figures examples grantd-demo
 
 all: build vet vet-metrics vet-imports test
 
@@ -54,6 +54,20 @@ bench:
 # compile or panic without paying for a full measurement run.
 bench-smoke:
 	go test -count=1 -run=NONE -bench=. -benchtime=1x ./...
+
+# Incremental re-assessment gate: one pass of the cold/warm/delta Assess
+# benchmarks, then TestDeltaSpeedup — which FAILS if a delta re-assessment
+# after a <=10%-of-links mutation is not >= 10x faster than cold (both in
+# scenarios re-simulated and p50 wall clock). The bar is asserted by the
+# test, never eyeballed from bench output.
+bench-delta:
+	go test -count=1 -run=NONE -bench='BenchmarkAssess(Cold|Warm|Delta)' -benchtime=1x ./internal/risk/
+	go test -count=1 -run 'TestDeltaSpeedup' -v ./internal/risk/
+
+# Regenerate the perf-trajectory file BENCH_risk.json (cold vs warm vs delta
+# Assess p50, allocator ns/op + allocs/op).
+bench-json:
+	go run ./cmd/benchjson -out BENCH_risk.json
 
 cover:
 	go test -cover ./internal/...

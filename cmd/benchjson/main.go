@@ -1,0 +1,186 @@
+// Command benchjson measures the risk-assessment hot path and writes the
+// perf-trajectory file BENCH_risk.json: cold vs warm (replay) vs delta
+// (spliced re-assessment after a failure-probability mutation on ~10% of
+// links) Assess p50 latency, plus allocator ns/op and allocs/op. Run it via
+// `make bench-json`; future re-anchors read the speed curve from the JSON
+// instead of prose claims.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"entitlement/internal/flow"
+	"entitlement/internal/risk"
+	"entitlement/internal/topology"
+)
+
+type assessBench struct {
+	ColdP50Ns  int64 `json:"cold_p50_ns"`
+	WarmP50Ns  int64 `json:"warm_p50_ns"`
+	DeltaP50Ns int64 `json:"delta_p50_ns"`
+	// DeltaSpeedupOverCold is cold_p50 / delta_p50; TestDeltaSpeedup pins
+	// this ratio >= 10 in CI.
+	DeltaSpeedupOverCold float64 `json:"delta_speedup_over_cold"`
+	WarmSpeedupOverCold  float64 `json:"warm_speedup_over_cold"`
+	// DeltaResimulated / TotalSlots is the work ratio behind the speedup.
+	DeltaResimulated int `json:"delta_resimulated_scenarios"`
+	TotalSlots       int `json:"total_scenario_slots"`
+}
+
+type allocateBench struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+type report struct {
+	GeneratedBy string        `json:"generated_by"`
+	Workload    workload      `json:"workload"`
+	Assess      assessBench   `json:"assess"`
+	Allocate    allocateBench `json:"allocate"`
+}
+
+type workload struct {
+	Regions       int `json:"regions"`
+	Links         int `json:"links"`
+	Demands       int `json:"demands"`
+	Scenarios     int `json:"scenarios"`
+	MutatedLinks  int `json:"mutated_links"`
+	AssessSamples int `json:"assess_timing_samples"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_risk.json", "output path")
+	samples := flag.Int("samples", 15, "timing samples per assess variant (p50 reported)")
+	scenarios := flag.Int("scenarios", 400, "failure scenarios per assessment")
+	flag.Parse()
+	if err := run(*out, *samples, *scenarios); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, samples, scenarios int) error {
+	topo, err := topology.Backbone(topology.DefaultBackboneOptions())
+	if err != nil {
+		return err
+	}
+	regions := topo.RegionsSorted()
+	demands := make([]flow.Demand, 0, 8)
+	for i := 0; i < 8; i++ {
+		src := regions[i%len(regions)]
+		dst := regions[(i+3)%len(regions)]
+		demands = append(demands, flow.Demand{
+			Key: string(src) + ">" + string(dst) + string(rune('a'+i)),
+			Src: src, Dst: dst, Rate: 400e9, Class: i % 4,
+		})
+	}
+	opts := risk.Options{Scenarios: scenarios, Seed: 3, Workers: 1}
+	nTouch := topo.NumLinks() / 10
+	if nTouch < 1 {
+		nTouch = 1
+	}
+
+	var colds, warms, deltas []time.Duration
+	var lastDelta *risk.Result
+	for s := 0; s < samples; s++ {
+		// Cold: no cache at all.
+		start := time.Now()
+		if _, err := risk.Assess(topo, demands, opts); err != nil {
+			return err
+		}
+		colds = append(colds, time.Since(start))
+
+		// Warm: fill a fresh cache, then time the pure replay.
+		cached := opts
+		cached.Cache = risk.NewResultCache(2)
+		if _, err := risk.Assess(topo, demands, cached); err != nil {
+			return err
+		}
+		start = time.Now()
+		if _, err := risk.Assess(topo, demands, cached); err != nil {
+			return err
+		}
+		warms = append(warms, time.Since(start))
+
+		// Delta: mutate FailProb on ~10% of links, time the spliced pass.
+		p := 0.002 + 0.001*float64(s%8+1)
+		for l := 0; l < nTouch; l++ {
+			if err := topo.SetLinkFailProb((s*nTouch+l)%topo.NumLinks(), p); err != nil {
+				return err
+			}
+		}
+		start = time.Now()
+		res, err := risk.Assess(topo, demands, cached)
+		if err != nil {
+			return err
+		}
+		deltas = append(deltas, time.Since(start))
+		lastDelta = res
+	}
+
+	alloc := testing.Benchmark(func(b *testing.B) {
+		runner := flow.NewRunner(topo)
+		state := topo.SampleFailureAt(opts.Seed, 1)
+		fd := make([]flow.Demand, len(demands))
+		copy(fd, demands)
+		var admitted []float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			admitted = runner.AllocateInto(state, fd, flow.AllocateOptions{}, admitted)
+		}
+	})
+
+	coldP50, warmP50, deltaP50 := p50(colds), p50(warms), p50(deltas)
+	rep := report{
+		GeneratedBy: "make bench-json (cmd/benchjson)",
+		Workload: workload{
+			Regions: topo.NumRegions(), Links: topo.NumLinks(),
+			Demands: len(demands), Scenarios: scenarios,
+			MutatedLinks: nTouch, AssessSamples: samples,
+		},
+		Assess: assessBench{
+			ColdP50Ns:            coldP50.Nanoseconds(),
+			WarmP50Ns:            warmP50.Nanoseconds(),
+			DeltaP50Ns:           deltaP50.Nanoseconds(),
+			DeltaSpeedupOverCold: round1(float64(coldP50) / float64(deltaP50)),
+			WarmSpeedupOverCold:  round1(float64(coldP50) / float64(warmP50)),
+			DeltaResimulated:     lastDelta.Resimulated,
+			TotalSlots:           lastDelta.Resimulated + lastDelta.Spliced,
+		},
+		Allocate: allocateBench{
+			NsPerOp:     alloc.NsPerOp(),
+			AllocsPerOp: alloc.AllocsPerOp(),
+			BytesPerOp:  alloc.AllocedBytesPerOp(),
+		},
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: cold p50 %v, warm p50 %v, delta p50 %v (%.1fx), allocate %d ns/op %d allocs/op\n",
+		out, coldP50, warmP50, deltaP50, float64(coldP50)/float64(deltaP50),
+		alloc.NsPerOp(), alloc.AllocsPerOp())
+	return nil
+}
+
+func p50(ds []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}
+
+func round1(x float64) float64 {
+	return float64(int64(x*10+0.5)) / 10
+}

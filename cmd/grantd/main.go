@@ -51,6 +51,9 @@ func main() {
 	slo := flag.Float64("slo", 0.999, "default availability SLO")
 	periodDays := flag.Int("period-days", 0, "enforcement period length in days (0 = one quarter)")
 	maxBatch := flag.Int("max-batch", 16, "max queued requests coalesced into one risk pass")
+	memoMax := flag.Int("memo-max", 0, "decision-memo LRU capacity in batches (0 = default 1024)")
+	negotiateSearch := flag.Bool("negotiate-search", false, "price counter-proposals with the RAILS-style local search over (rate shrink, QoS class shift) moves")
+	negotiateEvals := flag.Int("negotiate-evals", 0, "max re-approval evaluations per under-approved hose in the negotiation search (0 = default 8)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /grants, /healthz and /debug/pprof on this address (empty disables)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
@@ -102,9 +105,14 @@ func main() {
 			DefaultSLO:        contract.SLO(*slo),
 			Risk:              risk.Options{Scenarios: *scenarios, Seed: *seed + 2, Workers: *workers},
 			Seed:              *seed + 3,
+			Negotiation: approval.NegotiateOptions{
+				Enabled:  *negotiateSearch,
+				MaxEvals: *negotiateEvals,
+			},
 		},
-		PeriodDays: *periodDays,
-		MaxBatch:   *maxBatch,
+		PeriodDays:     *periodDays,
+		MaxBatch:       *maxBatch,
+		MemoMaxEntries: *memoMax,
 	}
 	svc := granting.NewService(topo, sink, opts)
 	defer svc.Close()

@@ -56,6 +56,10 @@ type Options struct {
 	ChangeFraction  float64
 	// Seed drives TM sampling.
 	Seed int64
+	// Negotiation configures the RAILS-style counter-proposal search that
+	// NegotiateSearch runs for under-approved hoses (see rails.go). The zero
+	// value keeps the plain admittable-volume proposals.
+	Negotiation NegotiateOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -268,7 +272,10 @@ func Approve(topo *topology.Topology, hoses []hose.Request, opts Options) (*Resu
 					guaranteed = pipeRate[d.Key]
 				}
 				volume[i] += guaranteed
-				if guaranteed < pipeRate[d.Key]-1e-6 {
+				// Relative tolerance: an absolute epsilon is meaningless
+				// against 1e11-scale rates (ordinary float accumulation in
+				// the water-filling loop exceeds it).
+				if guaranteed < pipeRate[d.Key]-bwTolApproval(pipeRate[d.Key]) {
 					fullOK[i] = false
 				}
 			}
@@ -298,7 +305,7 @@ func Approve(topo *topology.Topology, hoses []hose.Request, opts Options) (*Resu
 		result.Approvals[i] = HoseApproval{
 			Request:       hoses[i],
 			ApprovedRate:  approved,
-			FullyApproved: fullOK[i] && approved >= hoses[i].Rate-1e-6,
+			FullyApproved: fullOK[i] && approved >= hoses[i].Rate-bwTolApproval(hoses[i].Rate),
 		}
 		result.ByKey[hoses[i].Key()] = &result.Approvals[i]
 	}
@@ -381,6 +388,13 @@ type CounterProposal struct {
 	// the same class were fully approved — candidates for "alternative
 	// demand patterns (e.g. using different regions)".
 	AlternativeRegions []topology.Region
+	// CounterOffer, when non-nil, is the best alternative ask the RAILS
+	// search (NegotiateSearch) verified the network can fully approve: the
+	// original hose at a shifted QoS class, a shrunk rate, or both.
+	CounterOffer *hose.Request
+	// Evals is the number of re-approval evaluations the search spent on
+	// this hose (0 when the search was disabled or found nothing).
+	Evals int
 }
 
 // Negotiate builds counter-proposals for every hose that was not fully

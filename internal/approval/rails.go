@@ -1,0 +1,204 @@
+// RAILS-style counter-proposal search (§8 + PAPERS.md: risk-aware iterated
+// local search). Plain Negotiate answers an under-approved hose with the
+// admittable volume — "scale the ask down". NegotiateSearch instead explores
+// a small neighborhood of alternative asks — QoS class shifts at the full
+// rate, then rate shrinks bisected between the admittable volume and the
+// request — and prices every candidate with a real re-approval through the
+// warm risk path (shared scenario states, pooled runners), never a cold
+// pass. The best fully-approvable alternative becomes the counter-offer.
+//
+// A candidate is acceptable only if the modified batch fully approves the
+// candidate hose AND no other hose that was fully approved before loses that
+// status: the search never funds one customer's counter-offer by degrading
+// another's grant. Candidates are scored by offered rate (a full-rate class
+// shift beats any shrink), tie-broken toward the original class.
+//
+// The search is deterministic: moves are enumerated in a fixed order and
+// every evaluation is a seeded Approve, so the same inputs always produce
+// the same counter-offers (the granting service memoizes decisions on that
+// property).
+package approval
+
+import (
+	"entitlement/internal/contract"
+	"entitlement/internal/hose"
+	"entitlement/internal/risk"
+	"entitlement/internal/topology"
+)
+
+// NegotiateOptions configures the counter-proposal search; zero values mean
+// the plain admittable-volume proposal (no search).
+type NegotiateOptions struct {
+	// Enabled turns on the local search; when false NegotiateSearch is
+	// exactly Negotiate.
+	Enabled bool
+	// MaxEvals bounds re-approval evaluations per under-approved hose.
+	// Default 8.
+	MaxEvals int
+	// RateSteps bounds the bisection probes between the admittable rate and
+	// the request. Default 4 (resolves the admittable boundary to ~6% of the
+	// shortfall). Capped by the remaining MaxEvals budget.
+	RateSteps int
+	// MaxClassShift bounds how far from the requested QoS class the search
+	// wanders (in class steps). Default 2 — one tier in either direction.
+	MaxClassShift int
+}
+
+func (n NegotiateOptions) withDefaults() NegotiateOptions {
+	if n.MaxEvals <= 0 {
+		n.MaxEvals = 8
+	}
+	if n.RateSteps <= 0 {
+		n.RateSteps = 4
+	}
+	if n.MaxClassShift <= 0 {
+		n.MaxClassShift = 2
+	}
+	return n
+}
+
+// NegotiateSearch builds counter-proposals for every hose that was not fully
+// approved in res (which must be Approve's result for exactly these hoses
+// and options). With the search disabled it degrades to Negotiate. Each
+// proposal may carry a CounterOffer: an alternative ask the network verified
+// it can fully approve without degrading any other hose's full approval.
+func NegotiateSearch(topo *topology.Topology, hoses []hose.Request, res *Result, opts Options) ([]CounterProposal, error) {
+	proposals := Negotiate(res)
+	neg := opts.Negotiation
+	if !neg.Enabled || len(proposals) == 0 {
+		return proposals, nil
+	}
+	neg = neg.withDefaults()
+
+	// Candidate evaluations share one scenario-state set per risk seed and
+	// the caller's runner pool, but never the caller's result cache: a
+	// candidate's demand set is unique to the search, and filling a shared
+	// LRU with throwaway entries would evict the batch's real assessments.
+	searchOpts := opts
+	searchOpts.Negotiation = NegotiateOptions{}
+	searchOpts.Risk.Cache = nil
+	searchOpts.Risk.States = nil
+	stateCache := make(map[int64][]*topology.FailureState)
+	searchOpts.Risk.StatesFor = func(t *topology.Topology, ro risk.Options) []*topology.FailureState {
+		if t != topo {
+			return nil
+		}
+		if s, ok := stateCache[ro.Seed]; ok && len(s) == ro.Scenarios {
+			return s
+		}
+		s := risk.SampleStates(t, ro)
+		stateCache[ro.Seed] = s
+		return s
+	}
+
+	// Hose keys already in the batch: a class shift that collides with
+	// another hose's flow set cannot be assessed (duplicate demand keys).
+	taken := make(map[string]int, len(hoses))
+	for i := range hoses {
+		taken[hoses[i].Key()] = i
+	}
+
+	// evalCandidate re-approves the batch with hoses[idx] replaced by cand.
+	evalCandidate := func(idx int, cand hose.Request) (bool, error) {
+		mod := make([]hose.Request, len(hoses))
+		copy(mod, hoses)
+		mod[idx] = cand
+		r2, err := Approve(topo, mod, searchOpts)
+		if err != nil {
+			return false, err
+		}
+		if !r2.Approvals[idx].FullyApproved {
+			return false, nil
+		}
+		for j := range r2.Approvals {
+			if j != idx && res.Approvals[j].FullyApproved && !r2.Approvals[j].FullyApproved {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	propAt := 0
+	for i := range res.Approvals {
+		a := &res.Approvals[i]
+		if a.FullyApproved {
+			continue
+		}
+		cp := &proposals[propAt]
+		propAt++
+		orig := a.Request
+		if orig.Rate <= 0 {
+			continue
+		}
+		budget := neg.MaxEvals
+		var best *hose.Request
+
+		// Move class 1: QoS class shifts at the full requested rate, nearest
+		// shift first (higher-priority direction preferred on ties — the
+		// offer "buy one class up and your full ask fits"). The first success
+		// is rate-maximal, so the class phase stops there.
+		for shift := 1; shift <= neg.MaxClassShift && best == nil && budget > 0; shift++ {
+			for _, c := range []contract.Class{orig.Class - contract.Class(shift), orig.Class + contract.Class(shift)} {
+				if !c.Valid() || budget == 0 || best != nil {
+					continue
+				}
+				cand := orig
+				cand.Class = c
+				if _, clash := taken[cand.Key()]; clash {
+					continue
+				}
+				budget--
+				ok, err := evalCandidate(i, cand)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					offer := cand
+					best = &offer
+				}
+			}
+		}
+
+		// Move class 2: rate shrink at the original class, bisected over
+		// (admittable, requested). Skipped when a full-rate class shift
+		// already won — no shrink can offer more.
+		if best == nil {
+			lo, hi := a.ApprovedRate, orig.Rate
+			steps := neg.RateSteps
+			if steps > budget {
+				steps = budget
+			}
+			for s := 0; s < steps && hi-lo > bwTolApproval(hi); s++ {
+				mid := lo + (hi-lo)/2
+				cand := orig
+				cand.Rate = mid
+				budget--
+				ok, err := evalCandidate(i, cand)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					lo = mid
+					offer := cand
+					best = &offer
+				} else {
+					hi = mid
+				}
+			}
+		}
+
+		if best != nil && (best.Class != orig.Class || best.Rate > a.ApprovedRate+bwTolApproval(a.ApprovedRate)) {
+			cp.CounterOffer = best
+			cp.Evals = neg.MaxEvals - budget
+		}
+	}
+	return proposals, nil
+}
+
+// bwTolApproval mirrors risk's bandwidth tolerance for rate comparisons.
+func bwTolApproval(b float64) float64 {
+	if b < 0 {
+		b = -b
+	}
+	return 1e-9 + 1e-12*b
+}

@@ -1,0 +1,61 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+
+	"entitlement/internal/topology"
+)
+
+// TestAllocateIntoMatchesAllocate pins the hot-path contract: AllocateInto
+// writes exactly the admitted rates Allocate reports, across random failure
+// states and demand mixes, including reuse of an undersized scratch slice.
+func TestAllocateIntoMatchesAllocate(t *testing.T) {
+	opts := topology.DefaultBackboneOptions()
+	opts.Regions = 8
+	opts.Chords = 5
+	opts.LinkFail = 0.1
+	topo, err := topology.Backbone(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := topo.RegionsSorted()
+	rng := rand.New(rand.NewSource(42))
+	runner := NewRunner(topo)
+	var scratch []float64
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		demands := make([]Demand, n)
+		for i := range demands {
+			src := regions[rng.Intn(len(regions))]
+			dst := regions[rng.Intn(len(regions))]
+			for dst == src {
+				dst = regions[rng.Intn(len(regions))]
+			}
+			demands[i] = Demand{
+				Key: string(src) + ">" + string(dst) + string(rune('a'+i)),
+				Src: src, Dst: dst,
+				Rate:  float64(50+rng.Intn(500)) * 1e9,
+				Class: rng.Intn(4),
+			}
+		}
+		state := topo.SampleFailureAt(int64(trial), trial)
+		want := runner.Allocate(state, demands, AllocateOptions{})
+		scratch = runner.AllocateInto(state, demands, AllocateOptions{}, scratch)
+		if len(scratch) != n {
+			t.Fatalf("trial %d: AllocateInto returned %d rates for %d demands", trial, len(scratch), n)
+		}
+		for i, d := range demands {
+			if scratch[i] != want.Admitted[d.Key] {
+				t.Fatalf("trial %d: %s admitted %v via AllocateInto, %v via Allocate",
+					trial, d.Key, scratch[i], want.Admitted[d.Key])
+			}
+		}
+	}
+
+	// A nil scratch slice is grown; zero demands is a no-op.
+	out := runner.AllocateInto(topo.AllUp(), nil, AllocateOptions{}, nil)
+	if len(out) != 0 {
+		t.Fatalf("empty demand set returned %d rates", len(out))
+	}
+}

@@ -624,12 +624,52 @@ func (r *Runner) Allocate(state *topology.FailureState, demands []Demand, opts A
 		mAllocs.Inc()
 		mAllocSeconds.ObserveSince(start)
 	}()
+	admitted := make([]float64, len(demands))
+	r.allocateCore(state, demands, opts, admitted)
+	t := r.topo
+	alloc := &Allocation{Admitted: make(map[string]float64, len(demands)), LinkUsed: make([]float64, t.NumLinks())}
+	for i := range demands {
+		if admitted[i] > 0 {
+			alloc.Admitted[demands[i].Key] += admitted[i]
+		}
+	}
+	for i := range alloc.LinkUsed {
+		if state.IsUp(i) {
+			alloc.LinkUsed[i] = t.Links[i].Capacity - r.net.Residual(i)
+		}
+	}
+	return alloc
+}
+
+// AllocateInto is the map-free form of Allocate for the Monte-Carlo scenario
+// loop: the admitted rate of demands[i] is written to admitted[i] (the slice
+// is grown as needed and returned), with no Admitted map and no LinkUsed
+// build. The admitted rates are identical to Allocate's on the same inputs.
+func (r *Runner) AllocateInto(state *topology.FailureState, demands []Demand, opts AllocateOptions, admitted []float64) []float64 {
+	start := time.Now()
+	defer func() {
+		mAllocs.Inc()
+		mAllocSeconds.ObserveSince(start)
+	}()
+	if cap(admitted) < len(demands) {
+		admitted = make([]float64, len(demands))
+	}
+	admitted = admitted[:len(demands)]
+	for i := range admitted {
+		admitted[i] = 0
+	}
+	r.allocateCore(state, demands, opts, admitted)
+	return admitted
+}
+
+// allocateCore runs the class-ordered water-filling allocation, accumulating
+// each demand's admitted rate into admitted (indexed by demand position).
+func (r *Runner) allocateCore(state *topology.FailureState, demands []Demand, opts AllocateOptions, admitted []float64) {
 	if opts.Rounds <= 0 {
 		opts.Rounds = 16
 	}
 	r.net.Reset(state)
 	t := r.topo
-	alloc := &Allocation{Admitted: make(map[string]float64, len(demands)), LinkUsed: make([]float64, t.NumLinks())}
 
 	// Order demand indexes by class, preserving input order within a class
 	// (what the former map-of-slices grouping produced).
@@ -683,18 +723,12 @@ func (r *Runner) Allocate(state *topology.FailureState, demands []Demand, opts A
 				pushed := r.pushDemand(di, want, opts.MaxPathLen)
 				if pushed > 1e-9 {
 					r.remaining[di] -= pushed
-					alloc.Admitted[demands[di].Key] += pushed
+					admitted[di] += pushed
 					progress = true
 				}
 			}
 		}
 	}
-	for i := range alloc.LinkUsed {
-		if state.IsUp(i) {
-			alloc.LinkUsed[i] = t.Links[i].Capacity - r.net.Residual(i)
-		}
-	}
-	return alloc
 }
 
 // pushDemand routes up to want bits/s of demand di along shortest available

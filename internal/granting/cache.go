@@ -1,18 +1,28 @@
-// The admission cache: everything the service reuses across decisions, all
-// keyed under the topology epoch so a capacity edit or link addition drops
-// the whole warm state at once (stale risk conclusions must never outlive
-// the network they were computed on).
+// The admission cache: everything the service reuses across decisions. Since
+// the incremental-risk work this is delta-aware, not flush-on-any-epoch-bump:
+// the topology's mutation journal (topology.DeltaSince) says what an epoch
+// bump actually touched, and each level keeps as much warm state as stays
+// sound.
 //
 // Two levels:
 //
-//   - Scenario level: Monte-Carlo failure-scenario sets per (seed, count),
-//     plugged into risk.Options.StatesFor, plus a flow.RunnerPool that
-//     recycles allocator scratch. Both keep a warm assessment allocation-
-//     light but still pay the full routing cost.
-//   - Decision level: a memo of whole-batch outcomes keyed by the canonical
-//     batch signature. A re-submitted request set (idempotent retries,
-//     replayed grants) skips the risk pass entirely — contracts are still
-//     re-stored so the grant stays effective.
+//   - Assessment level: a risk.ResultCache (scenario states plus per-scenario
+//     results, patched in place after mutations) wired into
+//     risk.Options.Cache, plus a flow.RunnerPool recycling allocator scratch.
+//     Neither is ever flushed here — the result cache invalidates itself per
+//     scenario using the mutation delta, and a pooled Runner is fully reset
+//     per allocation.
+//   - Decision level: an LRU memo of whole-batch outcomes keyed by the
+//     canonical batch signature. A re-submitted request set (idempotent
+//     retries, replayed grants) skips the risk pass entirely. The memo
+//     survives epoch bumps whose delta touches no link (region additions):
+//     routing outcomes cannot change, so the decisions stand. Any
+//     link-touching delta drops the memo — max-min routing is global, so a
+//     remote capacity or probability change can shift every hose's
+//     admittable rate; per-request "does my segment touch the mutated link"
+//     filtering would be unsound (DESIGN.md §10). Dropped memos fall through
+//     to the delta-warm assessment level, which is where post-mutation
+//     re-decisions get their speedup.
 //
 // The decision memo keys on the WHOLE batch, never per request: co-batched
 // hoses compete for the same capacity, so a request's outcome is only
@@ -21,6 +31,7 @@
 package granting
 
 import (
+	"container/list"
 	"hash/fnv"
 	"sort"
 	"strconv"
@@ -33,16 +44,12 @@ import (
 	"entitlement/internal/topology"
 )
 
-type stateKey struct {
-	seed      int64
-	scenarios int
-}
-
 // memoEntry is one memoized batch decision. The full canonical signature is
 // kept (not just its hash) so a 64-bit collision can never serve another
 // batch's outcomes, and decisions are indexed by request signature so a
 // reordered resubmission maps each request back to its own decision.
 type memoEntry struct {
+	key   uint64
 	sig   string
 	bySig map[string]Decision
 }
@@ -50,66 +57,54 @@ type memoEntry struct {
 type cache struct {
 	topo *topology.Topology
 
-	mu        sync.Mutex
-	epoch     uint64
-	states    map[stateKey][]*topology.FailureState
-	pool      *flow.RunnerPool
-	decisions map[uint64]memoEntry
-	maxMemo   int
+	mu      sync.Mutex
+	epoch   uint64
+	results *risk.ResultCache
+	pool    *flow.RunnerPool
+	memo    map[uint64]*list.Element // batchKey → element in lru
+	lru     *list.List               // front = most recently used; *memoEntry
+	maxMemo int
 }
 
-func newCache(topo *topology.Topology) *cache {
-	c := &cache{topo: topo, maxMemo: 1024}
-	c.flushLocked()
-	c.epoch = topo.Epoch()
-	return c
+func newCache(topo *topology.Topology, maxMemo int) *cache {
+	if maxMemo <= 0 {
+		maxMemo = 1024
+	}
+	return &cache{
+		topo:    topo,
+		epoch:   topo.Epoch(),
+		results: risk.NewResultCache(0),
+		pool:    flow.NewRunnerPool(topo, 0),
+		memo:    make(map[uint64]*list.Element),
+		lru:     list.New(),
+		maxMemo: maxMemo,
+	}
 }
 
-// flushLocked drops all warm state (scenarios, runners, memoized decisions).
-func (c *cache) flushLocked() {
-	c.states = make(map[stateKey][]*topology.FailureState)
-	c.decisions = make(map[uint64]memoEntry)
-	c.pool = flow.NewRunnerPool(c.topo, 0)
-}
-
-// ensureEpochLocked flushes if the topology mutated since the cache was
-// warmed.
+// ensureEpochLocked reconciles the memo with topology mutations since the
+// last decision: a delta that touches no link keeps every memoized decision;
+// anything else (or an untraceable span) drops the memo. The assessment
+// level is untouched either way — the result cache patches itself.
 func (c *cache) ensureEpochLocked() {
-	if ep := c.topo.Epoch(); ep != c.epoch {
-		c.flushLocked()
-		c.epoch = ep
-		mCacheFlushes.Inc()
+	ep := c.topo.Epoch()
+	if ep == c.epoch {
+		return
 	}
+	delta, ok := c.topo.DeltaSince(c.epoch)
+	c.epoch = ep
+	if ok && !delta.TouchesLinks() {
+		return
+	}
+	c.memo = make(map[uint64]*list.Element)
+	c.lru.Init()
+	mCacheFlushes.Inc()
 }
 
-// statesFor is the risk.Options.StatesFor hook: it serves (and fills) the
-// scenario set for the per-pass seed/count the approval pipeline asks for.
-// Passes over other topologies (planned-change phases) are not cached.
-func (c *cache) statesFor(topo *topology.Topology, o risk.Options) []*topology.FailureState {
-	if topo != c.topo {
-		return nil // fall back to sampling
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ensureEpochLocked()
-	k := stateKey{seed: o.Seed, scenarios: o.Scenarios}
-	if s, ok := c.states[k]; ok {
-		mScenarioCacheHits.Inc()
-		return s
-	}
-	mScenarioCacheMisses.Inc()
-	s := risk.SampleStates(topo, risk.Options{Scenarios: o.Scenarios, Seed: o.Seed})
-	c.states[k] = s
-	return s
-}
+// resultCache returns the shared risk result cache (risk.Options.Cache).
+func (c *cache) resultCache() *risk.ResultCache { return c.results }
 
-// runnerPool returns the epoch-current pool.
-func (c *cache) runnerPool() *flow.RunnerPool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ensureEpochLocked()
-	return c.pool
-}
+// runnerPool returns the shared allocator-scratch pool.
+func (c *cache) runnerPool() *flow.RunnerPool { return c.pool }
 
 // batchSig renders the canonical identity of a batch decision: the sorted
 // request signatures plus every option that changes outcomes. Risk.Workers
@@ -140,6 +135,14 @@ func batchSig(reqSigs []string, o *Options) string {
 	b.WriteString(strconv.FormatBool(o.Approval.Risk.SkipAllUp))
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(o.PeriodDays))
+	b.WriteString("|neg:")
+	b.WriteString(strconv.FormatBool(o.Approval.Negotiation.Enabled))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(o.Approval.Negotiation.MaxEvals))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(o.Approval.Negotiation.RateSteps))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(o.Approval.Negotiation.MaxClassShift))
 	keys := make([]string, 0, len(o.Approval.SLOs))
 	for npg := range o.Approval.SLOs {
 		keys = append(keys, string(npg))
@@ -169,8 +172,12 @@ func (c *cache) lookup(key uint64, sig string, reqSigs []string) ([]Decision, bo
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ensureEpochLocked()
-	e, ok := c.decisions[key]
-	if !ok || e.sig != sig {
+	el, ok := c.memo[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*memoEntry)
+	if e.sig != sig {
 		return nil, false
 	}
 	decs := make([]Decision, len(reqSigs))
@@ -181,13 +188,14 @@ func (c *cache) lookup(key uint64, sig string, reqSigs []string) ([]Decision, bo
 		}
 		decs[i] = d
 	}
+	c.lru.MoveToFront(el)
 	return decs, true
 }
 
 // store memoizes a decided batch, indexed by request signature (unique
 // within a batch: duplicate hose keys are rejected before deciding). The
-// memo is bounded: at capacity it resets (epoch-style) rather than tracking
-// recency — correctness never depends on a hit.
+// memo is a bounded LRU: at capacity the least recently used batch is
+// evicted and counted — correctness never depends on a hit.
 func (c *cache) store(key uint64, sig string, reqSigs []string, decs []Decision) {
 	bySig := make(map[string]Decision, len(decs))
 	for i := range decs {
@@ -196,8 +204,23 @@ func (c *cache) store(key uint64, sig string, reqSigs []string, decs []Decision)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ensureEpochLocked()
-	if len(c.decisions) >= c.maxMemo {
-		c.decisions = make(map[uint64]memoEntry)
+	if el, ok := c.memo[key]; ok {
+		el.Value = &memoEntry{key: key, sig: sig, bySig: bySig}
+		c.lru.MoveToFront(el)
+		return
 	}
-	c.decisions[key] = memoEntry{sig: sig, bySig: bySig}
+	c.memo[key] = c.lru.PushFront(&memoEntry{key: key, sig: sig, bySig: bySig})
+	for c.lru.Len() > c.maxMemo {
+		back := c.lru.Back()
+		delete(c.memo, back.Value.(*memoEntry).key)
+		c.lru.Remove(back)
+		mMemoEvictions.Inc()
+	}
+}
+
+// memoLen reports the memo size (for tests and stats).
+func (c *cache) memoLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
 }

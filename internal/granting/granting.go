@@ -200,6 +200,10 @@ type Options struct {
 	// Retain bounds how many decided requests the service keeps queryable.
 	// Default 1024.
 	Retain int
+	// MemoMaxEntries bounds the decision memo (whole-batch LRU entries kept
+	// warm between topology deltas). Default 1024; evictions are counted by
+	// entitlement_grantd_memo_evictions_total.
+	MemoMaxEntries int
 	// Now supplies the service clock (tests pin it). Default time.Now.
 	Now func() time.Time
 }
@@ -213,6 +217,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Retain <= 0 {
 		o.Retain = 1024
+	}
+	if o.MemoMaxEntries <= 0 {
+		o.MemoMaxEntries = 1024
 	}
 	if o.Now == nil {
 		o.Now = time.Now
@@ -322,7 +329,13 @@ func DecideBatch(topo *topology.Topology, reqs []Request, opts Options) ([]Decis
 	if err != nil {
 		return nil, err
 	}
-	proposals := approval.Negotiate(res)
+	// Counter-proposals: the RAILS-style search when enabled (each move
+	// priced by a warm re-approval), the plain admittable-volume form
+	// otherwise.
+	proposals, err := approval.NegotiateSearch(topo, sorted, res, apprOpts)
+	if err != nil {
+		return nil, err
+	}
 
 	// Split the flat outcome back per request. Negotiate emits proposals in
 	// approval order for each not-fully-approved hose, so a running index
@@ -419,6 +432,10 @@ func FormatDecision(w *strings.Builder, d *Decision) {
 	for _, p := range d.Proposals {
 		fmt.Fprintf(w, "  proposal: %s admittable %.1fG (short %.1fG), alternatives %v\n",
 			p.Hose.Key(), p.AdmittableRate/1e9, p.Shortfall/1e9, p.AlternativeRegions)
+		if p.CounterOffer != nil {
+			fmt.Fprintf(w, "  counter-offer: %s at %.1fG (%d evals)\n",
+				p.CounterOffer.Key(), p.CounterOffer.Rate/1e9, p.Evals)
+		}
 	}
 	if d.Contract != nil {
 		total := 0.0

@@ -2,25 +2,25 @@ package granting
 
 import "entitlement/internal/obs"
 
-// Granting-plane instruments. The two cache levels report separately:
-// scenario hits mean a warm assessment (routing still runs, sampling and
-// allocator scratch are reused); decision hits mean the whole risk pass was
-// skipped for a memoized batch. entitlement_grantd_cache_hit_ratio tracks
-// the decision memo — the headline "how often is admission free" signal.
+// Granting-plane instruments. The assessment level (scenario states, delta
+// splicing) reports from the risk package (entitlement_risk_result_cache_*);
+// here the decision memo reports hits — batches whose whole risk pass was
+// skipped — plus LRU evictions and delta-triggered drops.
+// entitlement_grantd_cache_hit_ratio tracks the decision memo — the headline
+// "how often is admission free" signal.
 var (
-	mRequests            = obs.RegisterCounter("entitlement_grantd_requests_total", "Contract requests accepted into the admission queue.")
-	mQueueDepth          = obs.RegisterGauge("entitlement_grantd_queue_depth", "Requests currently queued for a risk pass.")
-	mBatches             = obs.RegisterCounter("entitlement_grantd_batches_total", "Risk passes run (each decides one coalesced batch).")
-	mBatchSize           = obs.RegisterHistogram("entitlement_grantd_batch_size", "Requests decided per risk pass.")
-	mDecisionSeconds     = obs.RegisterHistogram("entitlement_grantd_decision_seconds", "Latency from submission to decision, per request.")
-	mDecisions           = obs.RegisterCounterVec("entitlement_grantd_decisions_total", "Decisions by outcome.", "status")
-	mMemoHits            = obs.RegisterCounter("entitlement_grantd_decision_cache_hits_total", "Requests answered from the decision memo (no risk pass). Counted per request, matching the /grants report.")
-	mMemoMisses          = obs.RegisterCounter("entitlement_grantd_decision_cache_misses_total", "Requests that needed a full risk pass. Counted per request, matching the /grants report.")
-	mScenarioCacheHits   = obs.RegisterCounter("entitlement_grantd_scenario_cache_hits_total", "Assessments served a precomputed Monte-Carlo scenario set.")
-	mScenarioCacheMisses = obs.RegisterCounter("entitlement_grantd_scenario_cache_misses_total", "Assessments that sampled a fresh Monte-Carlo scenario set.")
-	mCacheHitRatio       = obs.RegisterGauge("entitlement_grantd_cache_hit_ratio", "Decision-memo hit ratio since start (hits / lookups).")
-	mCacheFlushes        = obs.RegisterCounter("entitlement_grantd_cache_flushes_total", "Warm-state flushes triggered by a topology epoch change.")
-	mStoreFails          = obs.RegisterCounter("entitlement_grantd_store_failures_total", "Granted contracts that failed to store in the contract database.")
+	mRequests        = obs.RegisterCounter("entitlement_grantd_requests_total", "Contract requests accepted into the admission queue.")
+	mQueueDepth      = obs.RegisterGauge("entitlement_grantd_queue_depth", "Requests currently queued for a risk pass.")
+	mBatches         = obs.RegisterCounter("entitlement_grantd_batches_total", "Risk passes run (each decides one coalesced batch).")
+	mBatchSize       = obs.RegisterHistogram("entitlement_grantd_batch_size", "Requests decided per risk pass.")
+	mDecisionSeconds = obs.RegisterHistogram("entitlement_grantd_decision_seconds", "Latency from submission to decision, per request.")
+	mDecisions       = obs.RegisterCounterVec("entitlement_grantd_decisions_total", "Decisions by outcome.", "status")
+	mMemoHits        = obs.RegisterCounter("entitlement_grantd_decision_cache_hits_total", "Requests answered from the decision memo (no risk pass). Counted per request, matching the /grants report.")
+	mMemoMisses      = obs.RegisterCounter("entitlement_grantd_decision_cache_misses_total", "Requests that needed a full risk pass. Counted per request, matching the /grants report.")
+	mMemoEvictions   = obs.RegisterCounter("entitlement_grantd_memo_evictions_total", "Memoized batch decisions evicted by the LRU bound (Options.MemoMaxEntries).")
+	mCacheHitRatio   = obs.RegisterGauge("entitlement_grantd_cache_hit_ratio", "Decision-memo hit ratio since start (hits / lookups).")
+	mCacheFlushes    = obs.RegisterCounter("entitlement_grantd_cache_flushes_total", "Decision-memo drops triggered by a link-touching topology delta.")
+	mStoreFails      = obs.RegisterCounter("entitlement_grantd_store_failures_total", "Granted contracts that failed to store in the contract database.")
 )
 
 func updateHitRatio() {

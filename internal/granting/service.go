@@ -76,11 +76,12 @@ type Service struct {
 
 // NewService starts the decider. Close releases it.
 func NewService(topo *topology.Topology, sink Sink, opts Options) *Service {
+	o := opts.withDefaults()
 	s := &Service{
 		topo: topo,
 		sink: sink,
-		opts: opts.withDefaults(),
-		c:    newCache(topo),
+		opts: o,
+		c:    newCache(topo, o.MemoMaxEntries),
 		subs: make(map[string]*submission),
 
 		decided: make(map[string]*Decision),
@@ -349,7 +350,7 @@ func (s *Service) decide(batch []*submission) {
 			mMemoMisses.Add(int64(len(reqs)))
 		}
 		opts := s.opts
-		opts.Approval.Risk.StatesFor = s.c.statesFor
+		opts.Approval.Risk.Cache = s.c.resultCache()
 		opts.Approval.Risk.Pool = s.c.runnerPool()
 		decs, err = DecideBatch(s.topo, reqs, opts)
 		if err == nil && memoizable {

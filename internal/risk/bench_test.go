@@ -1,0 +1,95 @@
+package risk
+
+import (
+	"testing"
+
+	"entitlement/internal/flow"
+	"entitlement/internal/topology"
+)
+
+// benchAssessSetup builds the workload every Assess benchmark shares: the
+// default 12-region backbone, 8 hose-scale demands, 400 scenarios.
+func benchAssessSetup(b *testing.B) (*topology.Topology, []flow.Demand, Options) {
+	b.Helper()
+	topo, err := topology.Backbone(topology.DefaultBackboneOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	regions := topo.RegionsSorted()
+	demands := make([]flow.Demand, 0, 8)
+	for i := 0; i < 8; i++ {
+		src := regions[i%len(regions)]
+		dst := regions[(i+3)%len(regions)]
+		demands = append(demands, flow.Demand{
+			Key: string(src) + ">" + string(dst) + string(rune('a'+i)),
+			Src: src, Dst: dst, Rate: 400e9, Class: i % 4,
+		})
+	}
+	return topo, demands, Options{Scenarios: 400, Seed: 3, Workers: 1}
+}
+
+// BenchmarkAssessCold is the from-scratch Monte-Carlo pass: sample every
+// scenario, route every scenario.
+func BenchmarkAssessCold(b *testing.B) {
+	topo, demands, opts := benchAssessSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assess(topo, demands, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssessWarm replays an unchanged cached assessment: no sampling,
+// no routing, result rebuilt from cached columns.
+func BenchmarkAssessWarm(b *testing.B) {
+	topo, demands, opts := benchAssessSetup(b)
+	opts.Cache = NewResultCache(2)
+	if _, err := Assess(topo, demands, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Assess(topo, demands, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Resimulated != 0 {
+			b.Fatalf("warm replay re-simulated %d scenarios", res.Resimulated)
+		}
+	}
+}
+
+// BenchmarkAssessDelta re-assesses after a failure-probability change on
+// ~10% of links: only the scenarios whose sampled bits flipped are routed,
+// the rest splice from cache. This is the CI bench-delta leg's benchmark;
+// TestDeltaSpeedup asserts the >= 10x bar.
+func BenchmarkAssessDelta(b *testing.B) {
+	topo, demands, opts := benchAssessSetup(b)
+	opts.Cache = NewResultCache(2)
+	if _, err := Assess(topo, demands, opts); err != nil {
+		b.Fatal(err)
+	}
+	nTouch := topo.NumLinks() / 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := 0.002 + 0.001*float64(i%8+1)
+		for l := 0; l < nTouch; l++ {
+			if err := topo.SetLinkFailProb((i*nTouch+l)%topo.NumLinks(), p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		res, err := Assess(topo, demands, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Spliced == 0 {
+			b.Fatal("delta pass spliced nothing")
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Incremental re-assessment: the ResultCache keeps each assessment's sampled
+// failure states and per-scenario admitted-bandwidth columns, and uses the
+// topology's mutation journal (topology.DeltaSince) to re-simulate only the
+// scenarios a mutation actually dirties, splicing every other scenario's
+// result from cache. Because scenario sampling is decomposable (one hash draw
+// per (seed, scenario, link)), patching the touched links' bits in the cached
+// states reproduces exactly the states a fresh SampleStates would draw — so a
+// spliced assessment is byte-identical to a full recompute.
+//
+// Dirty rules per mutation class (see DESIGN.md §10 for the derivation):
+//
+//   - region add: nothing dirty — no link changed, routing unaffected.
+//   - sampling change (FailProb, SRLG CutProb, Disabled toggle): redraw the
+//     touched links' bits; a scenario is dirty only when a bit flips.
+//   - capacity change on link L: dirty where L is up (a down link's capacity
+//     cannot influence routing).
+//   - link add: draw the new link's bits; dirty where the new link is up (a
+//     down link carries nothing, so those scenarios splice).
+//   - the forced all-up slot is re-simulated on every link-touching delta
+//     (one scenario; not worth a finer rule).
+package risk
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"entitlement/internal/flow"
+	"entitlement/internal/topology"
+)
+
+// ResultCache caches full assessments — sampled states plus per-scenario
+// results — keyed by (topology instance, demands, sampling options), and
+// re-assesses incrementally after topology mutations. Wire it in through
+// Options.Cache.
+//
+// The cache is safe for concurrent assess calls, but like every epoch-keyed
+// cache it assumes the topology is not mutated concurrently with an
+// assessment.
+type ResultCache struct {
+	mu    sync.Mutex
+	max   int
+	lru   *list.List // front = most recently used; values are *resultEntry
+	byKey map[string]*list.Element
+}
+
+// resultEntry is one cached assessment: the exact sampled states it was
+// computed from (patched in place on delta re-assessment) and the
+// per-demand, per-slot admitted-bandwidth columns.
+type resultEntry struct {
+	key    string
+	topo   *topology.Topology
+	epoch  uint64
+	offset int
+	total  int
+	states []*topology.FailureState
+	cols   [][]float64
+}
+
+// DefaultResultCacheEntries bounds the cache when NewResultCache is given a
+// non-positive max: one entry per distinct in-flight batch shape is plenty
+// for a granting service, and entries hold O(scenarios × links) state.
+const DefaultResultCacheEntries = 64
+
+// NewResultCache creates a result cache holding at most max assessments
+// (<= 0 means DefaultResultCacheEntries). Least-recently-used entries are
+// evicted.
+func NewResultCache(max int) *ResultCache {
+	if max <= 0 {
+		max = DefaultResultCacheEntries
+	}
+	return &ResultCache{max: max, lru: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Len reports the number of cached assessments (for tests and stats).
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// assessKey renders the identity of an assessment: topology instance,
+// sampling and allocation options, and the full demand list. Workers is
+// excluded — worker count never changes results.
+func assessKey(topo *topology.Topology, demands []flow.Demand, opts Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%p|%d|%t|%d|%d|%x|", topo, opts.Scenarios, opts.SkipAllUp,
+		opts.Seed, opts.Alloc.Rounds, math.Float64bits(opts.Alloc.MaxPathLen))
+	for _, d := range demands {
+		fmt.Fprintf(&b, "%s\x00%s\x00%s\x00%x\x00%d\x1f", d.Key, d.Src, d.Dst,
+			math.Float64bits(d.Rate), d.Class)
+	}
+	return b.String()
+}
+
+// assess is the Options.Cache entry point, reached from Assess with
+// Scenarios defaulted and demands validated.
+func (c *ResultCache) assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Result, error) {
+	// The cache owns sampling and re-entry: inner assessments must not
+	// consult caller-supplied state sources or recurse into the cache.
+	opts.Cache = nil
+	opts.States = nil
+	opts.StatesFor = nil
+	key := assessKey(topo, demands, opts)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		mResultCacheMisses.Inc()
+		return c.fillLocked(key, topo, demands, opts), nil
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*resultEntry)
+	now := topo.Epoch()
+	if e.epoch == now {
+		// Pure replay: nothing changed, nothing is routed.
+		mResultCacheHits.Inc()
+		mDeltaSpliced.Add(int64(e.total))
+		return buildResult(demands, e.cols, 0, e.total), nil
+	}
+	delta, ok := topo.DeltaSince(e.epoch)
+	if !ok {
+		// Journal truncated past the entry's epoch: recompute wholesale.
+		mResultCacheMisses.Inc()
+		c.removeLocked(el)
+		return c.fillLocked(key, topo, demands, opts), nil
+	}
+	mResultCacheHits.Inc()
+	if !delta.TouchesLinks() {
+		// Region-only (or empty) delta: every scenario splices.
+		e.epoch = now
+		mDeltaSpliced.Add(int64(e.total))
+		return buildResult(demands, e.cols, 0, e.total), nil
+	}
+	dirty := patchStates(topo, e, delta, opts.Seed)
+	slots := make([]int, 0, len(dirty))
+	for slot, d := range dirty {
+		if d {
+			slots = append(slots, slot)
+		}
+	}
+	evalSlots(topo, demands, opts, e.states, e.cols, e.offset, slots)
+	e.epoch = now
+	mDeltaResimulated.Add(int64(len(slots)))
+	mDeltaSpliced.Add(int64(e.total - len(slots)))
+	return buildResult(demands, e.cols, len(slots), e.total-len(slots)), nil
+}
+
+// fillLocked runs a full assessment, caches it, and returns the result.
+func (c *ResultCache) fillLocked(key string, topo *topology.Topology, demands []flow.Demand, opts Options) *Result {
+	epoch := topo.Epoch()
+	states := SampleStates(topo, opts)
+	offset, total := slotLayout(opts)
+	cols := newColumns(len(demands), total)
+	evalSlots(topo, demands, opts, states, cols, offset, allSlots(total))
+	e := &resultEntry{
+		key: key, topo: topo, epoch: epoch,
+		offset: offset, total: total, states: states, cols: cols,
+	}
+	c.byKey[key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.max {
+		c.removeLocked(c.lru.Back())
+		mResultCacheEvictions.Inc()
+	}
+	mDeltaResimulated.Add(int64(total))
+	return buildResult(demands, cols, total, 0)
+}
+
+func (c *ResultCache) removeLocked(el *list.Element) {
+	delete(c.byKey, el.Value.(*resultEntry).key)
+	c.lru.Remove(el)
+}
+
+// patchStates updates the entry's cached failure states for the mutation
+// delta and returns the per-slot dirty mask. Untouched links keep their
+// original bits, which equal a fresh draw's bits because the per-link hash
+// inputs are unchanged; touched links are redrawn with LinkDownAt, the same
+// predicate SampleFailureAt evaluates.
+func patchStates(topo *topology.Topology, e *resultEntry, delta *topology.Delta, seed int64) []bool {
+	dirty := make([]bool, e.total)
+	if e.offset == 1 {
+		// The forced all-up state is recomputed by evalSlots from the live
+		// topology; any link-touching delta may change it (Disabled bits) or
+		// its routing (capacities, new links).
+		dirty[0] = true
+	}
+	nl := topo.NumLinks()
+	for _, st := range e.states {
+		for len(st.Down) < nl {
+			st.Down = append(st.Down, false)
+		}
+	}
+	for _, id := range delta.AddedLinks {
+		for j, st := range e.states {
+			down := topo.LinkDownAt(seed, j, id)
+			st.Down[id] = down
+			if !down {
+				dirty[j+e.offset] = true
+			}
+		}
+	}
+	for _, id := range delta.SampleTouched {
+		for j, st := range e.states {
+			down := topo.LinkDownAt(seed, j, id)
+			if down != st.Down[id] {
+				st.Down[id] = down
+				dirty[j+e.offset] = true
+			}
+		}
+	}
+	for _, id := range delta.CapTouched {
+		for j, st := range e.states {
+			if !st.Down[id] {
+				dirty[j+e.offset] = true
+			}
+		}
+	}
+	return dirty
+}

@@ -20,8 +20,8 @@ package risk
 
 import (
 	"errors"
+	"fmt"
 	"math"
-	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -125,22 +125,34 @@ type Options struct {
 	// Pools bound to a different topology are ignored (AssessPhased
 	// assesses two topologies with one Options value).
 	Pool *flow.RunnerPool
+
+	// Cache, when non-nil, routes the assessment through the incremental
+	// result cache: a repeat of a cached (topology, demands, options)
+	// assessment replays without routing anything, and after topology
+	// mutations only the scenarios the mutation delta dirties are
+	// re-simulated, the rest spliced — byte-identical to a full recompute.
+	// When set, States and StatesFor are ignored (the cache owns sampling).
+	Cache *ResultCache
 }
 
 // SampleStates precomputes the failure scenarios Assess would sample for
-// these options: scenario j is drawn from the deterministic per-scenario RNG
-// seed, exactly as the assessment loop does. The forced all-up scenario is
-// not included (it is not sampled). The returned slice can be passed as
-// Options.States to any number of assessments over the same topology with
-// the same Seed/Scenarios, with byte-identical results.
+// these options: scenario j is topology.SampleFailureAt(Seed, j), exactly
+// what the assessment loop draws. The forced all-up scenario is not included
+// (it is not sampled). The returned slice can be passed as Options.States to
+// any number of assessments over the same topology with the same
+// Seed/Scenarios, with byte-identical results.
+//
+// The draw is decomposable: link i's down-bit in scenario j depends only on
+// (Seed, j, i) and the link's own failure inputs, never on the rest of the
+// topology. That is what makes post-mutation delta re-assessment possible —
+// a mutation perturbs only the touched links' bits (see ResultCache).
 func SampleStates(topo *topology.Topology, opts Options) []*topology.FailureState {
 	if opts.Scenarios <= 0 {
 		opts.Scenarios = 500
 	}
 	states := make([]*topology.FailureState, opts.Scenarios)
 	for j := range states {
-		rng := rand.New(rand.NewSource(scenarioSeed(opts.Seed, j)))
-		states[j] = topo.SampleFailures(rng)
+		states[j] = topo.SampleFailureAt(opts.Seed, j)
 	}
 	return states
 }
@@ -148,20 +160,11 @@ func SampleStates(topo *topology.Topology, opts Options) []*topology.FailureStat
 // Result holds per-pipe availability curves from one assessment.
 type Result struct {
 	Curves map[string]*Curve // keyed by flow.Demand.Key
-}
-
-// mix64 is the SplitMix64 finalizer; it decorrelates consecutive scenario
-// indexes into well-spread RNG seeds.
-func mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// scenarioSeed derives the deterministic RNG seed for scenario i.
-func scenarioSeed(seed int64, i int) int64 {
-	return int64(uint64(seed) ^ mix64(uint64(i)))
+	// Resimulated and Spliced report how many scenario slots were actually
+	// routed vs. spliced unchanged from a ResultCache entry. Outside cache
+	// use, Resimulated covers every slot and Spliced is 0.
+	Resimulated int
+	Spliced     int
 }
 
 // Assess runs the Monte-Carlo risk simulation: for every sampled failure
@@ -179,40 +182,92 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 	if opts.Scenarios <= 0 {
 		opts.Scenarios = 500
 	}
+	if err := checkDemandKeys(demands); err != nil {
+		return nil, err
+	}
+	if opts.Cache != nil {
+		return opts.Cache.assess(topo, demands, opts)
+	}
 	states := opts.States
 	if states == nil && opts.StatesFor != nil {
 		states = opts.StatesFor(topo, opts)
 	}
 	if states != nil && len(states) != opts.Scenarios {
-		return nil, errors.New("risk: precomputed States length does not match Scenarios")
-	}
-	keyIdx := make(map[string]int, len(demands))
-	for i, d := range demands {
-		if _, dup := keyIdx[d.Key]; dup {
-			return nil, errors.New("risk: duplicate demand key " + d.Key)
-		}
-		keyIdx[d.Key] = i
+		return nil, fmt.Errorf("risk: precomputed States length %d does not match Scenarios %d (topology epoch %d)",
+			len(states), opts.Scenarios, topo.Epoch())
 	}
 
-	// Scenario index space: slot 0 is the forced all-up scenario (unless
-	// skipped); sampled scenario j owns slot j+offset and RNG seed mix(j).
-	offset := 0
+	offset, total := slotLayout(opts)
+	cols := newColumns(len(demands), total)
+	evalSlots(topo, demands, opts, states, cols, offset, allSlots(total))
+	return buildResult(demands, cols, total, 0), nil
+}
+
+// checkDemandKeys rejects duplicate demand keys (each key owns one curve).
+func checkDemandKeys(demands []flow.Demand) error {
+	seen := make(map[string]bool, len(demands))
+	for _, d := range demands {
+		if seen[d.Key] {
+			return errors.New("risk: duplicate demand key " + d.Key)
+		}
+		seen[d.Key] = true
+	}
+	return nil
+}
+
+// slotLayout returns the scenario index space: slot 0 is the forced all-up
+// scenario (unless skipped); sampled scenario j owns slot j+offset.
+func slotLayout(opts Options) (offset, total int) {
 	if !opts.SkipAllUp {
 		offset = 1
 	}
-	total := opts.Scenarios + offset
-	cols := make([][]float64, len(demands))
-	flat := make([]float64, len(demands)*total)
+	return offset, opts.Scenarios + offset
+}
+
+// newColumns allocates per-demand sample columns backed by one flat slice.
+func newColumns(demands, total int) [][]float64 {
+	cols := make([][]float64, demands)
+	flat := make([]float64, demands*total)
 	for i := range cols {
 		cols[i] = flat[i*total : (i+1)*total]
 	}
+	return cols
+}
 
+func allSlots(total int) []int {
+	slots := make([]int, total)
+	for i := range slots {
+		slots[i] = i
+	}
+	return slots
+}
+
+// buildResult folds sample columns into availability curves.
+func buildResult(demands []flow.Demand, cols [][]float64, resimulated, spliced int) *Result {
+	res := &Result{
+		Curves:      make(map[string]*Curve, len(demands)),
+		Resimulated: resimulated,
+		Spliced:     spliced,
+	}
+	for i, d := range demands {
+		res.Curves[d.Key] = NewCurve(cols[i])
+	}
+	return res
+}
+
+// evalSlots routes the demands under the given scenario slots, writing each
+// demand's admitted bandwidth into cols[di][slot]. Slots not listed keep
+// their prior column values (that is the splice). When states is nil,
+// sampled scenarios are drawn on the fly with topology.SampleFailureAt.
+// Slots fan out over Options.Workers goroutines, each holding its own
+// flow.Runner; the shared topology is only read.
+func evalSlots(topo *topology.Topology, demands []flow.Demand, opts Options, states []*topology.FailureState, cols [][]float64, offset int, slots []int) {
 	// Build the dense adjacency once before fan-out so workers don't race
 	// to construct it (Dense is mutex-guarded, but pre-building keeps the
 	// parallel section contention-free).
 	topo.Dense()
 
-	evalScenario := func(r *flow.Runner, slot int) {
+	evalScenario := func(r *flow.Runner, adm []float64, slot int) []float64 {
 		begin := time.Now()
 		var state *topology.FailureState
 		switch {
@@ -221,23 +276,23 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 		case states != nil:
 			state = states[slot-offset]
 		default:
-			rng := rand.New(rand.NewSource(scenarioSeed(opts.Seed, slot-offset)))
-			state = topo.SampleFailures(rng)
+			state = topo.SampleFailureAt(opts.Seed, slot-offset)
 		}
-		alloc := r.Allocate(state, demands, opts.Alloc)
-		for di, d := range demands {
-			cols[di][slot] = alloc.Admitted[d.Key]
+		adm = r.AllocateInto(state, demands, opts.Alloc, adm)
+		for di := range demands {
+			cols[di][slot] = adm[di]
 		}
 		mScenarios.Inc()
 		mScenarioSeconds.ObserveSince(begin)
+		return adm
 	}
 
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > total {
-		workers = total
+	if workers > len(slots) {
+		workers = len(slots)
 	}
 	// Per-worker Runners come from the caller's pool when it is bound to
 	// this topology; otherwise they are built fresh. Either way Allocate
@@ -262,8 +317,9 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 	var busyNanos int64 // summed per-worker solve time, for the utilization gauge
 	if workers <= 1 {
 		r := getRunner()
-		for slot := 0; slot < total; slot++ {
-			evalScenario(r, slot)
+		var adm []float64
+		for _, slot := range slots {
+			adm = evalScenario(r, adm, slot)
 		}
 		putRunner(r)
 		busyNanos = time.Since(assessStart).Nanoseconds()
@@ -276,12 +332,13 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 				defer wg.Done()
 				workerStart := time.Now()
 				r := getRunner()
+				var adm []float64
 				for {
-					slot := int(atomic.AddInt64(&next, 1)) - 1
-					if slot >= total {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= len(slots) {
 						break
 					}
-					evalScenario(r, slot)
+					adm = evalScenario(r, adm, slots[i])
 				}
 				putRunner(r)
 				atomic.AddInt64(&busyNanos, time.Since(workerStart).Nanoseconds())
@@ -291,16 +348,10 @@ func Assess(topo *topology.Topology, demands []flow.Demand, opts Options) (*Resu
 	}
 	wall := time.Since(assessStart)
 	mAssessSeconds.Observe(wall.Seconds())
-	if wall > 0 {
-		mScenarioRate.Set(float64(total) / wall.Seconds())
+	if wall > 0 && workers > 0 {
+		mScenarioRate.Set(float64(len(slots)) / wall.Seconds())
 		mWorkerUtil.Set(float64(busyNanos) / (wall.Seconds() * 1e9 * float64(workers)))
 	}
-
-	res := &Result{Curves: make(map[string]*Curve, len(demands))}
-	for i, d := range demands {
-		res.Curves[d.Key] = NewCurve(cols[i])
-	}
-	return res, nil
 }
 
 // MeetsSLO reports whether the demand's full requested rate is available at

@@ -32,6 +32,10 @@ type Link struct {
 	// SRLG is the shared-risk link group (fiber) this link rides on, or -1.
 	// A fiber cut fails every link in the group simultaneously.
 	SRLG int
+	// Disabled marks the link administratively down (a known fiber cut
+	// awaiting repair): it is down in every failure scenario including the
+	// forced all-up one. Toggled via SetLinkDisabled.
+	Disabled bool
 }
 
 // SRLG is a shared-risk link group with its own cut probability.
@@ -56,16 +60,166 @@ type Topology struct {
 	denseMu sync.Mutex
 
 	// epoch counts mutations through the package API (AddRegion/AddLink,
-	// EnsureSRLG, SetCapacity). Caches keyed on (instance, epoch) — the
-	// granting service's scenario cache — stay coherent without hashing the
-	// whole graph. Direct writes through Link() pointers bypass it.
+	// EnsureSRLG, SetCapacity, SetLinkFailProb, SetLinkDisabled). Caches
+	// keyed on (instance, epoch) — the granting service's scenario and
+	// result caches — stay coherent without hashing the whole graph. Direct
+	// writes through Link() pointers bypass it.
 	epoch atomic.Uint64
+
+	// journal records which links each epoch bump touched, so caches can
+	// invalidate incrementally (DeltaSince) instead of flushing wholesale.
+	journalMu   sync.Mutex
+	journal     []journalEntry
+	journalBase uint64 // DeltaSince can answer for any since >= journalBase
+
+	// srlgIdx maps SRLG ID → index into SRLGs, for O(1) lookups in the
+	// per-scenario sampling hot path.
+	srlgIdx map[int]int
 }
 
 // Epoch returns the topology's mutation counter: any change made through the
 // package API bumps it, so a cache entry computed at Epoch e is valid while
 // Epoch() still returns e on the same instance.
 func (t *Topology) Epoch() uint64 { return t.epoch.Load() }
+
+// --- Mutation journal -----------------------------------------------------
+
+// MutationKind classifies one journaled API mutation; Delta folds kinds into
+// the two properties caches care about (sampling inputs vs capacities).
+type MutationKind uint8
+
+// Journaled mutation kinds.
+const (
+	MutationRegionAdd MutationKind = iota // new region, no links touched
+	MutationLinkAdd                       // new link (sampling + routing)
+	MutationCapacity                      // capacity change on existing link
+	MutationFailProb                      // independent failure prob change
+	MutationSRLGProb                      // SRLG cut prob change (touches members)
+	MutationDisable                       // administrative down/up toggle
+)
+
+// journalEntry is one epoch bump: the kind and the links it touched.
+type journalEntry struct {
+	epoch uint64
+	kind  MutationKind
+	links []int
+}
+
+// maxJournal bounds the journal; older entries are dropped and journalBase
+// advances, turning DeltaSince for pre-base epochs into a full-recompute
+// signal rather than unbounded memory.
+const maxJournal = 4096
+
+// record journals one mutation under the epoch the bump just produced.
+func (t *Topology) record(kind MutationKind, links ...int) {
+	t.journalMu.Lock()
+	if len(t.journal) >= maxJournal {
+		drop := len(t.journal) / 2
+		t.journalBase = t.journal[drop-1].epoch
+		t.journal = append(t.journal[:0:0], t.journal[drop:]...)
+	}
+	t.journal = append(t.journal, journalEntry{epoch: t.epoch.Load(), kind: kind, links: links})
+	t.journalMu.Unlock()
+}
+
+// Delta summarizes every journaled mutation in the half-open epoch span
+// (From, To]: which links' failure-sampling inputs changed, which existing
+// links' capacities changed, which links are new, and whether regions were
+// added. It is the unit the risk result cache invalidates by.
+type Delta struct {
+	From, To uint64
+	// AddedRegions reports region additions (no link is touched; routing
+	// outcomes for existing demands are unaffected).
+	AddedRegions bool
+	// AddedLinks are links created in the span. Their sampled state must be
+	// drawn fresh; scenarios where a new link is up must be re-simulated.
+	AddedLinks []int
+	// CapTouched are pre-existing links whose capacity changed. Scenarios
+	// where such a link is up must be re-simulated; scenarios where it is
+	// down are unaffected (a down link's capacity is irrelevant).
+	CapTouched []int
+	// SampleTouched are pre-existing links whose failure-sampling inputs
+	// changed (FailProb, their SRLG's cut probability, or the Disabled
+	// flag). Their down-bits must be redrawn; only scenarios where a bit
+	// actually flips need re-simulation.
+	SampleTouched []int
+}
+
+// Empty reports whether the span contained no effective mutations.
+func (d *Delta) Empty() bool {
+	return d == nil || (!d.AddedRegions && len(d.AddedLinks) == 0 &&
+		len(d.CapTouched) == 0 && len(d.SampleTouched) == 0)
+}
+
+// TouchesLinks reports whether any link was added or modified in the span.
+// Region-only deltas leave every existing assessment and decision intact.
+func (d *Delta) TouchesLinks() bool {
+	return d != nil && (len(d.AddedLinks) > 0 || len(d.CapTouched) > 0 || len(d.SampleTouched) > 0)
+}
+
+// DeltaSince returns the merged mutation delta for the span (since, Epoch()].
+// ok is false when the journal no longer covers the span (the caller must
+// fall back to a full recompute) or since is ahead of the current epoch.
+// An up-to-date since returns an empty delta with ok true.
+func (t *Topology) DeltaSince(since uint64) (*Delta, bool) {
+	now := t.epoch.Load()
+	if since > now {
+		return nil, false
+	}
+	t.journalMu.Lock()
+	defer t.journalMu.Unlock()
+	if since < t.journalBase {
+		return nil, false
+	}
+	d := &Delta{From: since, To: now}
+	if since == now {
+		return d, true
+	}
+	added := make(map[int]bool)
+	cap := make(map[int]bool)
+	sample := make(map[int]bool)
+	for _, e := range t.journal {
+		if e.epoch <= since {
+			continue
+		}
+		switch e.kind {
+		case MutationRegionAdd:
+			d.AddedRegions = true
+		case MutationLinkAdd:
+			for _, id := range e.links {
+				added[id] = true
+			}
+		case MutationCapacity:
+			for _, id := range e.links {
+				if !added[id] {
+					cap[id] = true
+				}
+			}
+		case MutationFailProb, MutationSRLGProb, MutationDisable:
+			for _, id := range e.links {
+				if !added[id] {
+					sample[id] = true
+				}
+			}
+		}
+	}
+	d.AddedLinks = sortedKeys(added)
+	d.CapTouched = sortedKeys(cap)
+	d.SampleTouched = sortedKeys(sample)
+	return d, true
+}
+
+func sortedKeys(m map[int]bool) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
 
 // Dense is a CSR-style view of the topology over dense region indexes: the
 // outgoing link IDs of region index r are OutLinks[OutStart[r]:OutStart[r+1]],
@@ -133,6 +287,7 @@ func New() *Topology {
 	return &Topology{
 		regionIdx: make(map[Region]int),
 		adjacency: make(map[Region][]int),
+		srlgIdx:   make(map[int]int),
 	}
 }
 
@@ -144,6 +299,7 @@ func (t *Topology) AddRegion(r Region) {
 	t.regionIdx[r] = len(t.Regions)
 	t.Regions = append(t.Regions, r)
 	t.invalidateDense()
+	t.record(MutationRegionAdd)
 }
 
 // HasRegion reports whether r is part of the topology.
@@ -182,6 +338,7 @@ func (t *Topology) AddLink(src, dst Region, capacity, failProb float64, srlg int
 	})
 	t.adjacency[src] = append(t.adjacency[src], id)
 	t.invalidateDense()
+	t.record(MutationLinkAdd, id)
 	if srlg >= 0 {
 		t.srlgByID(srlg).Members = append(t.srlgByID(srlg).Members, id)
 	}
@@ -203,22 +360,45 @@ func (t *Topology) AddBidirectional(a, b Region, capacity, failProb float64, srl
 }
 
 // EnsureSRLG registers an SRLG with the given cut probability and returns its
-// ID. Calling it again with the same ID updates the probability.
+// ID. Calling it again with the same ID updates the probability. The journal
+// records the group's current members: their failure sampling changed.
 func (t *Topology) EnsureSRLG(id int, cutProb float64) int {
 	g := t.srlgByID(id)
 	g.CutProb = cutProb
 	t.epoch.Add(1) // changes failure sampling, not the dense adjacency
+	t.record(MutationSRLGProb, append([]int(nil), g.Members...)...)
 	return g.ID
 }
 
 func (t *Topology) srlgByID(id int) *SRLG {
+	if t.srlgIdx == nil {
+		t.srlgIdx = make(map[int]int)
+		for i := range t.SRLGs {
+			t.srlgIdx[t.SRLGs[i].ID] = i
+		}
+	}
+	if i, ok := t.srlgIdx[id]; ok {
+		return &t.SRLGs[i]
+	}
+	t.srlgIdx[id] = len(t.SRLGs)
+	t.SRLGs = append(t.SRLGs, SRLG{ID: id})
+	return &t.SRLGs[len(t.SRLGs)-1]
+}
+
+// srlgOf returns the SRLG struct for ID id, or nil.
+func (t *Topology) srlgOf(id int) *SRLG {
+	if t.srlgIdx != nil {
+		if i, ok := t.srlgIdx[id]; ok {
+			return &t.SRLGs[i]
+		}
+		return nil
+	}
 	for i := range t.SRLGs {
 		if t.SRLGs[i].ID == id {
 			return &t.SRLGs[i]
 		}
 	}
-	t.SRLGs = append(t.SRLGs, SRLG{ID: id})
-	return &t.SRLGs[len(t.SRLGs)-1]
+	return nil
 }
 
 // Outgoing returns the IDs of links leaving r.
@@ -271,9 +451,17 @@ type FailureState struct {
 	Down []bool // indexed by link ID
 }
 
-// AllUp returns a failure state with every link operational.
+// AllUp returns a failure state with every link operational except those
+// administratively disabled (a known fiber cut is down even in the forced
+// no-random-failure scenario).
 func (t *Topology) AllUp() *FailureState {
-	return &FailureState{Down: make([]bool, len(t.Links))}
+	s := &FailureState{Down: make([]bool, len(t.Links))}
+	for i := range t.Links {
+		if t.Links[i].Disabled {
+			s.Down[i] = true
+		}
+	}
+	return s
 }
 
 // IsUp reports whether link id is operational under s. A nil state means
@@ -318,6 +506,88 @@ func (t *Topology) SampleFailures(rng *rand.Rand) *FailureState {
 			continue
 		}
 		if p := t.Links[i].FailProb; p > 0 && rng.Float64() < p {
+			s.Down[i] = true
+		}
+	}
+	return s
+}
+
+// --- Decomposable scenario sampling ---------------------------------------
+//
+// SampleFailureAt draws scenario j's failure state with one independent hash
+// draw per (seed, scenario, entity), instead of one sequential RNG stream per
+// scenario. The draw for link i depends only on (seed, j, i, FailProb_i) and
+// its SRLG's (seed, j, groupID, CutProb): mutating one link perturbs only that
+// link's bit in each scenario, so a post-mutation re-assessment can redraw the
+// touched bits, find the scenarios where a bit actually flipped, and splice
+// every other scenario's result from cache — byte-identical to a full pass.
+
+const (
+	linkSalt = 0x6c696e6b5f646f77 // "link_dow"
+	srlgSalt = 0x73726c675f637574 // "srlg_cut"
+)
+
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// scenarioU01 maps (seed, scenario, salt, entity id) to a uniform in [0,1).
+func scenarioU01(seed int64, scenario int, salt, id uint64) float64 {
+	x := mix64(uint64(seed) ^ salt)
+	x = mix64(x ^ mix64(uint64(scenario)+1))
+	x = mix64(x ^ mix64(id+0x9e3779b97f4a7c15))
+	return float64(x>>11) / (1 << 53)
+}
+
+// srlgCutAt reports whether SRLG g is cut in the given scenario.
+func srlgCutAt(seed int64, scenario int, g *SRLG) bool {
+	return g != nil && g.CutProb > 0 && scenarioU01(seed, scenario, srlgSalt, uint64(g.ID)) < g.CutProb
+}
+
+// LinkDownAt reports whether link id is down in sampled scenario `scenario`
+// under the given seed: administratively disabled, cut with its SRLG, or
+// independently failed. The result depends only on the link's own sampling
+// inputs (Disabled, FailProb, its SRLG's CutProb), never on other links.
+func (t *Topology) LinkDownAt(seed int64, scenario int, id int) bool {
+	l := &t.Links[id]
+	if l.Disabled {
+		return true
+	}
+	if l.SRLG >= 0 && srlgCutAt(seed, scenario, t.srlgOf(l.SRLG)) {
+		return true
+	}
+	return l.FailProb > 0 && scenarioU01(seed, scenario, linkSalt, uint64(id)) < l.FailProb
+}
+
+// SampleFailureAt draws the failure state of sampled scenario `scenario`
+// under seed. Unlike SampleFailures it is random-access: scenario j's state
+// is independent of how many scenarios were drawn before it, and of any links
+// that do not belong to it.
+func (t *Topology) SampleFailureAt(seed int64, scenario int) *FailureState {
+	s := &FailureState{Down: make([]bool, len(t.Links))}
+	for g := range t.SRLGs {
+		if srlgCutAt(seed, scenario, &t.SRLGs[g]) {
+			for _, id := range t.SRLGs[g].Members {
+				s.Down[id] = true
+			}
+		}
+	}
+	for i := range t.Links {
+		l := &t.Links[i]
+		if l.Disabled {
+			s.Down[i] = true
+			continue
+		}
+		if s.Down[i] {
+			continue
+		}
+		if l.FailProb > 0 && scenarioU01(seed, scenario, linkSalt, uint64(i)) < l.FailProb {
 			s.Down[i] = true
 		}
 	}
@@ -435,7 +705,9 @@ func (t *Topology) RegionsSorted() []Region {
 }
 
 // Clone returns a deep copy of the topology; planners mutate clones when
-// evaluating candidate upgrades.
+// evaluating candidate upgrades. The clone starts with a fresh epoch and an
+// empty mutation journal: caches keyed on (instance, epoch) treat it as a new
+// instance, never as a delta of the original.
 func (t *Topology) Clone() *Topology {
 	out := &Topology{
 		Regions:   append([]Region(nil), t.Regions...),
@@ -443,9 +715,11 @@ func (t *Topology) Clone() *Topology {
 		SRLGs:     make([]SRLG, len(t.SRLGs)),
 		regionIdx: make(map[Region]int, len(t.regionIdx)),
 		adjacency: make(map[Region][]int, len(t.adjacency)),
+		srlgIdx:   make(map[int]int, len(t.srlgIdx)),
 	}
 	for i, g := range t.SRLGs {
 		out.SRLGs[i] = SRLG{ID: g.ID, CutProb: g.CutProb, Members: append([]int(nil), g.Members...)}
+		out.srlgIdx[g.ID] = i
 	}
 	for r, i := range t.regionIdx {
 		out.regionIdx[r] = i
@@ -466,5 +740,38 @@ func (t *Topology) SetCapacity(linkID int, capacity float64) error {
 	}
 	t.Links[linkID].Capacity = capacity
 	t.epoch.Add(1) // changes allocation outcomes, not the dense adjacency
+	t.record(MutationCapacity, linkID)
+	return nil
+}
+
+// SetLinkFailProb updates a link's independent failure probability
+// (maintenance windows, degrading hardware).
+func (t *Topology) SetLinkFailProb(linkID int, p float64) error {
+	if linkID < 0 || linkID >= len(t.Links) {
+		return fmt.Errorf("topology: unknown link %d", linkID)
+	}
+	if p < 0 || p >= 1 {
+		return fmt.Errorf("topology: failure probability %v out of [0,1)", p)
+	}
+	t.Links[linkID].FailProb = p
+	t.epoch.Add(1) // changes failure sampling, not the dense adjacency
+	t.record(MutationFailProb, linkID)
+	return nil
+}
+
+// SetLinkDisabled marks a link administratively down (a confirmed fiber cut
+// awaiting repair) or restores it. Disabled links are down in every failure
+// scenario, including the forced all-up one. Setting the current value again
+// is a no-op and does not bump the epoch.
+func (t *Topology) SetLinkDisabled(linkID int, down bool) error {
+	if linkID < 0 || linkID >= len(t.Links) {
+		return fmt.Errorf("topology: unknown link %d", linkID)
+	}
+	if t.Links[linkID].Disabled == down {
+		return nil
+	}
+	t.Links[linkID].Disabled = down
+	t.epoch.Add(1) // changes failure sampling, not the dense adjacency
+	t.record(MutationDisable, linkID)
 	return nil
 }
