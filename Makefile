@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet vet-metrics vet-imports test race chaos slo bench bench-smoke bench-delta bench-json cover figures examples grantd-demo
+.PHONY: all build vet vet-metrics vet-imports test race chaos crash slo bench bench-smoke bench-delta bench-json cover figures examples grantd-demo
 
 all: build vet vet-metrics vet-imports test
 
@@ -15,6 +15,19 @@ chaos:
 		-run 'TestChaosEnforcementSurvivesOutage|TestAgentRunNotWedgedByDeadServer' \
 		./internal/integration/
 	go test -race -count=1 -timeout 120s ./internal/faults/ ./internal/wire/
+
+# Durability plane: the randomized crash-recovery property (Kill + torn
+# journal tail, 50 seeded runs), the WAL decoder corruption suite, the
+# overload/queue-timeout admission tests, and the end-to-end SIGKILL drill —
+# a real grantd subprocess killed mid-storm must restart on its journal,
+# serve pre-kill decisions byte-identically, re-decide in-flight work, and
+# leave agents converged. All under the race detector.
+crash:
+	go test -race -count=1 -timeout 300s \
+		-run 'TestCrashRecoveryProperty|TestOverloadShed|TestQueueTimeout|TestWAL|TestReplayWAL|TestJournalCheckpointRotation|TestServiceCleanRestart' \
+		./internal/granting/
+	go test -race -count=1 -timeout 300s -v \
+		-run 'TestGrantdCrashRecoverySockets' ./internal/integration/
 
 build:
 	go build ./...

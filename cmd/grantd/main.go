@@ -8,7 +8,16 @@
 // Usage:
 //
 //	grantd [-addr HOST:PORT] [-contractdb ADDR] [-figure6 | -regions N] [-scenarios N] [-slo X] [-metrics-addr ADDR]
+//	       [-wal-dir DIR] [-fsync none|batch|always] [-max-queue N] [-max-queue-delay D]
 //	grantd -demo
+//
+// With -wal-dir set, every accepted submission and decided batch is written
+// to a checksummed write-ahead journal before it is acknowledged; on restart
+// grantd replays the journal (tolerating a torn tail from a crash), serves
+// already-decided request ids byte-identically, and re-decides in-flight
+// submissions deterministically. -max-queue bounds the admission queue —
+// overflow sheds with a retryable overload error carrying a retry-after
+// hint — and -max-queue-delay fails requests that outlive their wait.
 //
 // The -demo mode runs the whole grant→store→enforce loop in one process:
 // an in-memory contract database and rate store, a granting service over
@@ -54,6 +63,12 @@ func main() {
 	memoMax := flag.Int("memo-max", 0, "decision-memo LRU capacity in batches (0 = default 1024)")
 	negotiateSearch := flag.Bool("negotiate-search", false, "price counter-proposals with the RAILS-style local search over (rate shrink, QoS class shift) moves")
 	negotiateEvals := flag.Int("negotiate-evals", 0, "max re-approval evaluations per under-approved hose in the negotiation search (0 = default 8)")
+	walDir := flag.String("wal-dir", "", "write-ahead decision journal directory (empty disables durability)")
+	fsync := flag.String("fsync", "", "journal fsync policy: none, batch, or always (default batch)")
+	checkpointBytes := flag.Int64("checkpoint-bytes", 0, "journal bytes between snapshot checkpoints (0 = default 1 MiB)")
+	maxQueue := flag.Int("max-queue", 0, "admission-queue bound; submissions beyond it shed with a retryable overload error (0 = unbounded)")
+	maxQueueDelay := flag.Duration("max-queue-delay", 0, "fail requests queued longer than this with a queue-timeout decision (0 = never)")
+	shedRetryAfter := flag.Duration("shed-retry-after", 0, "retry-after hint attached to shed submissions (0 = default 500ms)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /grants, /healthz and /debug/pprof on this address (empty disables)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
@@ -113,9 +128,31 @@ func main() {
 		PeriodDays:     *periodDays,
 		MaxBatch:       *maxBatch,
 		MemoMaxEntries: *memoMax,
+		MaxQueue:       *maxQueue,
+		MaxQueueDelay:  *maxQueueDelay,
+		ShedRetryAfter: *shedRetryAfter,
 	}
-	svc := granting.NewService(topo, sink, opts)
+	if *walDir != "" {
+		policy, err := granting.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grantd: %v\n", err)
+			os.Exit(1)
+		}
+		opts.WAL = granting.WALOptions{Dir: *walDir, Fsync: policy, CheckpointBytes: *checkpointBytes}
+	}
+	svc, err := granting.OpenService(topo, sink, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grantd: %v\n", err)
+		os.Exit(1)
+	}
 	defer svc.Close()
+	if *walDir != "" {
+		st := svc.Stats()
+		fmt.Printf("grantd recovered %d decided, %d pending from %s\n",
+			st.RecoveredDecided, st.RecoveredPending, *walDir)
+		logger.Info("journal recovered", "dir", *walDir,
+			"decided", st.RecoveredDecided, "pending", st.RecoveredPending)
+	}
 
 	if *metricsAddr != "" {
 		ms, err := obs.Serve(*metricsAddr, nil, obs.Route{Pattern: "/grants", Handler: svc.Handler()})

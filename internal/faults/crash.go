@@ -1,0 +1,131 @@
+// Crash and torn-write injection for durability testing. A process that
+// dies mid-write leaves its journal with a torn tail: a partial record,
+// a record whose checksum no longer matches, or garbage past the last
+// durable byte. These helpers manufacture exactly those states on real
+// files so recovery code can be exercised without actually killing the
+// process (SIGKILL-based coverage lives in the integration tests).
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+)
+
+// TornWriter wraps a writer and stops persisting after Budget bytes,
+// while still reporting full success to the caller — the way a kernel
+// page cache acknowledges writes the disk never saw before a crash.
+// Writes after the budget is exhausted are silently dropped.
+type TornWriter struct {
+	W      io.Writer
+	Budget int64
+}
+
+// Write persists at most the remaining budget and lies about the rest.
+func (t *TornWriter) Write(p []byte) (int, error) {
+	if t.Budget <= 0 {
+		return len(p), nil
+	}
+	keep := int64(len(p))
+	if keep > t.Budget {
+		keep = t.Budget
+	}
+	n, err := t.W.Write(p[:keep])
+	t.Budget -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return len(p), nil
+}
+
+// TearFile truncates path to keep bytes, emulating a crash where only a
+// prefix of the file reached the disk. keep larger than the file is a
+// no-op; negative keep is an error.
+func TearFile(path string, keep int64) error {
+	if keep < 0 {
+		return fmt.Errorf("faults: negative tear offset %d", keep)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if keep >= fi.Size() {
+		return nil
+	}
+	return os.Truncate(path, keep)
+}
+
+// FlipBit flips one bit at byte offset off in path, emulating media
+// corruption that a checksummed reader must detect and stop at.
+func FlipBit(path string, off int64, bit uint) error {
+	if bit > 7 {
+		return fmt.Errorf("faults: bit index %d out of range", bit)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << bit
+	_, err = f.WriteAt(b[:], off)
+	return err
+}
+
+// CrashTail damages the tail of path like a crash mid-write would: it
+// either tears off up to maxBytes from the end, flips a bit inside the
+// final maxBytes window, or appends up to maxBytes of random garbage
+// (a preallocated region the writer never finished). The choice and the
+// amounts are drawn from rng so property tests replay deterministically.
+// It returns a description of what it did, for test-failure logs.
+func CrashTail(path string, rng *rand.Rand, maxBytes int64) (string, error) {
+	if maxBytes <= 0 {
+		maxBytes = 64
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	size := fi.Size()
+	switch mode := rng.Intn(3); {
+	case mode == 0 && size > 0:
+		cut := 1 + rng.Int63n(maxBytes)
+		if cut > size {
+			cut = size
+		}
+		if err := os.Truncate(path, size-cut); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("tear %d of %d bytes", cut, size), nil
+	case mode == 1 && size > 0:
+		window := maxBytes
+		if window > size {
+			window = size
+		}
+		off := size - 1 - rng.Int63n(window)
+		bit := uint(rng.Intn(8))
+		if err := FlipBit(path, off, bit); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("flip bit %d at offset %d of %d", bit, off, size), nil
+	default:
+		junk := make([]byte, 1+rng.Int63n(maxBytes))
+		rng.Read(junk)
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			return "", err
+		}
+		if _, err := f.Write(junk); err != nil {
+			f.Close()
+			return "", err
+		}
+		if err := f.Close(); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("append %d garbage bytes after %d", len(junk), size), nil
+	}
+}

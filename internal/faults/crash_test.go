@@ -1,0 +1,103 @@
+package faults
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTornWriterStopsPersisting(t *testing.T) {
+	var sink bytes.Buffer
+	w := &TornWriter{W: &sink, Budget: 5}
+	n, err := w.Write([]byte("hello world"))
+	if err != nil || n != 11 {
+		t.Fatalf("Write = %d, %v; want 11, nil", n, err)
+	}
+	n, err = w.Write([]byte("more"))
+	if err != nil || n != 4 {
+		t.Fatalf("second Write = %d, %v; want 4, nil", n, err)
+	}
+	if got := sink.String(); got != "hello" {
+		t.Fatalf("persisted %q, want %q", got, "hello")
+	}
+}
+
+func TestTearFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TearFile(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "0123" {
+		t.Fatalf("after tear: %q", got)
+	}
+	// keep past EOF is a no-op; negative keep is rejected.
+	if err := TearFile(path, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "0123" {
+		t.Fatalf("tear past EOF changed file: %q", got)
+	}
+	if err := TearFile(path, -1); err == nil {
+		t.Fatal("negative keep accepted")
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte{0x00, 0xFF}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(path, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(path, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if got[0] != 0x08 || got[1] != 0xFE {
+		t.Fatalf("after flips: %#v", got)
+	}
+	if err := FlipBit(path, 0, 8); err == nil {
+		t.Fatal("bit index 8 accepted")
+	}
+}
+
+func TestCrashTailAlwaysDamagesOrAppends(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	orig := make([]byte, 256)
+	rng.Read(orig)
+	for i := 0; i < 50; i++ {
+		path := filepath.Join(t.TempDir(), "wal")
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		desc, err := CrashTail(path, rng, 64)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("run %d (%s): %v", i, desc, err)
+		}
+		if bytes.Equal(got, orig) {
+			t.Fatalf("run %d (%s): file unchanged", i, desc)
+		}
+		// The prefix before any damage window must survive intact.
+		keep := len(got)
+		if keep > len(orig) {
+			keep = len(orig)
+		}
+		if keep > 64 {
+			if !bytes.Equal(got[:keep-64], orig[:keep-64]) {
+				t.Fatalf("run %d (%s): damage outside tail window", i, desc)
+			}
+		}
+	}
+}

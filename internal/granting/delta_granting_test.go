@@ -8,6 +8,7 @@ import (
 
 	"entitlement/internal/contract"
 	"entitlement/internal/hose"
+	"entitlement/internal/obs"
 	"entitlement/internal/topology"
 )
 
@@ -201,5 +202,54 @@ func TestDecideBatchCounterOffer(t *testing.T) {
 	}
 	if s := FormatDecisions(decs); !strings.Contains(s, "counter-offer: ") {
 		t.Errorf("counter-offer not rendered:\n%s", s)
+	}
+}
+
+// TestTruncatedTopologyJournalFallback pins the full-refill path: under
+// sustained mutation churn the topology's bounded mutation journal drops
+// the warm service's epoch, DeltaSince answers ok=false, and the granting
+// cache must fall back to a wholesale flush — decisions stay byte-identical
+// to a cold DecideBatch on the mutated topology, and the risk level
+// recomputes from scratch (result-cache misses, not stale patches).
+func TestTruncatedTopologyJournalFallback(t *testing.T) {
+	topo := topology.FigureSix()
+	svc := NewService(topo, nil, testOptions(2))
+	defer svc.Close()
+
+	reqs := testRequests()
+	decideAll(t, svc, reqs) // warm the memo and result cache
+	warmEpoch := topo.Epoch()
+
+	// Churn link 1's failure probability until the journal's ring drops the
+	// warm epoch; the bound is 4096 entries, the cap is a safety net.
+	churned := false
+	for i := 0; i < 3*4096 && !churned; i++ {
+		if err := topo.SetLinkFailProb(1, 0.001+0.0001*float64(i%50)); err != nil {
+			t.Fatal(err)
+		}
+		_, ok := topo.DeltaSince(warmEpoch)
+		churned = !ok
+	}
+	if !churned {
+		t.Fatal("mutation churn never outran the topology journal")
+	}
+
+	flushesBefore := mCacheFlushes.Value()
+	missesBefore := obs.Default().Snapshot()["entitlement_risk_result_cache_misses_total"].(int64)
+	warm := FormatDecisions(decideAll(t, svc, reqs))
+	if mCacheFlushes.Value() != flushesBefore+1 {
+		t.Errorf("untraceable span flushed the memo %d times, want once",
+			mCacheFlushes.Value()-flushesBefore)
+	}
+	if missesAfter := obs.Default().Snapshot()["entitlement_risk_result_cache_misses_total"].(int64); missesAfter <= missesBefore {
+		t.Error("truncated journal did not force full risk recomputation")
+	}
+
+	coldDecs, err := DecideBatch(topo, append([]Request(nil), reqs...), testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold := FormatDecisions(coldDecs); warm != cold {
+		t.Errorf("full-refill decisions diverged from cold batch:\n--- warm ---\n%s--- cold ---\n%s", warm, cold)
 	}
 }

@@ -142,6 +142,10 @@ const (
 	StatusRejected Status = "rejected"
 	// StatusError: the decision could not be computed or stored.
 	StatusError Status = "error"
+	// StatusQueueTimeout: the submission aged past Options.MaxQueueDelay
+	// before a risk pass reached it. Deciding it late would grant against
+	// a world the submitter has given up on, so it fails instead.
+	StatusQueueTimeout Status = "queue_timeout"
 )
 
 // HoseDecision is the per-hose outcome inside a Decision, in the request's
@@ -204,6 +208,21 @@ type Options struct {
 	// warm between topology deltas). Default 1024; evictions are counted by
 	// entitlement_grantd_memo_evictions_total.
 	MemoMaxEntries int
+	// MaxQueue bounds the admission queue in requests; a submission that
+	// would push past it is shed with ErrOverloaded (wrapped retryable for
+	// the wire layer, with ShedRetryAfter as the hint) and counted by
+	// entitlement_grantd_shed_total. 0 leaves the queue unbounded.
+	MaxQueue int
+	// MaxQueueDelay bounds how long a submission may wait for its risk
+	// pass; older submissions fail with StatusQueueTimeout instead of
+	// being decided late. 0 disables the bound.
+	MaxQueueDelay time.Duration
+	// ShedRetryAfter is the retry-after hint attached to overload sheds.
+	// Default 500ms.
+	ShedRetryAfter time.Duration
+	// WAL configures the write-ahead decision journal; an empty Dir keeps
+	// the service purely in-memory (decisions do not survive a restart).
+	WAL WALOptions
 	// Now supplies the service clock (tests pin it). Default time.Now.
 	Now func() time.Time
 }
@@ -221,6 +240,10 @@ func (o Options) withDefaults() Options {
 	if o.MemoMaxEntries <= 0 {
 		o.MemoMaxEntries = 1024
 	}
+	if o.ShedRetryAfter <= 0 {
+		o.ShedRetryAfter = 500 * time.Millisecond
+	}
+	o.WAL = o.WAL.withDefaults()
 	if o.Now == nil {
 		o.Now = time.Now
 	}

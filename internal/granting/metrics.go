@@ -21,6 +21,23 @@ var (
 	mCacheHitRatio   = obs.RegisterGauge("entitlement_grantd_cache_hit_ratio", "Decision-memo hit ratio since start (hits / lookups).")
 	mCacheFlushes    = obs.RegisterCounter("entitlement_grantd_cache_flushes_total", "Decision-memo drops triggered by a link-touching topology delta.")
 	mStoreFails      = obs.RegisterCounter("entitlement_grantd_store_failures_total", "Granted contracts that failed to store in the contract database.")
+
+	// Admission control: the queue is bounded (Options.MaxQueue) and aged
+	// (Options.MaxQueueDelay); both reliefs are counted, never silent.
+	mShed          = obs.RegisterCounter("entitlement_grantd_shed_total", "Requests shed at submission because the admission queue was full (Options.MaxQueue).")
+	mQueueTimeouts = obs.RegisterCounter("entitlement_grantd_queue_timeouts_total", "Queued requests failed with a queue-timeout decision because they aged past Options.MaxQueueDelay.")
+
+	// Write-ahead decision journal (Options.WAL): append volume, sync cost,
+	// rotation cadence, and what replay found at the last startup.
+	mJournalRecords           = obs.RegisterCounterVec("entitlement_grantd_journal_records_total", "Journal records appended, by type (sub, dec, ckpt).", "type")
+	mJournalBytes             = obs.RegisterCounter("entitlement_grantd_journal_bytes_total", "Bytes appended to the decision journal, including record framing.")
+	mJournalFsyncs            = obs.RegisterCounter("entitlement_grantd_journal_fsyncs_total", "fsync calls issued by the decision journal.")
+	mJournalCheckpoints       = obs.RegisterCounter("entitlement_grantd_journal_checkpoints_total", "Journal rotations: a snapshot checkpoint opened a new generation and older generations were pruned.")
+	mJournalErrors            = obs.RegisterCounter("entitlement_grantd_journal_errors_total", "Journal append or sync failures (decisions are still served; a restart re-derives them deterministically).")
+	mJournalReplayRecords     = obs.RegisterCounter("entitlement_grantd_journal_replay_records_total", "Records replayed from the journal at startup.")
+	mJournalReplayTruncations = obs.RegisterCounter("entitlement_grantd_journal_replay_truncations_total", "Journal generations whose torn or corrupt tail was truncated during replay.")
+	mRecoveredDecisions       = obs.RegisterCounter("entitlement_grantd_recovered_decisions_total", "Decided requests restored from the journal at startup (served byte-identically).")
+	mRecoveredPending         = obs.RegisterCounter("entitlement_grantd_recovered_pending_total", "In-flight requests restored from the journal at startup and re-queued for deterministic re-decision.")
 )
 
 func updateHitRatio() {

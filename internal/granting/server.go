@@ -14,6 +14,7 @@ package granting
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -206,13 +207,30 @@ func (c *Client) Decide(id string, timeout time.Duration) (*Decision, error) {
 	}
 }
 
-// SubmitWait submits one request and blocks for its decision.
+// SubmitWait submits one request and blocks for its decision. When the
+// server sheds the submission under overload it honors the retry-after
+// hint, backing off and resubmitting until the timeout budget runs out;
+// the last overload error is returned if the queue never opens up.
 func (c *Client) SubmitWait(req Request, timeout time.Duration) (*Decision, error) {
-	id, err := c.Submit(req)
-	if err != nil {
-		return nil, err
+	deadline := time.Now().Add(timeout)
+	for {
+		id, err := c.Submit(req)
+		if err == nil {
+			return c.Decide(id, time.Until(deadline))
+		}
+		var oe *wire.OverloadedError
+		if !errors.As(err, &oe) {
+			return nil, err
+		}
+		pause := oe.RetryAfter
+		if pause <= 0 {
+			pause = 100 * time.Millisecond
+		}
+		if time.Until(deadline) < pause {
+			return nil, err
+		}
+		time.Sleep(pause)
 	}
-	return c.Decide(id, timeout)
 }
 
 // Status asks for the request's state without blocking.

@@ -9,6 +9,7 @@ import (
 	"entitlement/internal/contract"
 	"entitlement/internal/hose"
 	"entitlement/internal/topology"
+	"entitlement/internal/wire"
 )
 
 // Sink receives granted contracts; both contractdb.Store (in-process) and
@@ -25,6 +26,14 @@ var ErrPending = errors.New("granting: decision pending")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("granting: service closed")
 
+// ErrOverloaded is returned by Submit when the admission queue is at
+// Options.MaxQueue: the service sheds instead of queueing without bound.
+// The error reaches callers wrapped in wire.Overloaded carrying the
+// retry-after hint, so detect it with errors.Is and read the hint with
+// errors.As on *wire.Overloaded (server side) or *wire.OverloadedError
+// (across the wire).
+var ErrOverloaded = errors.New("granting: admission queue full")
+
 // Stats is a point-in-time snapshot of the service counters, for the report
 // endpoint and tests.
 type Stats struct {
@@ -39,6 +48,15 @@ type Stats struct {
 	MemoHits   int64  `json:"decision_cache_hits"`
 	MemoMisses int64  `json:"decision_cache_misses"`
 	Epoch      uint64 `json:"topology_epoch"`
+	// Shed counts submissions refused because the queue was at MaxQueue.
+	Shed int64 `json:"shed,omitempty"`
+	// QueueTimeouts counts requests failed for aging past MaxQueueDelay.
+	QueueTimeouts int64 `json:"queue_timeouts,omitempty"`
+	// RecoveredDecided and RecoveredPending report what the last journal
+	// replay restored (decisions served byte-identically vs. submissions
+	// re-queued for a deterministic re-decision).
+	RecoveredDecided int64 `json:"recovered_decided,omitempty"`
+	RecoveredPending int64 `json:"recovered_pending,omitempty"`
 }
 
 // submission is one queue entry: a group of requests decided atomically in
@@ -61,6 +79,7 @@ type Service struct {
 	sink Sink
 	opts Options
 	c    *cache
+	j    *Journal // nil without Options.WAL.Dir
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -71,11 +90,30 @@ type Service struct {
 	stats   Stats
 	seq     uint64
 	closed  bool
+	killed  bool // Kill(): stop without draining or closing the journal
 	done    chan struct{}
 }
 
-// NewService starts the decider. Close releases it.
+// NewService starts the decider. Close releases it. With Options.WAL.Dir
+// set it recovers from the journal first and panics if that fails; use
+// OpenService to handle recovery errors.
 func NewService(topo *topology.Topology, sink Sink, opts Options) *Service {
+	s, err := OpenService(topo, sink, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// OpenService starts the decider, replaying the write-ahead journal first
+// when Options.WAL.Dir is set: already-decided request ids answer with
+// byte-identical decisions, and accepted-but-undecided submissions re-queue
+// (in their original order) for a deterministic re-decision. Recovered
+// contracts are re-pushed into the sink — idempotent for both contract
+// stores — so enforcement agents reconverge even if the sink also lost
+// state. The recovered state is immediately checkpointed into a fresh
+// journal generation, so a torn tail is never appended to.
+func OpenService(topo *topology.Topology, sink Sink, opts Options) (*Service, error) {
 	o := opts.withDefaults()
 	s := &Service{
 		topo: topo,
@@ -88,8 +126,61 @@ func NewService(topo *topology.Topology, sink Sink, opts Options) *Service {
 		done:    make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if o.WAL.Dir != "" {
+		j, st, err := openJournal(o.WAL)
+		if err != nil {
+			return nil, err
+		}
+		s.j = j
+		s.recover(st)
+	}
 	go s.run()
-	return s
+	return s, nil
+}
+
+// recover installs a replayed journal state before the decider starts.
+func (s *Service) recover(st *Recovered) {
+	s.seq = st.Seq
+	s.stats = st.Stats
+	s.stats.RecoveredDecided = int64(len(st.Decided))
+	s.stats.RecoveredPending = 0
+	for i := range st.Decided {
+		d := st.Decided[i] // copy; the loop variable's Dec address is reused
+		s.decided[d.ID] = &d.Dec
+		s.order = append(s.order, d.ID)
+		// Re-push surviving contracts: Put is keyed by NPG in both sinks,
+		// so replaying oldest→newest converges on the pre-crash state and
+		// repairs a sink that lost data alongside grantd.
+		if s.sink != nil && d.Dec.Contract != nil {
+			if err := s.sink.Put(*d.Dec.Contract); err != nil {
+				mStoreFails.Inc()
+			}
+		}
+	}
+	for len(s.order) > s.opts.Retain {
+		delete(s.decided, s.order[0])
+		s.order = s.order[1:]
+	}
+	now := s.opts.Now()
+	for _, p := range st.Pending {
+		sub := &submission{
+			reqs: p.Reqs,
+			ids:  p.IDs,
+			// The submitter's clock restarts with the daemon: aging the
+			// recovered queue against MaxQueueDelay across the downtime
+			// would time out every in-flight request on every restart.
+			enqueued: now,
+			done:     make(chan struct{}),
+		}
+		for _, id := range sub.ids {
+			s.subs[id] = sub
+		}
+		s.queue = append(s.queue, sub)
+		s.stats.RecoveredPending += int64(len(sub.ids))
+	}
+	mRecoveredDecisions.Add(int64(len(st.Decided)))
+	mRecoveredPending.Add(s.stats.RecoveredPending)
+	mQueueDepth.Set(float64(s.queueLenLocked()))
 }
 
 // Submit enqueues one request and returns its id immediately. The request is
@@ -155,11 +246,35 @@ func (s *Service) submit(reqs []Request) ([]string, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if depth := s.queueLenLocked(); s.opts.MaxQueue > 0 && depth+len(reqs) > s.opts.MaxQueue {
+		// Shed instead of queueing without bound. The wire layer turns the
+		// wrapper into a retryable response with the hint attached.
+		s.stats.Shed += int64(len(reqs))
+		mShed.Add(int64(len(reqs)))
+		mQueueDepth.Set(float64(depth))
+		s.mu.Unlock()
+		return nil, &wire.Overloaded{
+			Err:        fmt.Errorf("%w: %d of %d slots used", ErrOverloaded, depth, s.opts.MaxQueue),
+			RetryAfter: s.opts.ShedRetryAfter,
+		}
+	}
 	sub.ids = make([]string, len(reqs))
 	for i := range reqs {
 		s.seq++
 		sub.ids[i] = fmt.Sprintf("g-%d", s.seq)
-		s.subs[sub.ids[i]] = sub
+	}
+	if s.j != nil {
+		// Write-ahead: the submission must be journaled before anyone can
+		// observe its ids. A journal that cannot accept the record refuses
+		// the submission — handing out an id that recovery would not know
+		// about breaks the durability contract.
+		if err := s.j.appendSub(sub.ids, reqs); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
+	for _, id := range sub.ids {
+		s.subs[id] = sub
 	}
 	s.queue = append(s.queue, sub)
 	s.stats.Submitted += int64(len(reqs))
@@ -265,16 +380,46 @@ func (s *Service) Close() {
 
 // run is the decider loop: it pops either one atomic group or a collision-
 // free run of singles (up to MaxBatch) and decides them in one pass.
+// Submissions that aged past MaxQueueDelay are failed with a queue-timeout
+// decision before any batch is assembled — a late grant answers a question
+// nobody is still asking.
 func (s *Service) run() {
 	defer close(s.done)
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.closed {
+		for len(s.queue) == 0 && !s.closed && !s.killed {
 			s.cond.Wait()
 		}
-		if len(s.queue) == 0 {
+		if s.killed {
+			// Crash simulation: abandon the queue and leave the journal
+			// exactly as it is — recovery is the cleanup.
 			s.mu.Unlock()
-			return // closed and drained
+			return
+		}
+		if len(s.queue) == 0 {
+			// Closed and drained: snapshot once more so the next start
+			// replays a single checkpoint record, then release the file.
+			if s.j != nil {
+				s.j.checkpoint(s.snapshotLocked())
+				s.j.Close()
+			}
+			s.mu.Unlock()
+			return
+		}
+		if s.opts.MaxQueueDelay > 0 {
+			// The queue is FIFO, so expired submissions form a prefix.
+			now := s.opts.Now()
+			var expired []*submission
+			for len(s.queue) > 0 && now.Sub(s.queue[0].enqueued) > s.opts.MaxQueueDelay {
+				expired = append(expired, s.queue[0])
+				s.queue = s.queue[1:]
+			}
+			if len(expired) > 0 {
+				mQueueDepth.Set(float64(s.queueLenLocked()))
+				s.mu.Unlock()
+				s.failTimeout(expired)
+				continue
+			}
 		}
 		var batch []*submission
 		if len(s.queue[0].reqs) > 1 {
@@ -309,6 +454,77 @@ func (s *Service) run() {
 		s.mu.Unlock()
 		s.decide(batch)
 	}
+}
+
+// failTimeout publishes queue-timeout decisions for submissions that aged
+// out: journaled like any decided batch (so a restart does not resurrect
+// and late-decide them), never run through a risk pass.
+func (s *Service) failTimeout(subs []*submission) {
+	for _, sub := range subs {
+		decs := make([]Decision, len(sub.reqs))
+		for i := range sub.reqs {
+			decs[i] = Decision{
+				ID:     sub.ids[i],
+				NPG:    sub.reqs[i].NPG,
+				Status: StatusQueueTimeout,
+				Err:    fmt.Sprintf("granting: queued longer than %s", s.opts.MaxQueueDelay),
+			}
+			mDecisions.With(string(StatusQueueTimeout)).Inc()
+		}
+		mQueueTimeouts.Add(int64(len(sub.reqs)))
+		s.mu.Lock()
+		if s.j != nil {
+			s.j.appendDec("", sub.ids, decs) // append counts its own failures
+		}
+		for i, id := range sub.ids {
+			delete(s.subs, id)
+			s.decided[id] = &decs[i]
+			s.order = append(s.order, id)
+			s.stats.Decided++
+			s.stats.QueueTimeouts++
+		}
+		for len(s.order) > s.opts.Retain {
+			delete(s.decided, s.order[0])
+			s.order = s.order[1:]
+		}
+		s.mu.Unlock()
+		mDecisionSeconds.ObserveSince(sub.enqueued)
+		close(sub.done)
+	}
+}
+
+// snapshotLocked assembles the checkpoint record: the decided retention
+// ring plus everything still queued. s.mu must be held.
+func (s *Service) snapshotLocked() *walCkpt {
+	ck := &walCkpt{Seq: s.seq, Stats: s.stats}
+	for _, id := range s.order {
+		if d, ok := s.decided[id]; ok {
+			ck.Decided = append(ck.Decided, walDecided{ID: id, Dec: *d})
+		}
+	}
+	for _, sub := range s.queue {
+		ck.Pending = append(ck.Pending, walSub{IDs: sub.ids, Reqs: sub.reqs})
+	}
+	return ck
+}
+
+// Kill hard-stops the service WITHOUT draining the queue, closing waiters,
+// or checkpointing the journal — the in-process stand-in for a crash, used
+// by the recovery tests (pair it with faults.CrashTail for a torn write).
+// Pending Wait calls run into their timeout; the journal file is left
+// exactly as the last append left it.
+func (s *Service) Kill() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	s.killed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.done
 }
 
 // decide runs one coalesced batch through the cache + DecideBatch, stores
@@ -382,6 +598,13 @@ func (s *Service) decide(batch []*submission) {
 	}
 
 	s.mu.Lock()
+	if s.j != nil {
+		// Journal the decided batch before anyone can observe it. A failed
+		// append only loses restart latency, not correctness: recovery
+		// re-decides the still-journaled submission deterministically, so
+		// the decision degrades to a metric instead of an error.
+		s.j.appendDec(sig, ids, decs)
+	}
 	for i := range decs {
 		id := ids[i]
 		delete(s.subs, id)
@@ -408,6 +631,9 @@ func (s *Service) decide(batch []*submission) {
 	for len(s.order) > s.opts.Retain {
 		delete(s.decided, s.order[0])
 		s.order = s.order[1:]
+	}
+	if s.j != nil && s.j.needCheckpoint() {
+		s.j.checkpoint(s.snapshotLocked())
 	}
 	s.mu.Unlock()
 

@@ -18,12 +18,13 @@ import (
 //   - broken_total counts connections marked broken after an in-flight
 //     transport failure (the fail() path), not backoff rejections.
 //   - errors_total{kind} classifies Call failures: "transient" (transport,
-//     deadline, backoff gate), "remote" (server answered with an error),
+//     deadline, backoff gate), "overloaded" (the server shed the request
+//     with a retry-after hint), "remote" (server answered with an error),
 //     "other" (marshal bugs, closed client).
 var (
 	mClientCalls   = obs.RegisterCounterVec("entitlement_wire_client_calls_total", "RPCs issued by wire clients, by method.", "method")
 	mClientCallSec = obs.RegisterHistogramVec("entitlement_wire_client_call_seconds", "Round-trip latency of wire client calls that reached the transport, by method.", "method")
-	mClientErrors  = obs.RegisterCounterVec("entitlement_wire_client_errors_total", "Failed wire client calls by error classification (transient, remote, other).", "kind")
+	mClientErrors  = obs.RegisterCounterVec("entitlement_wire_client_errors_total", "Failed wire client calls by error classification (transient, overloaded, remote, other).", "kind")
 
 	mClientDials      = obs.RegisterCounter("entitlement_wire_client_dials_total", "Dial attempts by wire clients (first connects and re-dials).")
 	mClientDialFails  = obs.RegisterCounter("entitlement_wire_client_dial_failures_total", "Dial attempts that failed.")
@@ -43,8 +44,14 @@ var (
 	mServerBytesOut = obs.RegisterCounter("entitlement_wire_server_bytes_sent_total", "Response bytes written by wire servers, including frame headers.")
 )
 
-// classify maps a Call error to its errors_total{kind} label.
+// classify maps a Call error to its errors_total{kind} label. Overload
+// sheds are transient by IsTransient but get their own kind: a saturated
+// server and a broken transport need different operator responses.
 func classify(err error) string {
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return "overloaded"
+	}
 	if IsTransient(err) {
 		return "transient"
 	}

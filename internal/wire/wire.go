@@ -77,15 +77,58 @@ func (e *TransientError) Error() string {
 // Unwrap exposes the underlying error.
 func (e *TransientError) Unwrap() error { return e.Err }
 
+// Overloaded marks a handler error as load shedding: the server is healthy
+// but refusing work, so the request is worth retrying after RetryAfter.
+// Handlers wrap their typed overload errors in it; the server answers with
+// a retryable response carrying the hint, which the client surfaces as an
+// OverloadedError. errors.Is/As reach through to the wrapped error.
+type Overloaded struct {
+	Err error
+	// RetryAfter is the server's hint for when capacity should be back;
+	// zero means "soon, use your own backoff".
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *Overloaded) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error.
+func (e *Overloaded) Unwrap() error { return e.Err }
+
+// OverloadedError is the client-side view of a shed request: transient by
+// classification (retrying helps once load drains), with the server's
+// retry-after hint attached for the caller's backoff to honor.
+type OverloadedError struct {
+	Method  string
+	Message string
+	// RetryAfter is the server's hint; zero means the server sent none.
+	RetryAfter time.Duration
+	// RequestID is the shed call's request ID, matching the server's span.
+	RequestID string
+}
+
+// Error implements the error interface.
+func (e *OverloadedError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("wire: overloaded from %s [%s]: %s (retry after %s)", e.Method, e.RequestID, e.Message, e.RetryAfter)
+	}
+	return fmt.Sprintf("wire: overloaded from %s: %s (retry after %s)", e.Method, e.Message, e.RetryAfter)
+}
+
 // IsTransient reports whether err is worth retrying: the failure came from
-// the transport (lost connection, timeout, dial refusal) rather than from
-// the remote handler or the caller's own payload.
+// the transport (lost connection, timeout, dial refusal) or the server shed
+// the request under overload, rather than the remote handler rejecting it
+// or the caller's own payload being broken.
 func IsTransient(err error) bool {
 	if err == nil {
 		return false
 	}
 	var te *TransientError
 	if errors.As(err, &te) {
+		return true
+	}
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
 		return true
 	}
 	var re *RemoteError
@@ -178,6 +221,14 @@ type Response struct {
 	ID      string          `json:"id,omitempty"`
 	Error   string          `json:"error,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+	// Retryable marks Error as overload shedding rather than rejection:
+	// the same request is worth retrying once load drains. Old servers
+	// never set it and old clients ignore it, so the field is compatible
+	// both ways.
+	Retryable bool `json:"retryable,omitempty"`
+	// RetryAfterMS carries the server's retry-after hint (milliseconds)
+	// when Retryable is set; zero means no hint.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // Handler processes one request; the returned value is marshaled into the
@@ -306,6 +357,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			mServerErrors.Inc()
 			resp.Error = err.Error()
+			var ov *Overloaded
+			if errors.As(err, &ov) {
+				resp.Retryable = true
+				resp.RetryAfterMS = ov.RetryAfter.Milliseconds()
+			}
 		} else if result != nil {
 			body, merr := json.Marshal(result)
 			if merr != nil {
@@ -626,10 +682,13 @@ func (c *Client) Call(method string, args interface{}, reply interface{}) (err e
 			// cannot race another caller.
 			var te *TransientError
 			var re *RemoteError
+			var oe *OverloadedError
 			if errors.As(err, &te) {
 				te.RequestID = id
 			} else if errors.As(err, &re) {
 				re.RequestID = id
+			} else if errors.As(err, &oe) {
+				oe.RequestID = id
 			}
 		}
 		if l := c.opts.Logger; l != nil {
@@ -699,6 +758,12 @@ func (c *Client) Call(method string, args interface{}, reply interface{}) (err e
 		return &TransientError{Err: fmt.Errorf("wire: response ID %q does not match request %q", resp.ID, id)}
 	}
 	if resp.Error != "" {
+		if resp.Retryable {
+			return &OverloadedError{
+				Method: method, Message: resp.Error,
+				RetryAfter: time.Duration(resp.RetryAfterMS) * time.Millisecond,
+			}
+		}
 		return &RemoteError{Method: method, Message: resp.Error}
 	}
 	if reply != nil && resp.Payload != nil {
