@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet vet-metrics vet-imports test race chaos crash slo bench bench-smoke bench-delta bench-json cover figures examples grantd-demo
+.PHONY: all build vet vet-metrics vet-imports test race chaos crash slo replay bench bench-smoke bench-delta bench-json cover figures examples grantd-demo
 
 all: build vet vet-metrics vet-imports test
 
@@ -60,6 +60,18 @@ slo:
 	go test -race -count=1 -timeout 120s ./internal/slo/
 	go test -race -count=1 -timeout 120s -run TestSLOConformanceIncident -v ./internal/integration/
 
+# Incident black box: lifecycle/budget/crash-tail unit tests, the capture
+# decoder's fuzz seed corpus, the drain-race accounting invariant, and the
+# golden end-to-end drill — a recorded incident must replay byte-identically
+# through the real engine and the envelope must name the injected root cause.
+# All under the race detector.
+replay:
+	go test -race -count=1 -timeout 180s \
+		-run 'TestBlackbox|TestEnvelopeRoundtrip|TestDrainDropAccountingRace|FuzzBlackboxDecode' \
+		./internal/slo/
+	go test -race -count=1 -timeout 180s -v \
+		-run 'TestBlackboxIncidentReplay' ./internal/integration/
+
 bench:
 	go test -count=1 -bench=. -benchmem ./...
 
@@ -77,10 +89,12 @@ bench-delta:
 	go test -count=1 -run=NONE -bench='BenchmarkAssess(Cold|Warm|Delta)' -benchtime=1x ./internal/risk/
 	go test -count=1 -run 'TestDeltaSpeedup' -v ./internal/risk/
 
-# Regenerate the perf-trajectory file BENCH_risk.json (cold vs warm vs delta
-# Assess p50, allocator ns/op + allocs/op).
+# Regenerate the perf-trajectory files: BENCH_risk.json (cold vs warm vs
+# delta Assess p50, allocator ns/op + allocs/op) and BENCH_slo.json
+# (flight-recorder append, engine evaluate p50, black-box span append,
+# incident replay wall-clock).
 bench-json:
-	go run ./cmd/benchjson -out BENCH_risk.json
+	go run ./cmd/benchjson -out BENCH_risk.json -slo-out BENCH_slo.json
 
 cover:
 	go test -cover ./internal/...

@@ -51,6 +51,7 @@ func main() {
 	callTimeout := flag.Duration("call-timeout", 2*time.Second, "per-RPC deadline")
 	staleness := flag.Duration("staleness-budget", 0, "fail-static window on store outages (0 = 3x rate TTL)")
 	sloReport := flag.Bool("slo-report", false, "track this contract's SLO conformance (serve /slo, print the report on exit)")
+	blackboxDir := flag.String("blackbox-dir", "", "arm an incident black box in this directory: burn-rate alerts trigger a persistent capture replayable with `sloctl replay` (implies -slo-report)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
 	logLevel := flag.String("log-level", "info", "cycle trace level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit cycle traces as JSON instead of text")
@@ -61,7 +62,7 @@ func main() {
 		dbAddr: *dbAddr, kvAddr: *kvAddr, rateGbps: *rateGbps,
 		period: *period, cycles: *cycles, policyName: *policyName,
 		dialTimeout: *dialTimeout, callTimeout: *callTimeout, staleness: *staleness,
-		sloReport:   *sloReport,
+		sloReport: *sloReport || *blackboxDir != "", blackboxDir: *blackboxDir,
 		metricsAddr: *metricsAddr, logLevel: *logLevel, logJSON: *logJSON,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "agent: %v\n", err)
@@ -80,6 +81,7 @@ type config struct {
 	callTimeout                  time.Duration
 	staleness                    time.Duration
 	sloReport                    bool
+	blackboxDir                  string
 	metricsAddr                  string
 	logLevel                     string
 	logJSON                      bool
@@ -102,12 +104,27 @@ func run(cfg config) error {
 	if cfg.sloReport {
 		eng = slo.NewEngine(slo.NewRecorder(slo.DefaultRingCapacity), slo.Options{})
 	}
+	// The incident black box arms itself on the first burn-rate fire and
+	// writes a capture this agent's operator can re-drive with
+	// `sloctl replay`; closed-incident envelopes are served on /slo/incidents.
+	var bb *slo.Blackbox
+	if cfg.blackboxDir != "" {
+		var err error
+		bb, err = slo.NewBlackbox(slo.BlackboxOptions{Dir: cfg.blackboxDir, Logger: logger})
+		if err != nil {
+			return err
+		}
+		eng.AttachCapture(bb)
+	}
 	if cfg.metricsAddr != "" {
 		var routes []obs.Route
 		if eng != nil {
 			routes = append(routes, obs.Route{Pattern: "/slo", Handler: eng.Handler(func() time.Time {
 				return time.Now().UTC()
 			})})
+		}
+		if bb != nil {
+			routes = append(routes, obs.Route{Pattern: "/slo/incidents", Handler: bb.IncidentsHandler()})
 		}
 		ms, err := obs.Serve(cfg.metricsAddr, nil, routes...)
 		if err != nil {
@@ -139,6 +156,9 @@ func run(cfg config) error {
 	}
 	if eng != nil {
 		acfg.Conformance = eng.Recorder()
+	}
+	if bb != nil {
+		acfg.Spans = bb
 	}
 	agent, err := enforce.NewAgent(acfg)
 	if err != nil {

@@ -1,9 +1,17 @@
-// Command benchjson measures the risk-assessment hot path and writes the
-// perf-trajectory file BENCH_risk.json: cold vs warm (replay) vs delta
-// (spliced re-assessment after a failure-probability mutation on ~10% of
-// links) Assess p50 latency, plus allocator ns/op and allocs/op. Run it via
-// `make bench-json`; future re-anchors read the speed curve from the JSON
-// instead of prose claims.
+// Command benchjson measures the repo's hot paths and writes the
+// perf-trajectory files.
+//
+// BENCH_risk.json: cold vs warm (replay) vs delta (spliced re-assessment
+// after a failure-probability mutation on ~10% of links) Assess p50 latency,
+// plus allocator ns/op and allocs/op.
+//
+// BENCH_slo.json: the conformance plane — flight-recorder Record ns/op,
+// engine Evaluate p50 at drill fan-in, incident black-box span append ns/op
+// (armed and disarmed), and the wall-clock to replay a freshly captured
+// incident byte-identically.
+//
+// Run via `make bench-json`; future re-anchors read the speed curves from the
+// JSON instead of prose claims.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 
 	"entitlement/internal/flow"
 	"entitlement/internal/risk"
+	"entitlement/internal/slo"
 	"entitlement/internal/topology"
 )
 
@@ -56,13 +65,20 @@ type workload struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_risk.json", "output path")
+	out := flag.String("out", "BENCH_risk.json", "risk output path")
+	sloOut := flag.String("slo-out", "BENCH_slo.json", "SLO/black-box output path (empty skips)")
 	samples := flag.Int("samples", 15, "timing samples per assess variant (p50 reported)")
 	scenarios := flag.Int("scenarios", 400, "failure scenarios per assessment")
 	flag.Parse()
 	if err := run(*out, *samples, *scenarios); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *sloOut != "" {
+		if err := runSLO(*sloOut, *samples); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: slo: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -173,6 +189,214 @@ func run(out string, samples, scenarios int) error {
 		out, coldP50, warmP50, deltaP50, float64(coldP50)/float64(deltaP50),
 		alloc.NsPerOp(), alloc.AllocsPerOp())
 	return nil
+}
+
+// --- BENCH_slo.json: the conformance plane and the incident black box. ---
+
+type sloBench struct {
+	// RecordNsPerOp is the lock-free flight-recorder append every
+	// enforcement cycle pays; the <100ns guard lives in BenchmarkSLORecord.
+	RecordNsPerOp     int64 `json:"record_ns_per_op"`
+	RecordAllocsPerOp int64 `json:"record_allocs_per_op"`
+	// EvaluateP50Ns is one engine evaluation pass at drill fan-in (41 series,
+	// one fresh sample each).
+	EvaluateP50Ns int64 `json:"evaluate_p50_ns"`
+	// BlackboxAppendNsPerOp is the armed-path RecordSpan cost — the
+	// per-cycle tax while an incident capture is in flight. The <200ns
+	// guard lives in BenchmarkBlackboxAppend.
+	BlackboxAppendNsPerOp int64 `json:"blackbox_append_ns_per_op"`
+	// BlackboxAppendDisarmedNsPerOp is the quiescent ring write paid when no
+	// incident is armed.
+	BlackboxAppendDisarmedNsPerOp int64 `json:"blackbox_append_disarmed_ns_per_op"`
+	// ReplayWallNs is the wall-clock to read a freshly captured incident
+	// back from disk and re-drive it through the engine byte-identically.
+	ReplayWallNs    int64 `json:"replay_wall_ns"`
+	ReplaySamples   int   `json:"replay_samples"`
+	ReplayEvals     int   `json:"replay_evals"`
+	ReplayIdentical bool  `json:"replay_identical"`
+}
+
+type sloWorkload struct {
+	EvaluateSeries  int `json:"evaluate_series"`
+	EvaluateSamples int `json:"evaluate_timing_samples"`
+	IncidentTicks   int `json:"incident_capture_ticks"`
+}
+
+type sloReport struct {
+	GeneratedBy string      `json:"generated_by"`
+	Workload    sloWorkload `json:"workload"`
+	SLO         sloBench    `json:"slo"`
+}
+
+func runSLO(out string, samples int) error {
+	rec := slo.NewRecorder(slo.DefaultRingCapacity)
+	s := rec.Series(slo.Key{Contract: "Coldstorage", Segment: "TEST/cold-000", Class: "c4_low"})
+	sm := slo.Sample{At: time.Unix(1700000000, 0), Granted: 1e12, Used: 9e11, Overage: 1e11}
+	record := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Record(sm)
+		}
+	})
+
+	// Evaluate p50 at drill fan-in: 41 series × one fresh sample per pass.
+	const nSeries = 41
+	erec := slo.NewRecorder(slo.DefaultRingCapacity)
+	eng := slo.NewEngine(erec, slo.Options{})
+	eng.SetObjective("Coldstorage", 0.999)
+	series := make([]*slo.Series, nSeries)
+	for i := range series {
+		series[i] = erec.Series(slo.Key{Contract: "Coldstorage", Segment: fmt.Sprintf("TEST/cold-%03d", i), Class: "c4_low"})
+	}
+	base := time.Unix(1700000000, 0)
+	var evals []time.Duration
+	for i := 0; i < samples*20; i++ {
+		at := base.Add(time.Duration(i) * time.Second)
+		for _, sr := range series {
+			sr.Record(slo.Sample{At: at, Granted: 1e12, Used: 9e11})
+		}
+		start := time.Now()
+		eng.Evaluate(at)
+		evals = append(evals, time.Since(start))
+	}
+
+	// Black-box span append, armed and disarmed. Arming goes through the
+	// real lifecycle: a throttled burst fires the burn-rate alerts.
+	dir, err := os.MkdirTemp("", "benchjson-slo-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ticks, bb, bbeng, bbrec, now, err := captureIncident(dir, false)
+	if err != nil {
+		return err
+	}
+	if !bb.Armed() {
+		return fmt.Errorf("incident drive did not arm the black box")
+	}
+	sp := slo.CycleSpan{At: now, Host: "cold-000", Contract: "Coldstorage", TraceID: "cold-000-c42", Enforced: 1e12}
+	armed := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if i%4096 == 0 {
+				// Flush the buffered batch outside the timer, as the next
+				// evaluation would.
+				b.StopTimer()
+				now = now.Add(time.Second)
+				bbrec.Series(slo.Key{Contract: "Coldstorage", Segment: "TEST/net", Class: "c4_low"}).
+					Record(slo.Sample{At: now, Granted: 1e9, Used: 5e8, Throttled: 5e8})
+				bbeng.Evaluate(now)
+				b.StartTimer()
+			}
+			bb.RecordSpan(sp)
+		}
+	})
+	disarmedBB, err := slo.NewBlackbox(slo.BlackboxOptions{Dir: dir + "/disarmed"})
+	if err != nil {
+		return err
+	}
+	disarmed := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			disarmedBB.RecordSpan(sp)
+		}
+	})
+
+	// Replay wall-clock over a complete (closed) incident capture.
+	replayDir := dir + "/replay"
+	if ticks, _, _, _, _, err = captureIncident(replayDir, true); err != nil {
+		return err
+	}
+	caps, err := slo.ListCaptures(replayDir)
+	if err != nil || len(caps) != 1 {
+		return fmt.Errorf("incident drive left %d captures: %v", len(caps), err)
+	}
+	start := time.Now()
+	c, err := slo.ReadCapture(caps[0])
+	if err != nil {
+		return err
+	}
+	res, err := c.Replay()
+	if err != nil {
+		return err
+	}
+	replayWall := time.Since(start)
+
+	rep := sloReport{
+		GeneratedBy: "make bench-json (cmd/benchjson)",
+		Workload: sloWorkload{
+			EvaluateSeries:  nSeries,
+			EvaluateSamples: len(evals),
+			IncidentTicks:   ticks,
+		},
+		SLO: sloBench{
+			RecordNsPerOp:                 record.NsPerOp(),
+			RecordAllocsPerOp:             record.AllocsPerOp(),
+			EvaluateP50Ns:                 p50(evals).Nanoseconds(),
+			BlackboxAppendNsPerOp:         armed.NsPerOp(),
+			BlackboxAppendDisarmedNsPerOp: disarmed.NsPerOp(),
+			ReplayWallNs:                  replayWall.Nanoseconds(),
+			ReplaySamples:                 res.Samples,
+			ReplayEvals:                   res.Evals,
+			ReplayIdentical:               res.Identical,
+		},
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: record %d ns/op, evaluate p50 %v, blackbox append %d ns/op (disarmed %d), replay %v (identical=%v)\n",
+		out, record.NsPerOp(), p50(evals), armed.NsPerOp(), disarmed.NsPerOp(), replayWall, res.Identical)
+	return nil
+}
+
+// captureIncident drives a synthetic SLO incident (good traffic, a throttled
+// burst, recovery) through an engine with a black box attached. With
+// toClose=false it stops while still armed; with toClose=true it runs until
+// hysteresis closes the incident, leaving one finished capture in dir.
+func captureIncident(dir string, toClose bool) (int, *slo.Blackbox, *slo.Engine, *slo.Recorder, time.Time, error) {
+	rec := slo.NewRecorder(slo.DefaultRingCapacity)
+	eng := slo.NewEngine(rec, slo.Options{Windows: slo.Windows{
+		Fast: 10 * time.Second, FastLong: 20 * time.Second,
+		Slow: 30 * time.Second, SlowLong: 60 * time.Second,
+	}})
+	eng.SetObjective("Coldstorage", 0.999)
+	bb, err := slo.NewBlackbox(slo.BlackboxOptions{Dir: dir})
+	if err != nil {
+		return 0, nil, nil, nil, time.Time{}, err
+	}
+	eng.AttachCapture(bb)
+	k := slo.Key{Contract: "Coldstorage", Segment: "TEST/net", Class: "c4_low"}
+	now := time.Unix(1700000000, 0).UTC()
+	ticks := 0
+	tick := func(bad bool) {
+		now = now.Add(time.Second)
+		ticks++
+		sm := slo.Sample{At: now, Granted: 1e9, Used: 1e9}
+		if bad {
+			sm.Used, sm.Throttled = 5e8, 5e8
+		}
+		rec.Series(k).Record(sm)
+		bb.RecordSpan(slo.CycleSpan{At: now, Host: "cold-000", Contract: "Coldstorage", TraceID: "cold-000-c1"})
+		eng.Evaluate(now)
+	}
+	for i := 0; i < 10; i++ {
+		tick(false)
+	}
+	for i := 0; i < 5; i++ {
+		tick(true)
+	}
+	if toClose {
+		for i := 0; i < 300 && bb.Armed(); i++ {
+			tick(false)
+		}
+		if bb.Armed() {
+			return ticks, nil, nil, nil, now, fmt.Errorf("incident did not close")
+		}
+	}
+	return ticks, bb, eng, rec, now, nil
 }
 
 func p50(ds []time.Duration) time.Duration {

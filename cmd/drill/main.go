@@ -30,6 +30,7 @@ import (
 	"entitlement/internal/obs"
 	"entitlement/internal/slo"
 	"entitlement/internal/stats"
+	"entitlement/internal/topology"
 )
 
 func main() {
@@ -42,6 +43,8 @@ func main() {
 	incidentStart := flag.Int("incident-start", -1, "inject a network incident from this tick (-1 disables; implies -slo-report)")
 	incidentEnd := flag.Int("incident-end", -1, "incident ends before this tick")
 	incidentDrop := flag.Float64("incident-drop", 0.5, "fraction of ALL drill traffic — conforming included — the incident blackholes")
+	incidentFailAgents := flag.Int("incident-fail-agents", 0, "make the first N agents lose their control-plane dependencies for the incident window (they fail open mid-incident)")
+	blackboxDir := flag.String("blackbox-dir", "", "arm an incident black box in this directory; the incident's capture is replayable with `sloctl replay` (implies -slo-report)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while the drill runs (empty disables)")
 	flag.Parse()
 
@@ -58,7 +61,11 @@ func main() {
 		*sloReport = true
 		opts.Incident = &netsim.DrillIncident{
 			StartTick: *incidentStart, EndTick: *incidentEnd, DropFraction: *incidentDrop,
+			FailAgents: *incidentFailAgents,
 		}
+	}
+	if *blackboxDir != "" {
+		*sloReport = true
 	}
 
 	// simNow lets the /slo endpoint report against simulation time: the
@@ -66,14 +73,43 @@ func main() {
 	// them against the wall clock would age every window out instantly.
 	var simNow atomic.Value // time.Time of the last completed tick
 	var eng *slo.Engine
+	var bb *slo.Blackbox
 	if *sloReport {
 		// Windows compressed to the drill's one-second ticks, scaled so the
 		// fast pair reacts within a stage and the slow pair spans the run.
+		// With a black box attached the slow pair shrinks further: an
+		// incident capture can only close once its badness ages out of the
+		// slow windows, and a budget window as long as the whole run would
+		// keep the box armed past the final tick — no envelope, no verdict.
 		st := time.Duration(*stageTicks) * time.Second
-		eng = slo.NewEngine(slo.NewRecorder(slo.DefaultRingCapacity), slo.Options{
-			Windows: slo.Windows{Fast: st / 2, FastLong: st, Slow: 5 * st, SlowLong: 10 * st},
-		})
+		w := slo.Windows{Fast: st / 2, FastLong: st, Slow: 5 * st, SlowLong: 10 * st}
+		if *blackboxDir != "" {
+			w.Slow, w.SlowLong = 2*st, 4*st
+		}
+		eng = slo.NewEngine(slo.NewRecorder(slo.DefaultRingCapacity), slo.Options{Windows: w})
 		opts.Conformance = eng
+	}
+	if *blackboxDir != "" {
+		// A one-link control-plane topology mirrors the drill's backbone so
+		// the incident's blackholed link shows up in the capture's
+		// attribution envelope via the mutation journal.
+		topo := topology.New()
+		linkID, err := topo.AddLink("TEST", "REMOTE", opts.LinkCapacity, 0, -1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drill: topology: %v\n", err)
+			os.Exit(1)
+		}
+		if opts.Incident != nil {
+			opts.Incident.Topology = topo
+			opts.Incident.LinkID = linkID
+		}
+		bb, err = slo.NewBlackbox(slo.BlackboxOptions{Dir: *blackboxDir, Topology: topo})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drill: blackbox: %v\n", err)
+			os.Exit(1)
+		}
+		eng.AttachCapture(bb)
+		opts.Spans = bb
 	}
 
 	if *metricsAddr != "" {
@@ -85,6 +121,9 @@ func main() {
 				}
 				return time.Time{}
 			})})
+		}
+		if bb != nil {
+			routes = append(routes, obs.Route{Pattern: "/slo/incidents", Handler: bb.IncidentsHandler()})
 		}
 		ms, err := obs.Serve(*metricsAddr, nil, routes...)
 		if err != nil {
@@ -149,6 +188,12 @@ func main() {
 	if eng != nil {
 		fmt.Println()
 		fmt.Print(eng.Report(rep.Sim.Now()).Text())
+	}
+	if bb != nil {
+		if caps, err := slo.ListCaptures(*blackboxDir); err == nil && len(caps) > 0 {
+			fmt.Printf("\nblack box: %d capture(s) in %s — inspect or re-drive with:\n", len(caps), *blackboxDir)
+			fmt.Printf("  go run ./cmd/sloctl replay %s\n", caps[len(caps)-1])
+		}
 	}
 
 	// The drill itself finishes in well under a second, so a scraper would

@@ -87,6 +87,11 @@ type AgentConfig struct {
 	// (this agent's contract-level grant/usage view) on the series
 	// (NPG, Region/Host, Class). Optional; nil disables emission.
 	Conformance *slo.Recorder
+	// Spans, when set, receives one trace-stamped CycleSpan per enforcement
+	// cycle — the incident black box's attribution feed (which host
+	// degraded or failed open, when, under which trace ID). Optional; nil
+	// disables emission.
+	Spans slo.SpanSink
 }
 
 // traceSetter is what the agent needs from a dependency to propagate its
@@ -225,6 +230,26 @@ func (a *Agent) Cycle(now time.Time, localTotal, localConform float64) (CycleRep
 	rep, err := a.cycle(now, localTotal, localConform)
 	rep.TraceID = trace
 	a.observeCycle(now, rep, err, time.Since(start))
+	if a.cfg.Spans != nil {
+		sp := slo.CycleSpan{
+			At:         now,
+			Host:       a.cfg.Host,
+			Contract:   string(a.cfg.NPG),
+			TraceID:    trace,
+			Degraded:   rep.Degraded,
+			FailedOpen: rep.FailedOpen,
+			StaleFor:   rep.StaleFor,
+			Enforced:   rep.EntitledRate,
+			Faults:     rep.Faults,
+		}
+		if err != nil {
+			// A hard failure made no enforcement decision at all — still
+			// evidence the black box wants, marked degraded with the error.
+			sp.Degraded = true
+			sp.Faults = append(append([]string(nil), rep.Faults...), "hard: "+err.Error())
+		}
+		a.cfg.Spans.RecordSpan(sp)
+	}
 	if err == nil && a.sloSeries != nil {
 		// The agent's own conformance view: what the contract granted, what
 		// the service's conforming traffic used, and how far total demand

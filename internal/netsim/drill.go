@@ -7,6 +7,7 @@ import (
 	"entitlement/internal/contract"
 	"entitlement/internal/contractdb"
 	"entitlement/internal/enforce"
+	"entitlement/internal/faults"
 	"entitlement/internal/kvstore"
 	"entitlement/internal/slo"
 	"entitlement/internal/topology"
@@ -45,6 +46,9 @@ type DrillOptions struct {
 	// a tick range — unlike the drill's own NonConformOnly ACL stages, this
 	// is a pure network-attributed SLO breach.
 	Incident *DrillIncident
+	// Spans, when set, receives every agent's per-cycle trace-stamped span —
+	// the incident black box's attribution feed.
+	Spans slo.SpanSink
 	// OnTick, when set, runs after every simulated tick (after conformance
 	// evaluation), letting callers sample engine state mid-run.
 	OnTick func(tick int)
@@ -56,6 +60,20 @@ type DrillIncident struct {
 	StartTick    int
 	EndTick      int
 	DropFraction float64
+
+	// FailAgents, when positive, makes the first N drill agents lose their
+	// rate-store and contract-database dependencies for the incident window
+	// (drill-clock outage via a faults.Injector), with a staleness budget
+	// short enough that they fail open mid-incident — the agent-attribution
+	// evidence the black box's envelope must name.
+	FailAgents int
+	// Topology and LinkID, when Topology is non-nil, mirror the incident
+	// into a control-plane topology: LinkID is administratively disabled at
+	// StartTick and restored at EndTick, so the mutation journal
+	// (DeltaSince) can implicate the blackholed link in the attribution
+	// envelope.
+	Topology *topology.Topology
+	LinkID   int
 }
 
 // Active reports whether the incident covers tick.
@@ -183,6 +201,18 @@ func RunDrill(opts DrillOptions) (*DrillReport, error) {
 		}
 	}
 
+	// An injected dependency outage for the incident's failing agents,
+	// timed on the drill clock to cover the incident window exactly.
+	var outage *faults.Injector
+	if opts.Incident != nil && opts.Incident.FailAgents > 0 {
+		outage = faults.NewInjector(opts.Seed, sim.Now)
+		t0 := sim.Now()
+		outage.AddOutage(
+			t0.Add(time.Duration(opts.Incident.StartTick)*opts.Tick),
+			t0.Add(time.Duration(opts.Incident.EndTick)*opts.Tick),
+		)
+	}
+
 	// Hosts, flows, agents.
 	perFlowDemand := opts.Demand / float64(opts.Hosts*opts.FlowsPerHost)
 	agents := make([]*enforce.Agent, 0, opts.Hosts)
@@ -191,12 +221,21 @@ func RunDrill(opts DrillOptions) (*DrillReport, error) {
 		for j := 0; j < opts.FlowsPerHost; j++ {
 			sim.AddFlow(h, clientRegion, []*Link{link}, perFlowDemand)
 		}
-		a, err := enforce.NewAgent(enforce.AgentConfig{
+		cfg := enforce.AgentConfig{
 			Host: h.ID, NPG: drillNPG, Class: drillClass, Region: testRegion,
 			DB: db, Rates: rates, Meter: opts.NewMeter(), Prog: h.Prog,
 			Policy: opts.Policy, RateTTL: 10 * opts.Tick * time.Duration(opts.AgentPeriod),
-			Conformance: rec,
-		})
+			Conformance: rec, Spans: opts.Spans,
+		}
+		if outage != nil && i < opts.Incident.FailAgents {
+			// This agent loses both dependencies for the incident window and
+			// carries a staleness budget of two agent periods, so it walks
+			// the full fail-static → fail-open lifecycle mid-incident.
+			cfg.DB = &faults.FlakyDB{Inner: db, Inj: outage}
+			cfg.Rates = &faults.FlakyRates{Inner: rates, Inj: outage}
+			cfg.StalenessBudget = 2 * opts.Tick * time.Duration(opts.AgentPeriod)
+		}
+		a, err := enforce.NewAgent(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -228,6 +267,17 @@ func RunDrill(opts DrillOptions) (*DrillReport, error) {
 			putEntitlement(opts.Entitled) // the drill's entitlement cut
 		case stages[5].Start:
 			putEntitlement(opts.Demand * 2) // rollback
+		}
+		// Mirror the incident into the control-plane topology so the
+		// mutation journal records the blackholed link at the tick it
+		// actually went down (and its restoration).
+		if inc := opts.Incident; inc != nil && inc.Topology != nil {
+			switch tick {
+			case inc.StartTick:
+				inc.Topology.SetLinkDisabled(inc.LinkID, true)
+			case inc.EndTick:
+				inc.Topology.SetLinkDisabled(inc.LinkID, false)
+			}
 		}
 		// ACLs are rebuilt every tick so the stage rule and an injected
 		// incident compose (drop fractions stack multiplicatively on the

@@ -1,0 +1,729 @@
+package slo
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"entitlement/internal/topology"
+)
+
+// The incident black box persists the conformance plane's evidence while an
+// SLO incident is in flight. It is armed automatically by the first
+// burn-rate alert fire, spills the flight-recorder rings and trace-stamped
+// cycle spans to disk while any alert stays active, and closes — emitting a
+// structured attribution envelope — once hysteresis has cleared every alert.
+//
+// Capture file format (incident-%016d.cap), one record per frame, reusing
+// the granting journal's WAL conventions:
+//
+//	4 bytes  payload length n (0 < n <= maxCapRecord), big-endian
+//	4 bytes  CRC-32C (Castagnoli) of the payload, big-endian
+//	n bytes  JSON-encoded captureRecord
+//
+// A capture opens with a "meta" record (engine configuration, objectives,
+// pre-arm alert seeds, trigger transitions, topology epoch), then carries
+// interleaved "samp" (flight-recorder batches), "span" (agent cycle spans)
+// and "eval" (per-evaluation engine output) records, and closes with a
+// "rep" (final conformance report) and an "env" (attribution envelope)
+// record. Decoding stops at the first torn or corrupt frame and keeps the
+// valid prefix — the same crash-consistency contract the granting WAL makes.
+
+// maxCapRecord bounds one record's payload; a length prefix beyond it marks
+// a corrupt (or torn) tail.
+const maxCapRecord = 16 << 20
+
+// capHeaderSize is the fixed per-record framing overhead.
+const capHeaderSize = 8
+
+var capCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// captureVersion stamps the capture format; replay refuses versions it does
+// not understand rather than silently misreading evidence.
+const captureVersion = 1
+
+// CaptureMeta is the opening record of a capture: everything a replay needs
+// to rebuild an equivalent engine — configuration, objectives, and the alert
+// state machines as they stood BEFORE the arming evaluation ran, so
+// re-running that evaluation reproduces the arming transitions.
+type CaptureMeta struct {
+	Version    int       `json:"version"`
+	Generation uint64    `json:"generation"`
+	ArmedAt    time.Time `json:"armed_at"`
+
+	Windows       Windows `json:"windows"`
+	FastBurn      float64 `json:"fast_burn"`
+	SlowBurn      float64 `json:"slow_burn"`
+	ClearRatio    float64 `json:"clear_ratio"`
+	ClearAfter    int     `json:"clear_after"`
+	LossTolerance float64 `json:"loss_tolerance"`
+	RingCapacity  int     `json:"ring_capacity"`
+
+	Objectives map[string]float64      `json:"objectives,omitempty"`
+	Alerts     map[string]ContractSeed `json:"alerts,omitempty"`
+	Trigger    []Transition            `json:"trigger,omitempty"`
+
+	// TopologyEpoch is the topology mutation counter as of roughly one
+	// fast-long window BEFORE arming: the root-cause mutation (a link
+	// disable, a capacity cut) necessarily precedes the alert fire by the
+	// burn-rate detection delay, so the envelope's DeltaSince must look back
+	// past it.
+	TopologyEpoch uint64 `json:"topology_epoch"`
+}
+
+// SampBatch is one series' newly-captured samples, in record order. Pre
+// marks the arm-time flush of the ring's retained history (pre-incident
+// context); Dropped counts samples the ring overwrote before the capture
+// could read them — honest accounting, never silently absorbed.
+type SampBatch struct {
+	Key     Key      `json:"key"`
+	Samples []Sample `json:"samples,omitempty"`
+	Dropped uint64   `json:"dropped,omitempty"`
+	Pre     bool     `json:"pre,omitempty"`
+}
+
+// captureRecord is the envelope every capture payload decodes into; exactly
+// one of the pointers is set, matching T.
+type captureRecord struct {
+	T    string       `json:"t"`
+	Meta *CaptureMeta `json:"meta,omitempty"`
+	Samp *SampBatch   `json:"samp,omitempty"`
+	Span *CycleSpan   `json:"span,omitempty"`
+	Eval *EvalRecord  `json:"eval,omitempty"`
+	Rep  *Report      `json:"rep,omitempty"`
+	Env  *Envelope    `json:"env,omitempty"`
+}
+
+// shapeOK checks the type/payload pairing a decoded record must satisfy;
+// anything else poisons the stream from that point on.
+func (r *captureRecord) shapeOK() bool {
+	switch r.T {
+	case "meta":
+		return r.Meta != nil && r.Meta.Version == captureVersion
+	case "samp":
+		return r.Samp != nil && (len(r.Samp.Samples) > 0 || r.Samp.Dropped > 0)
+	case "span":
+		return r.Span != nil
+	case "eval":
+		return r.Eval != nil
+	case "rep":
+		return r.Rep != nil
+	case "env":
+		return r.Env != nil
+	}
+	return false
+}
+
+// encodeCaptureRecord frames one record; the returned buffer includes the
+// header.
+func encodeCaptureRecord(rec *captureRecord) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("slo: capture encode: %w", err)
+	}
+	if len(body) > maxCapRecord {
+		return nil, fmt.Errorf("slo: capture record %d bytes exceeds %d", len(body), maxCapRecord)
+	}
+	buf := make([]byte, capHeaderSize+len(body))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(body, capCRC))
+	copy(buf[capHeaderSize:], body)
+	return buf, nil
+}
+
+// decodeCaptureStream reads records until EOF or the first invalid record.
+// It never fails on arbitrary bytes: a torn or corrupt tail ends the decode
+// with truncated=true and valid holding the byte offset of the last good
+// record boundary (the valid-prefix property FuzzBlackboxDecode pins).
+func decodeCaptureStream(r io.Reader) (recs []captureRecord, valid int64, truncated bool) {
+	var hdr [capHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return recs, valid, !errors.Is(err, io.EOF)
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		if n == 0 || n > maxCapRecord {
+			return recs, valid, true
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return recs, valid, true
+		}
+		if crc32.Checksum(body, capCRC) != binary.BigEndian.Uint32(hdr[4:8]) {
+			return recs, valid, true
+		}
+		var rec captureRecord
+		if err := json.Unmarshal(body, &rec); err != nil {
+			return recs, valid, true
+		}
+		if !rec.shapeOK() {
+			return recs, valid, true
+		}
+		recs = append(recs, rec)
+		valid += capHeaderSize + int64(n)
+	}
+}
+
+// capName and envName locate one generation's capture and envelope files.
+func capName(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("incident-%016d.cap", gen))
+}
+
+func envName(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("incident-%016d.json", gen))
+}
+
+// BlackboxOptions configure a Blackbox. Dir is required; everything else
+// has workable defaults.
+type BlackboxOptions struct {
+	// Dir is the capture directory. Created if absent.
+	Dir string
+	// MaxBytes bounds the directory's total capture footprint; the oldest
+	// incidents are pruned at arm time to keep a fresh incident's budget
+	// free. Default 32MiB.
+	MaxBytes int64
+	// MaxIncidentBytes bounds one capture file. Once exhausted, further
+	// records are dropped (counted, surfaced in the envelope) rather than
+	// growing without bound. Default MaxBytes/4.
+	MaxIncidentBytes int64
+	// SpanRing is how many pre-incident cycle spans are retained while
+	// disarmed, to give the capture lead-up context. Default 256.
+	SpanRing int
+	// Envelopes is how many closed-incident envelopes are kept in memory
+	// for the /slo/incidents handler. Default 16.
+	Envelopes int
+	// Topology, when set, lets the envelope attribute the incident to the
+	// links the mutation journal says changed in the lookback window.
+	Topology *topology.Topology
+	// Logger receives arm/close/degrade events. Nil disables logging.
+	Logger *slog.Logger
+}
+
+func (o BlackboxOptions) withDefaults() BlackboxOptions {
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 32 << 20
+	}
+	if o.MaxIncidentBytes <= 0 {
+		o.MaxIncidentBytes = o.MaxBytes / 4
+	}
+	if o.SpanRing <= 0 {
+		o.SpanRing = 256
+	}
+	if o.Envelopes <= 0 {
+		o.Envelopes = 16
+	}
+	return o
+}
+
+// maxArmedSpans bounds the spans buffered between evaluations while armed;
+// beyond it spans are dropped (counted), protecting memory if Evaluate
+// stalls while agents keep reporting.
+const maxArmedSpans = 32768
+
+// epochMark is one (time, topology epoch) observation, logged while
+// disarmed so arming can look back to the pre-incident epoch.
+type epochMark struct {
+	at    time.Time
+	epoch uint64
+}
+
+// Blackbox is the incident flight-data recorder. Attach one to an Engine
+// via AttachCapture; it observes every evaluation and manages the
+// arm → capture → close lifecycle by itself. RecordSpan is safe from any
+// goroutine and cheap enough for per-cycle use (see BenchmarkBlackboxAppend).
+type Blackbox struct {
+	opts BlackboxOptions
+
+	mu sync.Mutex
+	// disarmed state: pre-incident context rings.
+	spanRing []CycleSpan
+	spanPos  uint64
+	epochLog []epochMark
+	// armed state.
+	armed     bool
+	failed    bool // a write error degraded this capture; lifecycle continues
+	gen       uint64
+	f         *os.File
+	meta      *CaptureMeta
+	bytes     int64
+	records   int
+	cursors   map[*Series]uint64
+	spans     []CycleSpan
+	agg       map[string]*AgentIncident
+	segs      map[Key]*windowAgg
+	sampDrops uint64
+	spanDrops uint64
+	recDrops  uint64
+	truncated bool
+	// directory state.
+	nextGen    uint64
+	gens       []uint64
+	genBytes   map[uint64]int64
+	totalBytes int64
+	envs       []*Envelope
+}
+
+// NewBlackbox opens (creating if needed) a capture directory and scans it
+// for prior incidents: their envelopes are reloaded for /slo/incidents and
+// their sizes count against the disk budget.
+func NewBlackbox(opts BlackboxOptions) (*Blackbox, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("slo: blackbox requires a directory")
+	}
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("slo: blackbox dir: %w", err)
+	}
+	bb := &Blackbox{
+		opts:     opts,
+		spanRing: make([]CycleSpan, opts.SpanRing),
+		genBytes: make(map[uint64]int64),
+		nextGen:  1,
+	}
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("slo: blackbox scan: %w", err)
+	}
+	seen := make(map[uint64]bool)
+	for _, e := range entries {
+		name := e.Name()
+		var gen uint64
+		var ok bool
+		switch {
+		case strings.HasPrefix(name, "incident-") && strings.HasSuffix(name, ".cap"):
+			gen, ok = parseGen(name, ".cap")
+		case strings.HasPrefix(name, "incident-") && strings.HasSuffix(name, ".json"):
+			gen, ok = parseGen(name, ".json")
+		}
+		if !ok {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			bb.genBytes[gen] += info.Size()
+			bb.totalBytes += info.Size()
+		}
+		if !seen[gen] {
+			seen[gen] = true
+			bb.gens = append(bb.gens, gen)
+		}
+		if gen >= bb.nextGen {
+			bb.nextGen = gen + 1
+		}
+	}
+	sort.Slice(bb.gens, func(i, j int) bool { return bb.gens[i] < bb.gens[j] })
+	// Reload the most recent envelopes, oldest first.
+	start := 0
+	if len(bb.gens) > opts.Envelopes {
+		start = len(bb.gens) - opts.Envelopes
+	}
+	for _, gen := range bb.gens[start:] {
+		data, err := os.ReadFile(envName(opts.Dir, gen))
+		if err != nil {
+			continue // capture closed without an envelope (crash mid-incident)
+		}
+		var env Envelope
+		if json.Unmarshal(data, &env) == nil {
+			bb.envs = append(bb.envs, &env)
+		}
+	}
+	return bb, nil
+}
+
+func parseGen(name, suffix string) (uint64, bool) {
+	s := strings.TrimSuffix(strings.TrimPrefix(name, "incident-"), suffix)
+	var gen uint64
+	if _, err := fmt.Sscanf(s, "%d", &gen); err != nil || fmt.Sprintf("%016d", gen) != s {
+		return 0, false
+	}
+	return gen, true
+}
+
+// RecordSpan feeds one enforcement-cycle span into the box. While disarmed
+// it lands in a fixed ring (pre-incident context); while armed it is
+// buffered for the next evaluation's flush. The fast path is one mutex
+// round-trip and one struct copy — cheap enough to call every agent cycle.
+func (bb *Blackbox) RecordSpan(sp CycleSpan) {
+	bb.mu.Lock()
+	if bb.armed {
+		if len(bb.spans) < maxArmedSpans {
+			bb.spans = append(bb.spans, sp)
+		} else {
+			bb.spanDrops++
+			mBBDrops.Inc()
+		}
+	} else {
+		bb.spanRing[bb.spanPos%uint64(len(bb.spanRing))] = sp
+		bb.spanPos++
+	}
+	bb.mu.Unlock()
+}
+
+// Armed reports whether an incident capture is in flight.
+func (bb *Blackbox) Armed() bool {
+	bb.mu.Lock()
+	defer bb.mu.Unlock()
+	return bb.armed
+}
+
+// Envelopes returns the closed-incident envelopes on record, oldest first.
+func (bb *Blackbox) Envelopes() []*Envelope {
+	bb.mu.Lock()
+	defer bb.mu.Unlock()
+	out := make([]*Envelope, len(bb.envs))
+	copy(out, bb.envs)
+	return out
+}
+
+// IncidentsHandler serves the closed-incident envelopes (oldest first) plus
+// the live armed flag as JSON — the /slo/incidents endpoint.
+func (bb *Blackbox) IncidentsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bb.mu.Lock()
+		resp := struct {
+			Armed     bool        `json:"armed"`
+			Incidents []*Envelope `json:"incidents"`
+		}{bb.armed, append([]*Envelope(nil), bb.envs...)}
+		bb.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
+}
+
+// observe is the engine's per-evaluation callback, invoked under the engine
+// lock with the PRE-judge alert seeds and the transitions the evaluation
+// produced. It drives the whole lifecycle: arm on fire, flush while armed,
+// close on all-clear.
+func (bb *Blackbox) observe(e *Engine, now time.Time, pre map[string]ContractSeed, trans []Transition) {
+	bb.mu.Lock()
+	defer bb.mu.Unlock()
+	if !bb.armed {
+		bb.markEpochLocked(e, now)
+		fired := false
+		for _, t := range trans {
+			if t.Active {
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			return
+		}
+		bb.armLocked(e, now, pre, trans)
+		return
+	}
+	bb.flushLocked(e, false)
+	ev := e.evalRecordLocked(now, trans)
+	bb.writeLocked(&captureRecord{T: "eval", Eval: &ev})
+	bb.syncLocked()
+	if !anyAlertActiveLocked(e) {
+		bb.closeIncidentLocked(e, now)
+	}
+}
+
+// markEpochLocked logs (now, topology epoch) while disarmed and prunes the
+// log so its head stays the newest mark at least one fast-long window old —
+// the lookback anchor armLocked uses.
+func (bb *Blackbox) markEpochLocked(e *Engine, now time.Time) {
+	if bb.opts.Topology == nil {
+		return
+	}
+	bb.epochLog = append(bb.epochLog, epochMark{at: now, epoch: bb.opts.Topology.Epoch()})
+	cutoff := now.Add(-e.opts.Windows.FastLong)
+	for len(bb.epochLog) >= 2 && !bb.epochLog[1].at.After(cutoff) {
+		bb.epochLog = bb.epochLog[1:]
+	}
+}
+
+func anyAlertActiveLocked(e *Engine) bool {
+	for _, name := range e.order {
+		cs := e.contracts[name]
+		if cs.fast.active || cs.slow.active {
+			return true
+		}
+	}
+	return false
+}
+
+// armLocked opens a new capture generation and writes the arm-time state:
+// meta, the pre-incident span ring, the full retained flight-recorder
+// history, and the arming evaluation's output.
+func (bb *Blackbox) armLocked(e *Engine, now time.Time, pre map[string]ContractSeed, trans []Transition) {
+	bb.armed = true
+	bb.failed = false
+	bb.gen = bb.nextGen
+	bb.nextGen++
+	bb.bytes = 0
+	bb.records = 0
+	bb.sampDrops = 0
+	bb.spanDrops = 0
+	bb.recDrops = 0
+	bb.truncated = false
+	bb.cursors = make(map[*Series]uint64)
+	bb.agg = make(map[string]*AgentIncident)
+	bb.segs = make(map[Key]*windowAgg)
+	bb.spans = bb.spans[:0]
+	bb.pruneLocked()
+
+	f, err := os.OpenFile(capName(bb.opts.Dir, bb.gen), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		bb.failed = true
+		mBBErrors.Inc()
+		if bb.opts.Logger != nil {
+			bb.opts.Logger.Error("slo.blackbox arm failed", slog.Any("err", err))
+		}
+	}
+	bb.f = f
+
+	seedEpoch := uint64(0)
+	if len(bb.epochLog) > 0 {
+		seedEpoch = bb.epochLog[0].epoch
+	}
+	bb.meta = &CaptureMeta{
+		Version:       captureVersion,
+		Generation:    bb.gen,
+		ArmedAt:       now,
+		Windows:       e.opts.Windows,
+		FastBurn:      e.opts.FastBurn,
+		SlowBurn:      e.opts.SlowBurn,
+		ClearRatio:    e.opts.ClearRatio,
+		ClearAfter:    e.opts.ClearAfter,
+		LossTolerance: e.opts.LossTolerance,
+		RingCapacity:  e.rec.Capacity(),
+		Objectives:    e.objectivesLocked(),
+		Alerts:        pre,
+		Trigger:       trans,
+		TopologyEpoch: seedEpoch,
+	}
+	bb.writeLocked(&captureRecord{T: "meta", Meta: bb.meta})
+
+	// Pre-incident spans from the disarmed ring, oldest first.
+	n, capn := bb.spanPos, uint64(len(bb.spanRing))
+	start := uint64(0)
+	if n > capn {
+		start = n - capn
+	}
+	for i := start; i < n; i++ {
+		sp := bb.spanRing[i%capn]
+		bb.writeLocked(&captureRecord{T: "span", Span: &sp})
+		bb.aggregateSpanLocked(sp)
+	}
+
+	bb.flushLocked(e, true)
+	ev := e.evalRecordLocked(now, trans)
+	bb.writeLocked(&captureRecord{T: "eval", Eval: &ev})
+	bb.syncLocked()
+
+	mBBCaptures.Inc()
+	mBBArmed.Set(1)
+	if bb.opts.Logger != nil {
+		bb.opts.Logger.Warn("slo.blackbox armed",
+			slog.Uint64("generation", bb.gen), slog.Time("at", now),
+			slog.Int("trigger_transitions", len(trans)))
+	}
+}
+
+// flushLocked drains every series up to the ENGINE's evaluation cursor (not
+// the live writer position): the capture must hold exactly the samples this
+// evaluation folded, so replay folds them at the same evaluation. Series are
+// visited in sorted key order for deterministic record layout.
+func (bb *Blackbox) flushLocked(e *Engine, pre bool) {
+	var list []*Series
+	e.rec.Each(func(s *Series) { list = append(list, s) })
+	sort.Slice(list, func(i, j int) bool {
+		a, b := list[i].Key(), list[j].Key()
+		if a.Contract != b.Contract {
+			return a.Contract < b.Contract
+		}
+		if a.Segment != b.Segment {
+			return a.Segment < b.Segment
+		}
+		return a.Class < b.Class
+	})
+	for _, s := range list {
+		bound := e.cursors[s]
+		from := bb.cursors[s]
+		if from >= bound {
+			continue
+		}
+		batch := SampBatch{Key: s.Key(), Pre: pre}
+		// Every captured sample also folds into the capture-window aggregate
+		// the envelope's verdicts are computed from: by close time the
+		// incident has necessarily aged out of the engine's rolling windows
+		// (that is what lets the alerts clear), so close-time window stats
+		// cannot describe the incident — only this accumulation can.
+		seg := bb.segs[s.Key()]
+		if seg == nil {
+			seg = &windowAgg{}
+			bb.segs[s.Key()] = seg
+		}
+		next, dropped := s.drainRange(from, bound, func(sm Sample) {
+			batch.Samples = append(batch.Samples, sm)
+			seg.add(classify(sm, e.opts.LossTolerance))
+		})
+		bb.cursors[s] = next
+		if dropped > 0 {
+			batch.Dropped = dropped
+			bb.sampDrops += dropped
+			mBBDrops.Add(int64(dropped))
+			if pre {
+				// The ring was lapped before arming: the engine folded
+				// samples the capture can never recover, so replay cannot be
+				// byte-identical. Flagged, never hidden.
+				bb.truncated = true
+			}
+		}
+		if len(batch.Samples) > 0 || dropped > 0 {
+			bb.writeLocked(&captureRecord{T: "samp", Samp: &batch})
+		}
+	}
+	for i := range bb.spans {
+		bb.writeLocked(&captureRecord{T: "span", Span: &bb.spans[i]})
+		bb.aggregateSpanLocked(bb.spans[i])
+	}
+	bb.spans = bb.spans[:0]
+}
+
+// aggregateSpanLocked folds one span into the per-host incident summary the
+// envelope reports.
+func (bb *Blackbox) aggregateSpanLocked(sp CycleSpan) {
+	ai := bb.agg[sp.Host]
+	if ai == nil {
+		ai = &AgentIncident{Host: sp.Host, Contract: sp.Contract}
+		bb.agg[sp.Host] = ai
+	}
+	ai.Cycles++
+	if sp.Degraded && !sp.FailedOpen {
+		ai.DegradedCycles++
+		if ai.FirstDegraded.IsZero() {
+			ai.FirstDegraded = sp.At
+		}
+	}
+	if sp.FailedOpen {
+		ai.FailOpenCycles++
+		if ai.FirstFailOpen.IsZero() {
+			ai.FirstFailOpen = sp.At
+			ai.FailOpenTraceID = sp.TraceID
+		}
+		ai.MaxStaleFor = max(ai.MaxStaleFor, sp.StaleFor)
+	}
+}
+
+// writeLocked frames and appends one record, enforcing the per-incident
+// byte budget on the bulky record types. Failures degrade the capture (the
+// lifecycle continues, metrics and logs tell the operator) — the black box
+// must never take down the SLO plane it is documenting.
+func (bb *Blackbox) writeLocked(rec *captureRecord) {
+	if bb.failed || bb.f == nil {
+		bb.recDrops++
+		return
+	}
+	if bb.bytes >= bb.opts.MaxIncidentBytes && (rec.T == "samp" || rec.T == "span" || rec.T == "eval") {
+		bb.recDrops++
+		mBBDrops.Inc()
+		return
+	}
+	buf, err := encodeCaptureRecord(rec)
+	if err == nil {
+		_, err = bb.f.Write(buf)
+	}
+	if err != nil {
+		bb.failed = true
+		mBBErrors.Inc()
+		if bb.opts.Logger != nil {
+			bb.opts.Logger.Error("slo.blackbox write failed",
+				slog.Uint64("generation", bb.gen), slog.Any("err", err))
+		}
+		return
+	}
+	bb.bytes += int64(len(buf))
+	bb.records++
+	bb.totalBytes += int64(len(buf))
+	bb.genBytes[bb.gen] += int64(len(buf))
+	mBBRecords.With(rec.T).Inc()
+	mBBBytes.Add(int64(len(buf)))
+}
+
+func (bb *Blackbox) syncLocked() {
+	if bb.failed || bb.f == nil {
+		return
+	}
+	if err := bb.f.Sync(); err != nil {
+		bb.failed = true
+		mBBErrors.Inc()
+	}
+}
+
+// closeIncidentLocked writes the closing report and attribution envelope,
+// seals the capture file, and publishes the envelope.
+func (bb *Blackbox) closeIncidentLocked(e *Engine, now time.Time) {
+	rep := e.reportLocked(now)
+	bb.writeLocked(&captureRecord{T: "rep", Rep: rep})
+	env := bb.buildEnvelopeLocked(e, now, rep)
+	bb.writeLocked(&captureRecord{T: "env", Env: env})
+	bb.syncLocked()
+	if bb.f != nil {
+		bb.f.Close()
+		bb.f = nil
+	}
+	bb.gens = append(bb.gens, bb.gen)
+
+	if data, err := json.MarshalIndent(env, "", "  "); err == nil {
+		if err := os.WriteFile(envName(bb.opts.Dir, bb.gen), data, 0o644); err != nil {
+			mBBErrors.Inc()
+		} else {
+			bb.totalBytes += int64(len(data))
+			bb.genBytes[bb.gen] += int64(len(data))
+		}
+	}
+	bb.envs = append(bb.envs, env)
+	if len(bb.envs) > bb.opts.Envelopes {
+		bb.envs = bb.envs[len(bb.envs)-bb.opts.Envelopes:]
+	}
+
+	// Back to disarmed: stale pre-incident context must not leak into the
+	// next capture.
+	bb.armed = false
+	bb.meta = nil
+	bb.cursors = nil
+	bb.agg = nil
+	bb.segs = nil
+	bb.spanPos = 0
+	bb.epochLog = bb.epochLog[:0]
+	mBBArmed.Set(0)
+	mIncidents.Inc()
+	if bb.opts.Logger != nil {
+		bb.opts.Logger.Info("slo.blackbox incident closed",
+			slog.Uint64("generation", env.Generation), slog.Time("at", now),
+			slog.Int64("bytes", env.Capture.Bytes),
+			slog.Int("records", env.Capture.Records))
+	}
+}
+
+// pruneLocked deletes the oldest retained incidents until the directory
+// budget has room for one fresh full-size capture.
+func (bb *Blackbox) pruneLocked() {
+	for len(bb.gens) > 0 && bb.totalBytes+bb.opts.MaxIncidentBytes > bb.opts.MaxBytes {
+		gen := bb.gens[0]
+		bb.gens = bb.gens[1:]
+		os.Remove(capName(bb.opts.Dir, gen))
+		os.Remove(envName(bb.opts.Dir, gen))
+		bb.totalBytes -= bb.genBytes[gen]
+		delete(bb.genBytes, gen)
+		if bb.opts.Logger != nil {
+			bb.opts.Logger.Info("slo.blackbox pruned capture", slog.Uint64("generation", gen))
+		}
+	}
+}

@@ -139,6 +139,20 @@ type Engine struct {
 	contracts  map[string]*contractState
 	cursors    map[*Series]uint64
 	order      []string // sorted contract names with state
+	// capture, when attached, observes every evaluation: it arms on the
+	// first burn-rate fire, persists the flight-recorder state while armed,
+	// and emits the attribution envelope once every alert has cleared.
+	capture *Blackbox
+}
+
+// AttachCapture wires an incident black box into the engine: every Evaluate
+// gives it a chance to arm (on a burn-rate fire), flush recorder samples to
+// disk, and close the capture (on hysteresis clear). Attach before the
+// first Evaluate; pass nil to detach.
+func (e *Engine) AttachCapture(bb *Blackbox) {
+	e.mu.Lock()
+	e.capture = bb
+	e.mu.Unlock()
 }
 
 // NewEngine builds an engine over rec (a fresh DefaultRingCapacity
@@ -201,9 +215,20 @@ func (e *Engine) Evaluate(now time.Time) []Transition {
 func (e *Engine) evaluateLocked(now time.Time) []Transition {
 	mEvaluations.Inc()
 	e.drainLocked()
+	var pre map[string]ContractSeed
+	if e.capture != nil {
+		// Snapshot the alert state machines BEFORE judging: a capture armed
+		// by this evaluation stores the pre-arm states, so a replay that
+		// seeds them and re-runs this very evaluation reproduces the arming
+		// transitions instead of double-stepping the hysteresis streaks.
+		pre = e.alertSeedsLocked()
+	}
 	var trans []Transition
 	for _, name := range e.order {
 		trans = append(trans, e.judgeLocked(name, now)...)
+	}
+	if e.capture != nil {
+		e.capture.observe(e, now, pre, trans)
 	}
 	return trans
 }
@@ -211,26 +236,27 @@ func (e *Engine) evaluateLocked(now time.Time) []Transition {
 // drainLocked consumes samples recorded since the previous evaluation.
 func (e *Engine) drainLocked() {
 	e.rec.Each(func(s *Series) {
-		cur := s.pos.Load()
-		next := e.cursors[s]
-		capacity := uint64(len(s.slots))
-		if cur > next+capacity {
-			// The writer lapped us: the oldest unread samples are gone.
-			mSamplesDropped.Add(int64(cur - capacity - next))
-			next = cur - capacity
-		}
 		ks := e.keyStateLocked(s.Key())
-		for i := next; i < cur; i++ {
-			p := s.slots[i%capacity].Load()
-			if p == nil || p.seq != i {
-				// Overwritten between the pos load and this read.
-				mSamplesDropped.Inc()
-				continue
-			}
-			e.foldLocked(ks, *p)
+		next, dropped := s.DrainFrom(e.cursors[s], func(sm Sample) {
+			e.foldLocked(ks, sm)
+		})
+		if dropped > 0 {
+			mSamplesDropped.Add(int64(dropped))
 		}
-		e.cursors[s] = cur
+		e.cursors[s] = next
 	})
+}
+
+// contractStateLocked returns (creating if needed) one contract's state.
+func (e *Engine) contractStateLocked(name string) *contractState {
+	cs, ok := e.contracts[name]
+	if !ok {
+		cs = &contractState{}
+		e.contracts[name] = cs
+		e.order = append(e.order, name)
+		sort.Strings(e.order)
+	}
+	return cs
 }
 
 func (e *Engine) keyStateLocked(k Key) *keyState {
@@ -242,19 +268,33 @@ func (e *Engine) keyStateLocked(k Key) *keyState {
 		ks.windows[i] = newRolling(d)
 	}
 	e.keys[k] = ks
-	cs, ok := e.contracts[k.Contract]
-	if !ok {
-		cs = &contractState{}
-		e.contracts[k.Contract] = cs
-		e.order = append(e.order, k.Contract)
-		sort.Strings(e.order)
+	cs := e.contractStateLocked(k.Contract)
+	// Keep a contract's series sorted by (segment, class): the report's
+	// float accumulations and worst-segment tie-breaks then fold in a
+	// deterministic order regardless of which goroutine's sample created a
+	// series first — a replay of recorded samples must reproduce the live
+	// run's report bytes exactly.
+	at := len(cs.keys)
+	for i, other := range cs.keys {
+		if k.Segment < other.key.Segment ||
+			(k.Segment == other.key.Segment && k.Class < other.key.Class) {
+			at = i
+			break
+		}
 	}
-	cs.keys = append(cs.keys, ks)
+	cs.keys = append(cs.keys, nil)
+	copy(cs.keys[at+1:], cs.keys[at:])
+	cs.keys[at] = ks
 	return ks
 }
 
-// foldLocked classifies one sample and adds it to every window.
-func (e *Engine) foldLocked(ks *keyState, sm Sample) {
+// classify turns one sample into a single-interval aggregate. Shared by the
+// live fold and the black box's incident-window accounting, so both sides
+// apply the same §3.3 demarcation: throttling of in-entitlement demand beyond
+// the tolerance is network-attributed badness, overage is the service's own
+// exposure, and an idle cycle (no in-entitlement demand) can neither meet nor
+// breach the SLO — the drill's measured-availability rule.
+func classify(sm Sample, lossTolerance float64) windowAgg {
 	var a windowAgg
 	a.Granted = sm.Granted
 	a.Used = sm.Used
@@ -263,17 +303,20 @@ func (e *Engine) foldLocked(ks *keyState, sm Sample) {
 	if sm.Overage > 0 {
 		a.Over = 1
 	}
-	// Availability counts only samples with in-entitlement demand present:
-	// an idle cycle can neither meet nor breach the SLO (the drill's
-	// measured-availability rule).
 	if inEnt := sm.Used + sm.Throttled; inEnt > 0 {
 		a.Total = 1
-		if sm.Throttled <= e.opts.LossTolerance*inEnt {
+		if sm.Throttled <= lossTolerance*inEnt {
 			a.Good = 1
 		} else {
 			a.BadNetwork = 1
 		}
 	}
+	return a
+}
+
+// foldLocked classifies one sample and adds it to every window.
+func (e *Engine) foldLocked(ks *keyState, sm Sample) {
+	a := classify(sm, e.opts.LossTolerance)
 	for _, w := range ks.windows {
 		w.add(sm.At, a)
 	}
@@ -407,4 +450,97 @@ func (e *Engine) countTransition(contractName, alert string) {
 	} else {
 		mSlowTrans.With(contractName).Inc()
 	}
+}
+
+// AlertSeed is one alert pair's hysteresis position, serialized into the
+// capture metadata so a replay can resume the state machine exactly where
+// the live engine stood before the arming evaluation.
+type AlertSeed struct {
+	Active      bool `json:"active,omitempty"`
+	ClearStreak int  `json:"clear_streak,omitempty"`
+}
+
+// ContractSeed carries both alert pairs' seeds for one contract.
+type ContractSeed struct {
+	Fast AlertSeed `json:"fast"`
+	Slow AlertSeed `json:"slow"`
+}
+
+// alertSeedsLocked snapshots every contract's alert state machines.
+func (e *Engine) alertSeedsLocked() map[string]ContractSeed {
+	out := make(map[string]ContractSeed, len(e.order))
+	for _, name := range e.order {
+		cs := e.contracts[name]
+		out[name] = ContractSeed{
+			Fast: AlertSeed{Active: cs.fast.active, ClearStreak: cs.fast.clearStreak},
+			Slow: AlertSeed{Active: cs.slow.active, ClearStreak: cs.slow.clearStreak},
+		}
+	}
+	return out
+}
+
+// seedAlerts primes the alert state machines from capture metadata before a
+// replay's first evaluation; contracts are created as needed.
+func (e *Engine) seedAlerts(seeds map[string]ContractSeed) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name, s := range seeds {
+		cs := e.contractStateLocked(name)
+		cs.fast = alertState{active: s.Fast.Active, clearStreak: s.Fast.ClearStreak}
+		cs.slow = alertState{active: s.Slow.Active, clearStreak: s.Slow.ClearStreak}
+	}
+}
+
+// ContractEval is one contract's availability and burn rates at one
+// evaluation, index-aligned with windowNames.
+type ContractEval struct {
+	Contract     string     `json:"contract"`
+	Availability [4]float64 `json:"availability"`
+	Burn         [4]float64 `json:"burn"`
+	HasSLO       bool       `json:"has_slo,omitempty"`
+	FastActive   bool       `json:"fast_active,omitempty"`
+	SlowActive   bool       `json:"slow_active,omitempty"`
+}
+
+// EvalRecord is one armed evaluation's full engine output — the live run
+// appends one per Evaluate to the capture, and `sloctl replay` must
+// recompute each byte-identically (compared via encoding/json, which
+// renders float64 shortest-roundtrip). This is the determinism contract the
+// golden test pins.
+type EvalRecord struct {
+	At          time.Time      `json:"at"`
+	Contracts   []ContractEval `json:"contracts"`
+	Transitions []Transition   `json:"transitions,omitempty"`
+}
+
+// evalRecordLocked renders the post-judge engine state for time now.
+func (e *Engine) evalRecordLocked(now time.Time, trans []Transition) EvalRecord {
+	ev := EvalRecord{At: now, Transitions: trans}
+	for _, name := range e.order {
+		cs := e.contracts[name]
+		avail, _, _, _ := cs.contractWindows(now)
+		ce := ContractEval{
+			Contract:     name,
+			Availability: avail,
+			FastActive:   cs.fast.active,
+			SlowActive:   cs.slow.active,
+		}
+		if slo, ok := e.objectives[name]; ok {
+			ce.HasSLO = true
+			for i := range avail {
+				ce.Burn[i] = burnRate(avail[i], slo)
+			}
+		}
+		ev.Contracts = append(ev.Contracts, ce)
+	}
+	return ev
+}
+
+// objectivesLocked copies the objective table for capture metadata.
+func (e *Engine) objectivesLocked() map[string]float64 {
+	out := make(map[string]float64, len(e.objectives))
+	for k, v := range e.objectives {
+		out[k] = v
+	}
+	return out
 }

@@ -30,4 +30,15 @@ var (
 	mSlowActive = obs.RegisterGaugeVec("entitlement_slo_slow_burn_active", "1 while the slow (6h AND 3d) burn-rate alert is firing, by contract.", "contract")
 	mFastTrans  = obs.RegisterCounterVec("entitlement_slo_fast_burn_transitions_total", "Fast burn-rate alert state transitions (fire or clear), by contract.", "contract")
 	mSlowTrans  = obs.RegisterCounterVec("entitlement_slo_slow_burn_transitions_total", "Slow burn-rate alert state transitions (fire or clear), by contract.", "contract")
+
+	// Incident black-box instruments. Captures count arms; incidents count
+	// clean closes (capture + envelope sealed); the armed gauge is the live
+	// lifecycle state the drill test asserts exact deltas on.
+	mBBCaptures = obs.RegisterCounter("entitlement_slo_blackbox_captures_total", "Incident captures armed (burn-rate alert fired with a black box attached).")
+	mBBArmed    = obs.RegisterGauge("entitlement_slo_blackbox_armed", "1 while an incident capture is armed and spilling to disk.")
+	mBBRecords  = obs.RegisterCounterVec("entitlement_slo_blackbox_records_total", "Records appended to incident capture files, by record type.", "type")
+	mBBBytes    = obs.RegisterCounter("entitlement_slo_blackbox_bytes_written_total", "Bytes appended to incident capture files (framing included).")
+	mBBDrops    = obs.RegisterCounter("entitlement_slo_blackbox_drops_total", "Capture losses: samples lapped before flush, spans shed by the armed buffer, records withheld by the byte budget.")
+	mBBErrors   = obs.RegisterCounter("entitlement_slo_blackbox_errors_total", "Capture I/O failures; each degrades its capture but never the SLO plane.")
+	mIncidents  = obs.RegisterCounter("entitlement_slo_incidents_total", "Incidents closed: every alert cleared and the attribution envelope was published.")
 )

@@ -149,6 +149,73 @@ func (r *Recorder) Series(k Key) *Series {
 	return s
 }
 
+// DrainFrom delivers the retained samples with sequence >= from to emit, in
+// chronological order, and returns the next cursor plus the number of
+// samples that were overwritten before they could be read. Both numbers
+// derive from a single atomic snapshot of the writer position taken before
+// any slot is read, so the overwrite accounting always agrees with the
+// cursor advance: delivered + dropped == next - from, for every call, even
+// while writers are lapping the ring. Two independent consumers (the
+// engine's evaluation drain and an armed black-box flush) can drain the
+// same series concurrently, each with its own cursor, and each sees
+// internally consistent accounting — re-deriving the drop count from a
+// second position load here would let a racing writer make the two numbers
+// disagree (the stale-drop-count bug pinned by TestDrainDropAccountingRace).
+func (s *Series) DrainFrom(from uint64, emit func(Sample)) (next uint64, dropped uint64) {
+	cur := s.pos.Load()
+	capacity := uint64(len(s.slots))
+	start := from
+	if cur > capacity && cur-capacity > start {
+		// The writer lapped this cursor: the oldest unread samples are gone.
+		dropped = cur - capacity - start
+		start = cur - capacity
+	}
+	for i := start; i < cur; i++ {
+		p := s.slots[i%capacity].Load()
+		if p == nil || p.seq != i {
+			// Overwritten between the position snapshot and this read.
+			dropped++
+			continue
+		}
+		emit(*p)
+	}
+	return cur, dropped
+}
+
+// drainRange is DrainFrom with an explicit upper bound: it delivers retained
+// samples with sequence in [from, to), where to is a writer position the
+// caller already observed (the engine's evaluation cursor). The black box
+// flushes with the engine cursor as the bound so a capture holds exactly the
+// samples each evaluation folded — samples recorded after the engine's drain
+// but before the flush belong to the NEXT evaluation's batch, and including
+// them would make replay fold them one evaluation early.
+func (s *Series) drainRange(from, to uint64, emit func(Sample)) (next uint64, dropped uint64) {
+	cur := s.pos.Load()
+	if to > cur {
+		to = cur
+	}
+	capacity := uint64(len(s.slots))
+	start := from
+	if cur > capacity && cur-capacity > start {
+		if lost := cur - capacity - start; start+lost > to {
+			dropped = to - start
+			return to, dropped
+		} else {
+			dropped = lost
+		}
+		start = cur - capacity
+	}
+	for i := start; i < to; i++ {
+		p := s.slots[i%capacity].Load()
+		if p == nil || p.seq != i {
+			dropped++
+			continue
+		}
+		emit(*p)
+	}
+	return to, dropped
+}
+
 // Record appends one sample to k's ring.
 func (r *Recorder) Record(k Key, sm Sample) { r.Series(k).Record(sm) }
 

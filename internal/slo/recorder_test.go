@@ -99,3 +99,66 @@ func TestRecorderSeriesIdentity(t *testing.T) {
 		t.Fatalf("Each visited %d series, want 2", count)
 	}
 }
+
+// TestDrainDropAccountingRace pins DrainFrom's accounting invariant under a
+// lapping writer: delivered + dropped == next - from for EVERY call, because
+// both numbers derive from one atomic snapshot of the writer position. The
+// historical bug re-loaded the position after reading slots, letting a racing
+// writer inflate the drop count past the cursor advance. Two independent
+// consumers (modeling the engine drain and an armed black-box flush) each
+// verify the invariant per call; run under -race.
+func TestDrainDropAccountingRace(t *testing.T) {
+	rec := NewRecorder(64) // small ring so writers lap constantly
+	k := Key{Contract: "C", Segment: "seg", Class: "c4_low"}
+	s := rec.Series(k)
+	const writers, perWriter = 4, 20000
+	var writeWG, drainWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Record(Sample{At: ts(w*perWriter + i + 1), Used: 1})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	for c := 0; c < 2; c++ {
+		drainWG.Add(1)
+		go func(c int) {
+			defer drainWG.Done()
+			var cursor, seen uint64
+			for {
+				delivered := uint64(0)
+				next, dropped := s.DrainFrom(cursor, func(Sample) { delivered++ })
+				if next < cursor {
+					t.Errorf("consumer %d: cursor moved backwards %d -> %d", c, cursor, next)
+					return
+				}
+				if delivered+dropped != next-cursor {
+					t.Errorf("consumer %d: delivered %d + dropped %d != advance %d",
+						c, delivered, dropped, next-cursor)
+					return
+				}
+				seen += delivered + dropped
+				cursor = next
+				select {
+				case <-done:
+					if final := s.pos.Load(); cursor == final {
+						if seen != final {
+							t.Errorf("consumer %d: accounted %d samples of %d written", c, seen, final)
+						}
+						return
+					}
+				default:
+				}
+			}
+		}(c)
+	}
+	writeWG.Wait()
+	close(done)
+	drainWG.Wait()
+	if got := s.Recorded(); got != writers*perWriter {
+		t.Fatalf("Recorded() = %d, want %d", got, writers*perWriter)
+	}
+}

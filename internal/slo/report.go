@@ -72,6 +72,14 @@ func (e *Engine) Report(now time.Time) *Report {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.evaluateLocked(now)
+	return e.reportLocked(now)
+}
+
+// reportLocked renders the report without evaluating — the black box calls
+// it under the engine lock at incident close, after the closing evaluation
+// already ran, so the capture's report record matches what a live scrape at
+// the same instant would have shown.
+func (e *Engine) reportLocked(now time.Time) *Report {
 	rep := &Report{At: now}
 	for _, name := range e.order {
 		cs := e.contracts[name]
