@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet vet-metrics vet-imports test race chaos crash slo replay bench bench-smoke bench-delta bench-json cover figures examples grantd-demo
+.PHONY: all build vet vet-metrics vet-imports test race chaos crash slo replay trace bench bench-smoke bench-delta bench-json cover figures examples grantd-demo
 
 all: build vet vet-metrics vet-imports test
 
@@ -89,12 +89,25 @@ bench-delta:
 	go test -count=1 -run=NONE -bench='BenchmarkAssess(Cold|Warm|Delta)' -benchtime=1x ./internal/risk/
 	go test -count=1 -run 'TestDeltaSpeedup' -v ./internal/risk/
 
+# Distributed tracing spine: the trace package's unit/property/fuzz-seed
+# suite, the wire propagation and SetTrace race tests, and the golden
+# cross-process drill — one grant submitted over real TCP must come back as
+# ONE trace spanning submitter, grantd, and contractdb with correct
+# parent/child edges and monotone timings, and tail sampling must keep 100%
+# of incident traces while probabilistically dropping healthy ones. All
+# under the race detector.
+trace:
+	go test -race -count=1 -timeout 120s ./internal/obs/trace/
+	go test -race -count=1 -timeout 120s -run 'TestCallPropagatesSpanTree|TestSetTraceRaceWithConcurrentCalls' ./internal/wire/
+	go test -race -count=1 -timeout 180s -v -run 'TestDistributedTraceSpine|TestTailSamplingRetention' ./internal/integration/
+
 # Regenerate the perf-trajectory files: BENCH_risk.json (cold vs warm vs
-# delta Assess p50, allocator ns/op + allocs/op) and BENCH_slo.json
+# delta Assess p50, allocator ns/op + allocs/op), BENCH_slo.json
 # (flight-recorder append, engine evaluate p50, black-box span append,
-# incident replay wall-clock).
+# incident replay wall-clock), and BENCH_trace.json (span start/finish
+# ns/op against the 200ns budget, traceparent codec, tree assembly).
 bench-json:
-	go run ./cmd/benchjson -out BENCH_risk.json -slo-out BENCH_slo.json
+	go run ./cmd/benchjson -out BENCH_risk.json -slo-out BENCH_slo.json -trace-out BENCH_trace.json
 
 cover:
 	go test -cover ./internal/...

@@ -31,6 +31,7 @@ import (
 	"entitlement/internal/enforce"
 	"entitlement/internal/kvstore"
 	"entitlement/internal/obs"
+	"entitlement/internal/obs/trace"
 	"entitlement/internal/slo"
 	"entitlement/internal/topology"
 	"entitlement/internal/wire"
@@ -126,6 +127,7 @@ func run(cfg config) error {
 		if bb != nil {
 			routes = append(routes, obs.Route{Pattern: "/slo/incidents", Handler: bb.IncidentsHandler()})
 		}
+		routes = append(routes, obs.Route{Pattern: "/debug/traces", Handler: trace.Default().Handler()})
 		ms, err := obs.Serve(cfg.metricsAddr, nil, routes...)
 		if err != nil {
 			return fmt.Errorf("metrics server: %w", err)
@@ -138,7 +140,7 @@ func run(cfg config) error {
 	// backoff behind every call. The Logger surfaces per-call client spans
 	// — method, request_id, took — at debug level; the request IDs match
 	// the ones the servers log, so one grep follows a call end to end.
-	opts := wire.ClientOptions{DialTimeout: cfg.dialTimeout, CallTimeout: cfg.callTimeout, Logger: logger}
+	opts := wire.ClientOptions{DialTimeout: cfg.dialTimeout, CallTimeout: cfg.callTimeout, Logger: logger, Service: cfg.host}
 	db := contractdb.Connect(cfg.dbAddr, opts)
 	defer db.Close()
 	kv := kvstore.Connect(cfg.kvAddr, opts)

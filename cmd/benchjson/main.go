@@ -10,6 +10,10 @@
 // (armed and disarmed), and the wall-clock to replay a freshly captured
 // incident byte-identically.
 //
+// BENCH_trace.json: the tracing spine's hot path — span start and finish
+// ns/op against the 200ns-per-half budget, traceparent encode/parse, and
+// full-tree assembly wall time.
+//
 // Run via `make bench-json`; future re-anchors read the speed curves from the
 // JSON instead of prose claims.
 package main
@@ -24,6 +28,7 @@ import (
 	"time"
 
 	"entitlement/internal/flow"
+	"entitlement/internal/obs/trace"
 	"entitlement/internal/risk"
 	"entitlement/internal/slo"
 	"entitlement/internal/topology"
@@ -67,6 +72,7 @@ type workload struct {
 func main() {
 	out := flag.String("out", "BENCH_risk.json", "risk output path")
 	sloOut := flag.String("slo-out", "BENCH_slo.json", "SLO/black-box output path (empty skips)")
+	traceOut := flag.String("trace-out", "BENCH_trace.json", "tracing-spine output path (empty skips)")
 	samples := flag.Int("samples", 15, "timing samples per assess variant (p50 reported)")
 	scenarios := flag.Int("scenarios", 400, "failure scenarios per assessment")
 	flag.Parse()
@@ -77,6 +83,12 @@ func main() {
 	if *sloOut != "" {
 		if err := runSLO(*sloOut, *samples); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: slo: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := runTrace(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: trace: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -397,6 +409,137 @@ func captureIncident(dir string, toClose bool) (int, *slo.Blackbox, *slo.Engine,
 		}
 	}
 	return ticks, bb, eng, rec, now, nil
+}
+
+// --- BENCH_trace.json: the distributed tracing spine's hot path. ---------
+
+type traceBench struct {
+	// SpanStartNsPerOp is one StartRoot: a clock read, an ID mint, one
+	// allocation. Budget: 200ns (the guard lives in BenchmarkSpanStart).
+	SpanStartNsPerOp     int64 `json:"span_start_ns_per_op"`
+	SpanStartAllocsPerOp int64 `json:"span_start_allocs_per_op"`
+	// SpanFinishNsPerOp is the finish half, derived as (start+finish pair)
+	// minus the measured start: a monotonic clock read, the record staging
+	// allocation, one atomic ring store. Budget: 200ns.
+	SpanFinishNsPerOp int64 `json:"span_finish_ns_per_op"`
+	// SpanPairNsPerOp is the measured start+finish round trip the derived
+	// finish number comes from.
+	SpanPairNsPerOp  int64 `json:"span_pair_ns_per_op"`
+	ChildPairNsPerOp int64 `json:"child_pair_ns_per_op"`
+	// Context codec: what every traced RPC pays to fill and read the wire
+	// frame's traceparent field.
+	ContextEncodeNsPerOp int64 `json:"context_encode_ns_per_op"`
+	ContextParseNsPerOp  int64 `json:"context_parse_ns_per_op"`
+	// TreeAssemblyNs is the wall-clock to flush and assemble one retained
+	// trace of TreeSpans spans — the /debug/traces read path.
+	TreeAssemblyNs int64 `json:"tree_assembly_ns"`
+	TreeSpans      int   `json:"tree_spans"`
+}
+
+type traceReport struct {
+	GeneratedBy string     `json:"generated_by"`
+	BudgetNs    int64      `json:"budget_ns_per_half"`
+	Trace       traceBench `json:"trace"`
+}
+
+func runTrace(out string) error {
+	c := trace.NewCollector(trace.Options{Service: "bench"})
+	var sink trace.Span
+	start := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = c.StartRoot("bench")
+		}
+	})
+	_ = sink
+	pair := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := c.StartRoot("bench")
+			sp.Finish()
+		}
+	})
+	rootSp := c.StartRoot("parent")
+	parent := rootSp.Context()
+	childPair := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sp := c.StartChild(parent, "bench")
+			sp.Finish()
+		}
+	})
+
+	ctx := trace.Context{TraceHi: 0x1122334455667788, TraceLo: 0x99aabbccddeeff00, Span: 0xdeadbeefcafef00d, Sampled: true}
+	var encSink string
+	encode := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			encSink = ctx.String()
+		}
+	})
+	encoded := ctx.String()
+	_ = encSink
+	var parseSink trace.Context
+	parse := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parseSink, _ = trace.Parse(encoded)
+		}
+	})
+	_ = parseSink
+
+	// Tree assembly: one root with a realistic fan-out (the enforce cycle
+	// shape: phases with wire RPC children), flushed and read back.
+	tc := trace.NewCollector(trace.Options{Service: "bench"})
+	root := tc.StartRoot("enforce.cycle")
+	nSpans := 1
+	for i := 0; i < 4; i++ {
+		phase := tc.StartChild(root.Context(), fmt.Sprintf("phase.%d", i))
+		for j := 0; j < 4; j++ {
+			rpc := tc.StartChild(phase.Context(), "wire.call")
+			rpc.Finish()
+			nSpans++
+		}
+		phase.Finish()
+		nSpans++
+	}
+	root.SetError(fmt.Errorf("retain me"))
+	root.Finish()
+	startT := time.Now()
+	tc.Flush()
+	tree, ok := tc.Tree(root.TraceID())
+	assembly := time.Since(startT)
+	if !ok || len(tree.Spans) != nSpans {
+		return fmt.Errorf("tree assembly lost spans: ok=%v got %d want %d", ok, len(tree.Spans), nSpans)
+	}
+
+	finish := pair.NsPerOp() - start.NsPerOp()
+	if finish < 0 {
+		finish = 0
+	}
+	rep := traceReport{
+		GeneratedBy: "make bench-json (cmd/benchjson)",
+		BudgetNs:    200,
+		Trace: traceBench{
+			SpanStartNsPerOp:     start.NsPerOp(),
+			SpanStartAllocsPerOp: start.AllocsPerOp(),
+			SpanFinishNsPerOp:    finish,
+			SpanPairNsPerOp:      pair.NsPerOp(),
+			ChildPairNsPerOp:     childPair.NsPerOp(),
+			ContextEncodeNsPerOp: encode.NsPerOp(),
+			ContextParseNsPerOp:  parse.NsPerOp(),
+			TreeAssemblyNs:       assembly.Nanoseconds(),
+			TreeSpans:            nSpans,
+		},
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: span start %d ns/op, finish %d ns/op (pair %d, budget 200/half), encode %d, parse %d, tree %v\n",
+		out, start.NsPerOp(), finish, pair.NsPerOp(), encode.NsPerOp(), parse.NsPerOp(), assembly)
+	return nil
 }
 
 func p50(ds []time.Duration) time.Duration {

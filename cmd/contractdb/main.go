@@ -19,6 +19,7 @@ import (
 	"entitlement/internal/contract"
 	"entitlement/internal/contractdb"
 	"entitlement/internal/obs"
+	"entitlement/internal/obs/trace"
 	"entitlement/internal/wire"
 )
 
@@ -37,7 +38,8 @@ func main() {
 		os.Exit(1)
 	}
 	if *metricsAddr != "" {
-		ms, err := obs.Serve(*metricsAddr, nil)
+		ms, err := obs.Serve(*metricsAddr, nil,
+			obs.Route{Pattern: "/debug/traces", Handler: trace.Default().Handler()})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "contractdb: metrics server: %v\n", err)
 			os.Exit(1)
@@ -83,7 +85,7 @@ func main() {
 	// The wire Logger emits one span per handled request at debug level,
 	// carrying the client-generated request_id — grep the same ID across
 	// agent and server logs to follow a call end to end.
-	srv := contractdb.NewServerOpts(l, store, wire.ServerOptions{Logger: logger})
+	srv := contractdb.NewServerOpts(l, store, wire.ServerOptions{Logger: logger, Service: "contractdb"})
 	fmt.Printf("contractdb listening on %s\n", srv.Addr())
 	logger.Info("contractdb up", "addr", srv.Addr(), "contracts", store.Len())
 

@@ -43,6 +43,7 @@ import (
 	"entitlement/internal/hose"
 	"entitlement/internal/kvstore"
 	"entitlement/internal/obs"
+	"entitlement/internal/obs/trace"
 	"entitlement/internal/risk"
 	"entitlement/internal/topology"
 	"entitlement/internal/wire"
@@ -109,7 +110,7 @@ func main() {
 	if *dbAddr != "" {
 		// Lazy connect with backoff: grantd comes up even if the database
 		// is still starting; store failures surface per decision.
-		sink = contractdb.Connect(*dbAddr, wire.ClientOptions{})
+		sink = contractdb.Connect(*dbAddr, wire.ClientOptions{Service: "grantd"})
 	} else {
 		sink = contractdb.NewStore()
 	}
@@ -155,7 +156,9 @@ func main() {
 	}
 
 	if *metricsAddr != "" {
-		ms, err := obs.Serve(*metricsAddr, nil, obs.Route{Pattern: "/grants", Handler: svc.Handler()})
+		ms, err := obs.Serve(*metricsAddr, nil,
+			obs.Route{Pattern: "/grants", Handler: svc.Handler()},
+			obs.Route{Pattern: "/debug/traces", Handler: trace.Default().Handler()})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "grantd: metrics server: %v\n", err)
 			os.Exit(1)

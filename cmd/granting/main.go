@@ -136,10 +136,11 @@ func run(regions, tail, days int, rateTbps, slo float64, scenarios, workers int,
 			return err
 		}
 		defer client.Close()
-		ids, err := client.SubmitGroup(reqs)
+		ids, traceID, err := client.SubmitGroupTrace(reqs)
 		if err != nil {
 			return err
 		}
+		fmt.Printf("submitted as trace %s (render: sloctl trace -addr <grantd -metrics-addr> %s)\n", traceID, traceID)
 		for _, id := range ids {
 			d, err := client.Decide(id, 5*time.Minute)
 			if err != nil {

@@ -19,6 +19,7 @@ import (
 
 	"entitlement/internal/kvstore"
 	"entitlement/internal/obs"
+	"entitlement/internal/obs/trace"
 	"entitlement/internal/wire"
 )
 
@@ -37,7 +38,8 @@ func main() {
 		os.Exit(1)
 	}
 	if *metricsAddr != "" {
-		ms, err := obs.Serve(*metricsAddr, nil)
+		ms, err := obs.Serve(*metricsAddr, nil,
+			obs.Route{Pattern: "/debug/traces", Handler: trace.Default().Handler()})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kvstore: metrics server: %v\n", err)
 			os.Exit(1)
@@ -57,7 +59,7 @@ func main() {
 	// agent and server logs to follow a call end to end.
 	srv := kvstore.NewServerOpts(l, store, kvstore.ServerOptions{
 		CompactEvery: *compactEvery,
-		Wire:         wire.ServerOptions{ReadIdleTimeout: *idleTimeout, Logger: logger},
+		Wire:         wire.ServerOptions{ReadIdleTimeout: *idleTimeout, Logger: logger, Service: "kvstore"},
 	})
 	fmt.Printf("kvstore listening on %s (compact every %s)\n", srv.Addr(), *compactEvery)
 	logger.Info("kvstore up", "addr", srv.Addr(), "compact_every", *compactEvery)

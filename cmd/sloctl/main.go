@@ -5,6 +5,8 @@
 //
 //	sloctl inspect <capture.cap | capture-dir>   dump a capture's index
 //	sloctl replay  [-strict] [-report] <capture.cap>
+//	sloctl trace   [-addr HOST:PORT] <trace-id>  render one span tree
+//	sloctl trace   -capture FILE [<trace-id>]    render trees from a capture
 //
 // `replay` re-drives the recorded incident window through the real SLO
 // engine on a virtual clock and verifies the recomputed availability
@@ -12,15 +14,25 @@
 // byte-identical to what the live run wrote — the capture is evidence, and
 // replay is how you check nobody (and no code drift) has to be taken on
 // faith. With -strict a divergent replay exits non-zero; -report prints the
-// replayed conformance report as text.
+// replayed conformance report as text. Replay also renders each fail-open
+// or degraded host's first causal path from the span trees the black box
+// retained.
+//
+// `trace` renders a distributed span tree as ASCII: from a live process's
+// /debug/traces endpoint with -addr, or from the cycle spans recorded in an
+// incident capture with -capture (no trace-id lists what's there).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"time"
 
+	"entitlement/internal/obs/trace"
 	"entitlement/internal/slo"
 )
 
@@ -35,6 +47,8 @@ func main() {
 		err = inspect(os.Args[2:])
 	case "replay":
 		err = replay(os.Args[2:])
+	case "trace":
+		err = traceCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -50,7 +64,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage:\n  sloctl inspect <capture.cap | dir>\n  sloctl replay [-strict] [-report] <capture.cap>\n")
+	fmt.Fprintf(os.Stderr, "usage:\n  sloctl inspect <capture.cap | dir>\n  sloctl replay [-strict] [-report] <capture.cap>\n  sloctl trace [-addr HOST:PORT] <trace-id>\n  sloctl trace -capture <capture.cap> [<trace-id>]\n")
 }
 
 // inspect dumps the index of one capture, or of every capture in a
@@ -130,8 +144,117 @@ func replay(args []string) error {
 			fmt.Fprintln(os.Stderr, "sloctl: capture has no envelope (incident never closed)")
 		}
 	}
+	// Causal paths: each fail-open or degraded host's first bad cycle,
+	// rendered from the span tree the black box retained for it. This is
+	// the "why", where the availability series above is only the "what".
+	printCausalPaths(c)
 	if *strict && !res.Identical {
 		return fmt.Errorf("replay diverged: %s", res.Divergence)
+	}
+	return nil
+}
+
+// printCausalPaths renders the first degraded-or-worse cycle per host that
+// carries a retained span tree.
+func printCausalPaths(c *slo.Capture) {
+	printed := map[string]bool{}
+	for _, sp := range c.Spans() {
+		if !(sp.FailedOpen || sp.Degraded) || len(sp.Tree) == 0 || printed[sp.Host] {
+			continue
+		}
+		printed[sp.Host] = true
+		fmt.Printf("\ncausal path: host %s %s at %s (stale %s)\n%s",
+			sp.Host, cycleOutcome(sp), sp.At.Format(time.RFC3339), sp.StaleFor,
+			trace.Tree{TraceID: sp.TraceID, Reason: cycleOutcome(sp), Spans: sp.Tree}.Render())
+	}
+}
+
+func cycleOutcome(sp slo.CycleSpan) string {
+	switch {
+	case sp.FailedOpen:
+		return "failopen"
+	case sp.Degraded:
+		return "degraded"
+	default:
+		return "ok"
+	}
+}
+
+// traceCmd renders one distributed span tree (or lists what is available)
+// from a live /debug/traces endpoint or a recorded capture.
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	addr := fs.String("addr", "", "fetch from this process's /debug/traces endpoint")
+	capture := fs.String("capture", "", "read cycle span trees from this incident capture instead")
+	fs.Parse(args)
+	switch {
+	case *addr != "" && *capture != "":
+		return fmt.Errorf("trace takes -addr or -capture, not both")
+	case *capture != "":
+		return traceFromCapture(*capture, fs.Arg(0))
+	case *addr != "":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("trace -addr takes one trace id")
+		}
+		return traceFromAddr(*addr, fs.Arg(0))
+	default:
+		return fmt.Errorf("trace needs -addr HOST:PORT or -capture FILE")
+	}
+}
+
+func traceFromAddr(addr, id string) error {
+	resp, err := http.Get("http://" + addr + "/debug/traces?trace=" + id)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s", resp.Status, string(msg))
+	}
+	var out struct {
+		Traces []trace.Tree `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	if len(out.Traces) == 0 {
+		return fmt.Errorf("trace %s not retained", id)
+	}
+	for _, t := range out.Traces {
+		fmt.Print(t.Render())
+	}
+	return nil
+}
+
+func traceFromCapture(path, id string) error {
+	c, err := slo.ReadCapture(path)
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, sp := range c.Spans() {
+		if len(sp.Tree) == 0 {
+			continue
+		}
+		if id == "" {
+			// Listing mode: one line per recorded tree.
+			fmt.Printf("%s  host %s  %s  %d spans  %s\n",
+				sp.TraceID, sp.Host, cycleOutcome(sp), len(sp.Tree), sp.At.Format(time.RFC3339))
+			found = true
+			continue
+		}
+		if sp.TraceID != id {
+			continue
+		}
+		found = true
+		fmt.Print(trace.Tree{TraceID: sp.TraceID, Reason: cycleOutcome(sp), Spans: sp.Tree}.Render())
+	}
+	if !found {
+		if id == "" {
+			return fmt.Errorf("%s: no cycle spans with retained trees", path)
+		}
+		return fmt.Errorf("trace %s not recorded in %s", id, path)
 	}
 	return nil
 }

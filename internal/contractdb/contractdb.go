@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"entitlement/internal/contract"
+	"entitlement/internal/obs/trace"
 	"entitlement/internal/topology"
 	"entitlement/internal/wire"
 )
@@ -287,6 +288,11 @@ func (c *Client) SLO(npg contract.NPG) (float64, bool, error) {
 // SetTrace forwards a trace ID to the wire client: subsequent request IDs
 // carry it, correlating this client's calls with the caller's operation.
 func (c *Client) SetTrace(trace string) { c.c.SetTrace(trace) }
+
+// SetSpan forwards a span context to the wire client: subsequent calls
+// become wire.call spans in the caller's trace, with the context carried on
+// the request frame.
+func (c *Client) SetSpan(ctx trace.Context) { c.c.SetSpan(ctx) }
 
 // Put uploads a contract.
 func (c *Client) Put(ct contract.Contract) error {

@@ -9,6 +9,7 @@ import (
 	"entitlement/internal/contract"
 	"entitlement/internal/contractdb"
 	"entitlement/internal/kvstore"
+	"entitlement/internal/obs/trace"
 	"entitlement/internal/slo"
 	"entitlement/internal/topology"
 )
@@ -92,12 +93,22 @@ type AgentConfig struct {
 	// degraded or failed open, when, under which trace ID). Optional; nil
 	// disables emission.
 	Spans slo.SpanSink
+	// Tracer is the span collector cycles record into. Nil uses the
+	// process-wide trace.Default() — which is also where the wire clients
+	// record, so leave it nil unless the test needs an isolated collector
+	// (and can live without the wire spans joining the tree).
+	Tracer *trace.Collector
 }
 
 // traceSetter is what the agent needs from a dependency to propagate its
 // per-cycle trace ID; the wire-backed kvstore and contractdb clients
 // implement it, in-process stores don't (and don't need to).
 type traceSetter interface{ SetTrace(string) }
+
+// spanSetter upgrades traceSetter to full span propagation: dependencies
+// implementing it (the wire-backed clients) have their calls parented under
+// the cycle's phase spans instead of just carrying the grep prefix.
+type spanSetter interface{ SetSpan(trace.Context) }
 
 // Agent is the per-host enforcement agent of Figure 9's user-space
 // component: it publishes this host's rates, reads the service aggregate,
@@ -127,12 +138,16 @@ type Agent struct {
 	wasDegraded   bool
 	wasFailedOpen bool
 
-	// cycleSeq numbers this agent's cycles for trace IDs; dbTrace and
-	// ratesTrace are the dependencies' SetTrace hooks when wire-backed
-	// (nil otherwise), resolved once at construction.
+	// cycleSeq numbers this agent's cycles (annotated on the root span);
+	// dbTrace/ratesTrace and dbSpan/ratesSpan are the dependencies'
+	// SetTrace/SetSpan hooks when wire-backed (nil otherwise), resolved once
+	// at construction. tracer is the resolved span collector.
 	cycleSeq   uint64
 	dbTrace    traceSetter
 	ratesTrace traceSetter
+	dbSpan     spanSetter
+	ratesSpan  spanSetter
+	tracer     *trace.Collector
 	// sloSeries is the cached flight-recorder handle (nil when Conformance
 	// is unset); caching keeps the record path off the sync.Map lookup.
 	sloSeries *slo.Series
@@ -161,6 +176,16 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	if ts, ok := cfg.Rates.(traceSetter); ok {
 		a.ratesTrace = ts
+	}
+	if ss, ok := cfg.DB.(spanSetter); ok {
+		a.dbSpan = ss
+	}
+	if ss, ok := cfg.Rates.(spanSetter); ok {
+		a.ratesSpan = ss
+	}
+	a.tracer = cfg.Tracer
+	if a.tracer == nil {
+		a.tracer = trace.Default()
 	}
 	if cfg.Conformance != nil {
 		a.sloSeries = cfg.Conformance.Series(slo.Key{
@@ -194,9 +219,13 @@ type CycleReport struct {
 	FailedOpen bool
 	// Faults lists the dependency errors behind a degraded cycle.
 	Faults []string
-	// TraceID is this cycle's trace token: it prefixes every RPC request ID
-	// the cycle issued (grep the servers' logs for it) and is attached to
-	// the agent's own cycle log line.
+	// TraceID is this cycle's 32-hex trace ID: the cycle is a real root span
+	// (with db.fetch / kv.publish / kv.aggregate / meter.apply children, and
+	// the wire RPCs under those), the ID prefixes every RPC request ID the
+	// cycle issued (grep the servers' logs for it), and it is attached to
+	// the agent's own cycle log line. Minted from the per-process random
+	// trace identity, so two hosts that happen to share a name can never
+	// collide the way the old "<host>-c<seq>" tokens could.
 	TraceID string
 }
 
@@ -219,23 +248,40 @@ func (r *CycleReport) fault(op string, err error) {
 // the mode.
 func (a *Agent) Cycle(now time.Time, localTotal, localConform float64) (CycleReport, error) {
 	a.cycleSeq++
-	trace := fmt.Sprintf("%s-c%d", a.cfg.Host, a.cycleSeq)
+	root := a.tracer.StartRoot("enforce.cycle")
+	root.SetService(a.cfg.Host)
+	root.SetContract(string(a.cfg.NPG))
+	root.Annotate(fmt.Sprintf("cycle %d host %s", a.cycleSeq, a.cfg.Host))
+	traceID := root.TraceID()
+	// Dependencies that speak spans join the tree per phase (set inside
+	// cycle); the plain SetTrace prefix rides along either way so request
+	// IDs stay grep-able under the trace ID.
 	if a.dbTrace != nil {
-		a.dbTrace.SetTrace(trace)
+		a.dbTrace.SetTrace(traceID)
 	}
 	if a.ratesTrace != nil {
-		a.ratesTrace.SetTrace(trace)
+		a.ratesTrace.SetTrace(traceID)
 	}
 	start := time.Now()
-	rep, err := a.cycle(now, localTotal, localConform)
-	rep.TraceID = trace
+	rep, err := a.cycle(now, localTotal, localConform, root.Context())
+	rep.TraceID = traceID
+	if rep.Degraded {
+		root.Flag(trace.FlagDegraded)
+	}
+	if rep.FailedOpen {
+		root.Flag(trace.FlagFailOpen)
+	}
+	if err != nil {
+		root.SetError(err)
+	}
+	root.Finish()
 	a.observeCycle(now, rep, err, time.Since(start))
 	if a.cfg.Spans != nil {
 		sp := slo.CycleSpan{
 			At:         now,
 			Host:       a.cfg.Host,
 			Contract:   string(a.cfg.NPG),
-			TraceID:    trace,
+			TraceID:    traceID,
 			Degraded:   rep.Degraded,
 			FailedOpen: rep.FailedOpen,
 			StaleFor:   rep.StaleFor,
@@ -247,6 +293,12 @@ func (a *Agent) Cycle(now time.Time, localTotal, localConform float64) (CycleRep
 			// evidence the black box wants, marked degraded with the error.
 			sp.Degraded = true
 			sp.Faults = append(append([]string(nil), rep.Faults...), "hard: "+err.Error())
+		}
+		// Attach the full span tree when tail sampling retained the trace —
+		// incident cycles (degraded/fail-open/error) always are, so replay
+		// can print the causal path inside the cycle.
+		if t, ok := a.tracer.Tree(traceID); ok {
+			sp.Tree = t.Spans
 		}
 		a.cfg.Spans.RecordSpan(sp)
 	}
@@ -310,21 +362,38 @@ func (a *Agent) observeCycle(now time.Time, rep CycleReport, err error, took tim
 	mStaleSeconds.With(a.cfg.Host).Set(rep.StaleFor.Seconds())
 }
 
-// cycle is the uninstrumented cycle body; see Cycle.
-func (a *Agent) cycle(now time.Time, localTotal, localConform float64) (CycleReport, error) {
+// startPhase opens one cycle-phase child span and points the wire-backed
+// dependency (if any) at it, so the phase's RPCs parent under the phase.
+func (a *Agent) startPhase(tc trace.Context, name string, dep spanSetter) trace.Span {
+	sp := a.tracer.StartChild(tc, name)
+	sp.SetService(a.cfg.Host)
+	if dep != nil {
+		dep.SetSpan(sp.Context())
+	}
+	return sp
+}
+
+// cycle is the uninstrumented cycle body; see Cycle. tc is the cycle root
+// span's context; each phase below is a child span under it.
+func (a *Agent) cycle(now time.Time, localTotal, localConform float64, tc trace.Context) (CycleReport, error) {
 	var rep CycleReport
 	// 1. Publish this host's rates (best effort: losing one publish only
 	// fades this host out of the remote aggregate once its TTL passes).
 	npg, class, region := string(a.cfg.NPG), a.cfg.Class.String(), string(a.cfg.Region)
+	pub := a.startPhase(tc, "kv.publish", a.ratesSpan)
 	if err := a.cfg.Rates.Put(kvstore.RateKey(npg, class, region, a.cfg.Host), localTotal, a.cfg.RateTTL); err != nil {
 		mPublishFails.Inc()
 		rep.fault("publish total", err)
+		pub.SetError(err)
 	}
 	if err := a.cfg.Rates.Put(conformRateKey(npg, class, region, a.cfg.Host), localConform, a.cfg.RateTTL); err != nil {
 		mPublishFails.Inc()
 		rep.fault("publish conform", err)
+		pub.SetError(err)
 	}
+	pub.Finish()
 	// 2. Read the service-wide aggregates; cache on success.
+	agg := a.startPhase(tc, "kv.aggregate", a.ratesSpan)
 	total, errTotal := a.cfg.Rates.SumPrefix(kvstore.RatePrefix(npg, class, region))
 	conform, errConform := a.cfg.Rates.SumPrefix(conformRatePrefix(npg, class, region))
 	switch {
@@ -334,19 +403,25 @@ func (a *Agent) cycle(now time.Time, localTotal, localConform float64) (CycleRep
 	case errTotal != nil:
 		mAggregateFails.Inc()
 		rep.fault("aggregate total", errTotal)
+		agg.SetError(errTotal)
 	default:
 		mAggregateFails.Inc()
 		rep.fault("aggregate conform", errConform)
+		agg.SetError(errConform)
 	}
+	agg.Finish()
 	// 3. Query the contract; cache on success.
+	fetch := a.startPhase(tc, "db.fetch", a.dbSpan)
 	entitled, found, err := a.cfg.DB.EntitledRate(a.cfg.NPG, a.cfg.Class, a.cfg.Region, contract.Egress, now)
 	if err != nil {
 		mContractFails.Inc()
 		rep.fault("contract query", err)
+		fetch.SetError(err)
 	} else {
 		a.entAt, a.entOK = now, true
 		a.entRate, a.entFound = entitled, found
 	}
+	fetch.Finish()
 	// 4. Decide from the freshest data available, within the budget.
 	if !a.aggOK || !a.entOK {
 		// Never had a good answer (e.g. servers down since startup):
@@ -372,16 +447,18 @@ func (a *Agent) cycle(now time.Time, localTotal, localConform float64) (CycleRep
 	}
 	rep.Enforced = true
 	rep.EntitledRate = a.entRate
-	// 5. Meter.
+	// 5. Meter, then program the kernel map.
+	apply := a.startPhase(tc, "meter.apply", nil)
 	ratio := a.cfg.Meter.ConformRatio(a.entRate, rep.TotalRate, rep.ConformRate)
 	rep.ConformRatio = ratio
 	rep.NonConformGroups = NonConformGroups(ratio)
-	// 6. Program the kernel map.
 	a.cfg.Prog.Actions.Update(a.key, bpf.Action{
 		Mode:             a.cfg.Policy.markMode(),
 		NonConformGroups: rep.NonConformGroups,
 		Salt:             a.rotationSalt(now),
 	})
+	apply.Annotate(fmt.Sprintf("conform_ratio %.3f groups %d", ratio, rep.NonConformGroups))
+	apply.Finish()
 	return rep, nil
 }
 

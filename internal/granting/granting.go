@@ -28,6 +28,7 @@ import (
 	"entitlement/internal/contract"
 	"entitlement/internal/forecast"
 	"entitlement/internal/hose"
+	"entitlement/internal/obs/trace"
 	"entitlement/internal/topology"
 )
 
@@ -225,6 +226,10 @@ type Options struct {
 	WAL WALOptions
 	// Now supplies the service clock (tests pin it). Default time.Now.
 	Now func() time.Time
+	// Tracer is the span collector submission lifecycles record into
+	// (submit → queue → decide → journal → push). Nil uses the process-wide
+	// trace.Default(), where the wire layer also records.
+	Tracer *trace.Collector
 }
 
 func (o Options) withDefaults() Options {

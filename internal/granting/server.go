@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"entitlement/internal/obs/trace"
 	"entitlement/internal/wire"
 )
 
@@ -30,6 +31,11 @@ type submitArgs struct {
 
 type submitReply struct {
 	IDs []string `json:"ids"`
+	// Trace is the 32-hex trace ID of the submission's span tree. When the
+	// caller propagated its own span context it is the caller's trace ID;
+	// otherwise the service self-roots one and reports it here so the
+	// submitter can still follow the grant through /debug/traces.
+	Trace string `json:"trace,omitempty"`
 }
 
 type decideArgs struct {
@@ -75,7 +81,10 @@ func NewServer(l net.Listener, svc *Service) *Server {
 // NewServerOpts serves svc on l with explicit wire options.
 func NewServerOpts(l net.Listener, svc *Service, opts wire.ServerOptions) *Server {
 	s := &Server{svc: svc}
-	s.srv = wire.NewServerOpts(l, s.handle, opts)
+	if opts.Service == "" {
+		opts.Service = "grantd"
+	}
+	s.srv = wire.NewServerCtx(l, s.handle, opts)
 	return s
 }
 
@@ -86,26 +95,18 @@ func (s *Server) Addr() string { return s.srv.Addr().String() }
 // separately).
 func (s *Server) Close() error { return s.srv.Close() }
 
-func (s *Server) handle(method string, payload json.RawMessage) (interface{}, error) {
+func (s *Server) handle(tc trace.Context, method string, payload json.RawMessage) (interface{}, error) {
 	switch method {
 	case "submit":
 		var a submitArgs
 		if err := json.Unmarshal(payload, &a); err != nil {
 			return nil, err
 		}
-		var ids []string
-		var err error
-		if len(a.Requests) == 1 {
-			var id string
-			id, err = s.svc.Submit(a.Requests[0])
-			ids = []string{id}
-		} else {
-			ids, err = s.svc.SubmitGroup(a.Requests)
-		}
+		ids, traceID, err := s.svc.SubmitGroupCtx(tc, a.Requests)
 		if err != nil {
 			return nil, err
 		}
-		return submitReply{IDs: ids}, nil
+		return submitReply{IDs: ids, Trace: traceID}, nil
 	case "decide":
 		var a decideArgs
 		if err := json.Unmarshal(payload, &a); err != nil {
@@ -165,6 +166,10 @@ func DialOpts(addr string, opts wire.ClientOptions) (*Client, error) {
 // SetTrace forwards a trace id into the wire request ids.
 func (c *Client) SetTrace(trace string) { c.c.SetTrace(trace) }
 
+// SetSpan forwards a span context into the wire client: subsequent calls
+// join the caller's span tree across the wire.
+func (c *Client) SetSpan(ctx trace.Context) { c.c.SetSpan(ctx) }
+
 // Submit enqueues one request and returns its id.
 func (c *Client) Submit(req Request) (string, error) {
 	ids, err := c.SubmitGroup([]Request{req})
@@ -176,11 +181,19 @@ func (c *Client) Submit(req Request) (string, error) {
 
 // SubmitGroup enqueues an atomic group (one risk pass).
 func (c *Client) SubmitGroup(reqs []Request) ([]string, error) {
+	ids, _, err := c.SubmitGroupTrace(reqs)
+	return ids, err
+}
+
+// SubmitGroupTrace is SubmitGroup plus the trace ID of the submission's
+// span tree on the server (the caller's own trace ID when a span context
+// was forwarded via SetSpan, a server-rooted one otherwise).
+func (c *Client) SubmitGroupTrace(reqs []Request) ([]string, string, error) {
 	var r submitReply
 	if err := c.c.Call("submit", submitArgs{Requests: reqs}, &r); err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return r.IDs, nil
+	return r.IDs, r.Trace, nil
 }
 
 // Decide blocks until the decision for id lands or timeout elapses. It

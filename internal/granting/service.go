@@ -8,6 +8,7 @@ import (
 
 	"entitlement/internal/contract"
 	"entitlement/internal/hose"
+	"entitlement/internal/obs/trace"
 	"entitlement/internal/topology"
 	"entitlement/internal/wire"
 )
@@ -67,7 +68,19 @@ type submission struct {
 	enqueued time.Time
 	done     chan struct{}
 	err      error
+
+	// tc parents this submission's lifecycle spans: the submitter's context
+	// when one came across the wire, otherwise the context of rootSp — a
+	// root grantd.submission span the service opens itself so even untraced
+	// submitters get a queryable tree (its trace ID returns in submitReply).
+	// Recovered submissions are untraced (zero tc; every span call no-ops).
+	tc     trace.Context
+	rootSp trace.Span // self-rooted span; zero when the submitter traced us
+	qsp    trace.Span // grantd.queue span: enqueue → pop
 }
+
+// finishRoot closes the self-rooted span, if this submission owns one.
+func (sub *submission) finishRoot() { sub.rootSp.Finish() }
 
 // Service is the admission queue around DecideBatch: a single decider
 // goroutine drains submissions — coalescing compatible singles into one
@@ -75,11 +88,12 @@ type submission struct {
 // contracts into the sink. Submissions are asynchronous; callers follow up
 // with Wait or Status.
 type Service struct {
-	topo *topology.Topology
-	sink Sink
-	opts Options
-	c    *cache
-	j    *Journal // nil without Options.WAL.Dir
+	topo   *topology.Topology
+	sink   Sink
+	opts   Options
+	c      *cache
+	j      *Journal // nil without Options.WAL.Dir
+	tracer *trace.Collector
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -124,6 +138,10 @@ func OpenService(topo *topology.Topology, sink Sink, opts Options) (*Service, er
 
 		decided: make(map[string]*Decision),
 		done:    make(chan struct{}),
+	}
+	s.tracer = o.Tracer
+	if s.tracer == nil {
+		s.tracer = trace.Default()
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if o.WAL.Dir != "" {
@@ -188,24 +206,42 @@ func (s *Service) recover(st *Recovered) {
 // is pinned to the submission clock (retries of the pinned request are then
 // idempotent and memoizable).
 func (s *Service) Submit(req Request) (string, error) {
-	ids, err := s.submit([]Request{req})
+	id, _, err := s.SubmitCtx(trace.Context{}, req)
+	return id, err
+}
+
+// SubmitCtx is Submit under the caller's span context (the wire server's
+// serve span): the submission's whole lifecycle — admission, queue wait,
+// risk pass, journal write, contract push — becomes children of it. A zero
+// tc makes grantd root the trace itself. The second return is the 32-hex
+// trace ID of whichever tree the submission landed in ("" only when tracing
+// recorded nothing, e.g. a shed with no trace).
+func (s *Service) SubmitCtx(tc trace.Context, req Request) (string, string, error) {
+	ids, traceID, err := s.submit(tc, []Request{req})
 	if err != nil {
-		return "", err
+		return "", traceID, err
 	}
-	return ids[0], nil
+	return ids[0], traceID, nil
 }
 
 // SubmitGroup enqueues requests that must be decided together in one risk
 // pass — the batch-CLI equivalence path. The group is atomic: it never
 // coalesces with other submissions.
 func (s *Service) SubmitGroup(reqs []Request) ([]string, error) {
-	if len(reqs) == 0 {
-		return nil, errors.New("granting: empty group")
-	}
-	return s.submit(reqs)
+	ids, _, err := s.SubmitGroupCtx(trace.Context{}, reqs)
+	return ids, err
 }
 
-func (s *Service) submit(reqs []Request) ([]string, error) {
+// SubmitGroupCtx is SubmitGroup under the caller's span context; see
+// SubmitCtx.
+func (s *Service) SubmitGroupCtx(tc trace.Context, reqs []Request) ([]string, string, error) {
+	if len(reqs) == 0 {
+		return nil, "", errors.New("granting: empty group")
+	}
+	return s.submit(tc, reqs)
+}
+
+func (s *Service) submit(tc trace.Context, reqs []Request) ([]string, string, error) {
 	// Deep-copy first: Validate fills empty hose NPGs, a zero StartUnix is
 	// pinned below, and the decider goroutine reads the slice after submit
 	// returns — the caller keeps undisturbed ownership of its arguments.
@@ -219,9 +255,37 @@ func (s *Service) submit(reqs []Request) ([]string, error) {
 	}
 	reqs = cp
 	now := s.opts.Now()
+	// Lifecycle tracing: parent everything under the submitter's context, or
+	// self-root a grantd.submission span so untraced submitters still get a
+	// queryable tree. The trace ID returns to the submitter either way.
+	var rootSp trace.Span
+	if !tc.Valid() {
+		rootSp = s.tracer.StartRoot("grantd.submission")
+		rootSp.SetService("grantd")
+		if len(reqs) > 0 {
+			rootSp.SetContract(string(reqs[0].NPG))
+		}
+		tc = rootSp.Context()
+		// grantd minted this trace and echoes its ID to the submitter, who
+		// will plausibly query it — set the sampled bit so tail sampling
+		// keeps the tree even when the submission stays healthy.
+		tc.Sampled = true
+	}
+	traceID := tc.TraceID()
+	ssp := s.tracer.StartChild(tc, "grantd.submit")
+	ssp.SetService("grantd")
+	if len(reqs) > 0 {
+		ssp.SetContract(string(reqs[0].NPG))
+	}
+	reject := func(err error) ([]string, string, error) {
+		ssp.SetError(err)
+		ssp.Finish()
+		rootSp.Finish()
+		return nil, traceID, err
+	}
 	for i := range reqs {
 		if err := reqs[i].Validate(s.topo); err != nil {
-			return nil, err
+			return reject(err)
 		}
 		if reqs[i].StartUnix == 0 {
 			reqs[i].StartUnix = now.Unix()
@@ -234,29 +298,31 @@ func (s *Service) submit(reqs []Request) ([]string, error) {
 			for j := range reqs[i].Hoses {
 				k := reqs[i].Hoses[j].Key()
 				if seen[k] {
-					return nil, fmt.Errorf("granting: hose %s appears twice in group", k)
+					return reject(fmt.Errorf("granting: hose %s appears twice in group", k))
 				}
 				seen[k] = true
 			}
 		}
 	}
-	sub := &submission{reqs: reqs, enqueued: now, done: make(chan struct{})}
+	sub := &submission{reqs: reqs, enqueued: now, done: make(chan struct{}), tc: tc, rootSp: rootSp}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, ErrClosed
+		return reject(ErrClosed)
 	}
 	if depth := s.queueLenLocked(); s.opts.MaxQueue > 0 && depth+len(reqs) > s.opts.MaxQueue {
 		// Shed instead of queueing without bound. The wire layer turns the
-		// wrapper into a retryable response with the hint attached.
+		// wrapper into a retryable response with the hint attached. The shed
+		// flag forces tail sampling to keep the trace.
 		s.stats.Shed += int64(len(reqs))
 		mShed.Add(int64(len(reqs)))
 		mQueueDepth.Set(float64(depth))
 		s.mu.Unlock()
-		return nil, &wire.Overloaded{
+		ssp.Flag(trace.FlagShed)
+		return reject(&wire.Overloaded{
 			Err:        fmt.Errorf("%w: %d of %d slots used", ErrOverloaded, depth, s.opts.MaxQueue),
 			RetryAfter: s.opts.ShedRetryAfter,
-		}
+		})
 	}
 	sub.ids = make([]string, len(reqs))
 	for i := range reqs {
@@ -270,19 +336,24 @@ func (s *Service) submit(reqs []Request) ([]string, error) {
 		// about breaks the durability contract.
 		if err := s.j.appendSub(sub.ids, reqs); err != nil {
 			s.mu.Unlock()
-			return nil, err
+			return reject(err)
 		}
 	}
 	for _, id := range sub.ids {
 		s.subs[id] = sub
 	}
+	// The queue span runs from enqueue until the decider pops the
+	// submission — the admission-control wait made visible per trace.
+	sub.qsp = s.tracer.StartChild(tc, "grantd.queue")
+	sub.qsp.SetService("grantd")
 	s.queue = append(s.queue, sub)
 	s.stats.Submitted += int64(len(reqs))
 	mRequests.Add(int64(len(reqs)))
 	mQueueDepth.Set(float64(s.queueLenLocked()))
 	s.cond.Signal()
 	s.mu.Unlock()
-	return append([]string(nil), sub.ids...), nil
+	ssp.Finish()
+	return append([]string(nil), sub.ids...), traceID, nil
 }
 
 func (s *Service) queueLenLocked() int {
@@ -461,6 +532,8 @@ func (s *Service) run() {
 // and late-decide them), never run through a risk pass.
 func (s *Service) failTimeout(subs []*submission) {
 	for _, sub := range subs {
+		sub.qsp.SetError(fmt.Errorf("granting: queued longer than %s", s.opts.MaxQueueDelay))
+		sub.qsp.Finish()
 		decs := make([]Decision, len(sub.reqs))
 		for i := range sub.reqs {
 			decs[i] = Decision{
@@ -489,6 +562,7 @@ func (s *Service) failTimeout(subs []*submission) {
 		}
 		s.mu.Unlock()
 		mDecisionSeconds.ObserveSince(sub.enqueued)
+		sub.finishRoot()
 		close(sub.done)
 	}
 }
@@ -532,9 +606,16 @@ func (s *Service) Kill() {
 func (s *Service) decide(batch []*submission) {
 	var reqs []Request
 	var ids []string
-	for _, sub := range batch {
+	// Each submission's queue span ends here (the pop) and its risk pass is
+	// one grantd.decide span in its own trace; a coalesced batch shows the
+	// shared pass as overlapping spans across the member traces.
+	dspans := make([]trace.Span, len(batch))
+	for bi, sub := range batch {
 		reqs = append(reqs, sub.reqs...)
 		ids = append(ids, sub.ids...)
+		sub.qsp.Finish()
+		dspans[bi] = s.tracer.StartChild(sub.tc, "grantd.decide")
+		dspans[bi].SetService("grantd")
 	}
 	mBatches.Inc()
 	mBatchSize.Observe(float64(len(reqs)))
@@ -584,17 +665,42 @@ func (s *Service) decide(batch []*submission) {
 			decs[i] = Decision{NPG: reqs[i].NPG, Status: StatusError, Err: err.Error()}
 		}
 	}
-
-	for i := range decs {
-		decs[i].ID = ids[i]
-		if s.sink != nil && decs[i].Contract != nil {
-			if serr := s.sink.Put(*decs[i].Contract); serr != nil {
-				decs[i].Status = StatusError
-				decs[i].Err = fmt.Sprintf("store contract: %v", serr)
-				mStoreFails.Inc()
-			}
+	for bi := range dspans {
+		if err != nil {
+			dspans[bi].SetError(err)
+		} else if hit {
+			dspans[bi].Annotate("memo hit")
 		}
-		mDecisions.With(string(decs[i].Status)).Inc()
+		dspans[bi].Finish()
+	}
+
+	// Contract push, one grantd.push span per member submission covering its
+	// own decisions' sink writes.
+	off := 0
+	for _, sub := range batch {
+		psp := s.tracer.StartChild(sub.tc, "grantd.push")
+		psp.SetService("grantd")
+		// A remote sink (contractdb.Client) joins the tree: its wire calls
+		// become children of this push span. An invalid context (untraced
+		// recovered submissions) clears any stale one.
+		if ss, ok := s.sink.(interface{ SetSpan(trace.Context) }); ok {
+			ss.SetSpan(psp.Context())
+		}
+		for k := range sub.ids {
+			i := off + k
+			decs[i].ID = ids[i]
+			if s.sink != nil && decs[i].Contract != nil {
+				if serr := s.sink.Put(*decs[i].Contract); serr != nil {
+					decs[i].Status = StatusError
+					decs[i].Err = fmt.Sprintf("store contract: %v", serr)
+					mStoreFails.Inc()
+					psp.SetError(serr)
+				}
+			}
+			mDecisions.With(string(decs[i].Status)).Inc()
+		}
+		psp.Finish()
+		off += len(sub.ids)
 	}
 
 	s.mu.Lock()
@@ -603,7 +709,15 @@ func (s *Service) decide(batch []*submission) {
 		// append only loses restart latency, not correctness: recovery
 		// re-decides the still-journaled submission deterministically, so
 		// the decision degrades to a metric instead of an error.
+		jspans := make([]trace.Span, len(batch))
+		for bi, sub := range batch {
+			jspans[bi] = s.tracer.StartChild(sub.tc, "grantd.journal")
+			jspans[bi].SetService("grantd")
+		}
 		s.j.appendDec(sig, ids, decs)
+		for bi := range jspans {
+			jspans[bi].Finish()
+		}
 	}
 	for i := range decs {
 		id := ids[i]
@@ -639,6 +753,7 @@ func (s *Service) decide(batch []*submission) {
 
 	for _, sub := range batch {
 		mDecisionSeconds.ObserveSince(sub.enqueued)
+		sub.finishRoot()
 		close(sub.done)
 	}
 }

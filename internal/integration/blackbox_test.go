@@ -8,6 +8,7 @@ import (
 
 	"entitlement/internal/netsim"
 	"entitlement/internal/obs"
+	otrace "entitlement/internal/obs/trace"
 	"entitlement/internal/slo"
 	"entitlement/internal/topology"
 )
@@ -78,6 +79,7 @@ func TestBlackboxIncidentReplay(t *testing.T) {
 	opts.StageTicks = stageTicks
 	opts.Conformance = eng
 	opts.Spans = bb
+	opts.Tracer = otrace.NewCollector(otrace.Options{})
 	opts.Incident = &netsim.DrillIncident{
 		StartTick: incidentLo, EndTick: incidentHi, DropFraction: 0.5,
 		FailAgents: failAgents, Topology: topo, LinkID: linkID,
@@ -174,8 +176,11 @@ func TestBlackboxIncidentReplay(t *testing.T) {
 	for _, ai := range env.Agents {
 		if ai.FailOpenCycles > 0 {
 			failedOpen++
-			if !strings.HasPrefix(ai.FailOpenTraceID, ai.Host+"-c") {
-				t.Errorf("agent %s fail-open trace ID %q lacks the host-stamped form", ai.Host, ai.FailOpenTraceID)
+			// Cycle trace IDs are 32-hex roots minted from the per-process
+			// random trace identity (the old "<host>-c<seq>" form collided
+			// across processes sharing a host name).
+			if _, _, ok := otrace.ParseTraceID(ai.FailOpenTraceID); !ok {
+				t.Errorf("agent %s fail-open trace ID %q is not a 32-hex trace ID", ai.Host, ai.FailOpenTraceID)
 			}
 			if ai.FirstFailOpen.Before(simTimeAt(incidentLo)) || ai.FirstFailOpen.After(simTimeAt(incidentHi)) {
 				t.Errorf("agent %s first failed open at %v, outside the incident window", ai.Host, ai.FirstFailOpen)
@@ -222,6 +227,33 @@ func TestBlackboxIncidentReplay(t *testing.T) {
 	// cleared (fire=true first, final transition inactive).
 	if len(res.Alerts) < 2 || !res.Alerts[0].Active || res.Alerts[len(res.Alerts)-1].Active {
 		t.Errorf("replayed alert sequence %+v, want fire-first clear-last", res.Alerts)
+	}
+
+	// --- Causal paths: incident cycles carry their full span trees. -----
+	// Tail sampling always retains degraded/fail-open traces, so the
+	// capture must hold at least one fail-open cycle whose tree shows the
+	// enforce.cycle root — the evidence `sloctl replay` renders.
+	var treed int
+	for _, sp := range c.Spans() {
+		if !sp.FailedOpen || len(sp.Tree) == 0 {
+			continue
+		}
+		treed++
+		rootOK := false
+		for _, sr := range sp.Tree {
+			if sr.Name == "enforce.cycle" && sr.Parent == "" {
+				rootOK = true
+				if sr.Service != sp.Host {
+					t.Errorf("cycle root service %q, want host %q", sr.Service, sp.Host)
+				}
+			}
+		}
+		if !rootOK {
+			t.Errorf("fail-open cycle tree for %s has no enforce.cycle root", sp.Host)
+		}
+	}
+	if treed == 0 {
+		t.Error("no fail-open cycle span in the capture carries a trace tree")
 	}
 
 	// The envelope is also persisted next to the capture.

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"entitlement/internal/obs/trace"
 	"entitlement/internal/wire"
 
 	"net"
@@ -316,6 +317,11 @@ func Connect(addr string, opts wire.ClientOptions) *Client {
 // carry it, correlating this client's calls with the caller's operation
 // (e.g. one enforcement cycle).
 func (c *Client) SetTrace(trace string) { c.c.SetTrace(trace) }
+
+// SetSpan forwards a span context to the wire client: subsequent calls
+// become wire.call spans in the caller's trace, with the context carried on
+// the request frame.
+func (c *Client) SetSpan(ctx trace.Context) { c.c.SetSpan(ctx) }
 
 // Put implements RateStore.
 func (c *Client) Put(key string, value float64, ttl time.Duration) error {

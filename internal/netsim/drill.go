@@ -9,6 +9,7 @@ import (
 	"entitlement/internal/enforce"
 	"entitlement/internal/faults"
 	"entitlement/internal/kvstore"
+	"entitlement/internal/obs/trace"
 	"entitlement/internal/slo"
 	"entitlement/internal/topology"
 )
@@ -49,6 +50,10 @@ type DrillOptions struct {
 	// Spans, when set, receives every agent's per-cycle trace-stamped span —
 	// the incident black box's attribution feed.
 	Spans slo.SpanSink
+	// Tracer, when set, collects every agent's cycle span tree instead of
+	// the process-wide default collector — a drill runs hundreds of cycles
+	// and callers usually want its traces isolated and queryable.
+	Tracer *trace.Collector
 	// OnTick, when set, runs after every simulated tick (after conformance
 	// evaluation), letting callers sample engine state mid-run.
 	OnTick func(tick int)
@@ -225,7 +230,7 @@ func RunDrill(opts DrillOptions) (*DrillReport, error) {
 			Host: h.ID, NPG: drillNPG, Class: drillClass, Region: testRegion,
 			DB: db, Rates: rates, Meter: opts.NewMeter(), Prog: h.Prog,
 			Policy: opts.Policy, RateTTL: 10 * opts.Tick * time.Duration(opts.AgentPeriod),
-			Conformance: rec, Spans: opts.Spans,
+			Conformance: rec, Spans: opts.Spans, Tracer: opts.Tracer,
 		}
 		if outage != nil && i < opts.Incident.FailAgents {
 			// This agent loses both dependencies for the incident window and

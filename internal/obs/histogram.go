@@ -35,6 +35,18 @@ type Histogram struct {
 	buckets [histNumFinite + 1]atomic.Int64 // last slot is +Inf
 	count   atomic.Int64
 	sumBits atomic.Uint64
+	// exemplars holds the last trace-linked sample per bucket (nil until a
+	// caller uses ObserveExemplar). One atomic pointer store per exemplar
+	// observation; exposition renders them in OpenMetrics
+	// `# {trace_id="..."} value` syntax so a slow percentile links straight
+	// to the trace that caused it.
+	exemplars [histNumFinite + 1]atomic.Pointer[exemplar]
+}
+
+// exemplar is one trace-linked observation.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // RegisterHistogram registers a histogram in r.
@@ -85,11 +97,36 @@ func (h *Histogram) Observe(x float64) {
 	}
 }
 
+// ObserveExemplar records one sample and remembers traceID as the bucket's
+// exemplar (last write wins; "" records no exemplar). The extra cost over
+// Observe is one allocation and one atomic pointer store, paid only by
+// call sites that actually carry a trace.
+func (h *Histogram) ObserveExemplar(x float64, traceID string) {
+	i := bucketIndex(x)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{traceID: traceID, value: x})
+	}
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+			return
+		}
+	}
+}
+
 // ObserveDuration records d in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
 // ObserveSince records the elapsed time since start in seconds.
 func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// ObserveSinceExemplar records the elapsed time since start in seconds with
+// a trace-ID exemplar.
+func (h *Histogram) ObserveSinceExemplar(start time.Time, traceID string) {
+	h.ObserveExemplar(time.Since(start).Seconds(), traceID)
+}
 
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -137,12 +174,18 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 // writePromSeries writes the bucket/sum/count sample lines with extraLabels
-// (either empty or `label="value",`) spliced into the braces.
+// (either empty or `label="value",`) spliced into the braces. Buckets that
+// hold an exemplar get the OpenMetrics suffix `# {trace_id="..."} value`
+// appended; ParseText tolerates (and ParseTextWithExemplars surfaces) it.
 func (h *Histogram) writePromSeries(w io.Writer, extraLabels string) {
 	cum := int64(0)
 	for i := range h.buckets {
 		cum += h.buckets[i].Load()
-		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", h.metricName, extraLabels, formatFloat(upperBound(i)), cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d", h.metricName, extraLabels, formatFloat(upperBound(i)), cum)
+		if e := h.exemplars[i].Load(); e != nil {
+			fmt.Fprintf(w, " # {trace_id=%q} %s", e.traceID, formatFloat(e.value))
+		}
+		fmt.Fprintln(w)
 	}
 	if extraLabels == "" {
 		fmt.Fprintf(w, "%s_sum %s\n", h.metricName, formatFloat(h.Sum()))

@@ -9,6 +9,10 @@ import (
 	"testing"
 )
 
+// rtExemplarTrace is the trace ID stamped on the roundtrip histogram's
+// 0.5s bucket, so every parse in this file runs over a live exemplar suffix.
+const rtExemplarTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+
 // buildExpositionRegistry populates a registry exercising every instrument
 // kind the package can render: plain counters/gauges, one-label vecs
 // (including a label value needing escaping), and histograms with samples
@@ -27,8 +31,8 @@ func buildExpositionRegistry() *Registry {
 	h := r.RegisterHistogram("entitlement_test_rt_seconds", "roundtrip histogram")
 	h.Observe(math.Ldexp(1, histMinExp-5)) // below range: lands in bucket 0
 	h.Observe(0.001)
-	h.Observe(0.5)
-	h.Observe(1e9) // above range: lands in the +Inf overflow bucket
+	h.ObserveExemplar(0.5, rtExemplarTrace) // bucket line grows an exemplar suffix
+	h.Observe(1e9)                          // above range: lands in the +Inf overflow bucket
 	hv := r.RegisterHistogramVec("entitlement_test_rt_vec_seconds", "roundtrip histogram vec", "kind")
 	hv.With("read").Observe(0.25)
 	return r
@@ -85,6 +89,55 @@ func TestScrapeRoundtrip(t *testing.T) {
 	}
 }
 
+// TestExemplarExposition pins the exemplar wire format end to end: the
+// bucket line carries the exact OpenMetrics suffix, plain ParseText
+// tolerates it without corrupting the sample, and ParseTextWithExemplars
+// surfaces the trace ID and value keyed by the sample it rode on.
+func TestExemplarExposition(t *testing.T) {
+	r := buildExpositionRegistry()
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+
+	bucketKey := fmt.Sprintf("entitlement_test_rt_seconds_bucket{le=%q}", formatFloat(upperBound(bucketIndex(0.5))))
+	wantLine := fmt.Sprintf("%s 3 # {trace_id=%q} 0.5", bucketKey, rtExemplarTrace)
+	if !strings.Contains(b.String(), wantLine+"\n") {
+		t.Fatalf("exposition is missing the exemplar line %q\n%s", wantLine, b.String())
+	}
+
+	s, exs, err := ParseTextWithExemplars(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseTextWithExemplars: %v", err)
+	}
+	if got := s.Value(bucketKey); got != 3 {
+		t.Errorf("exemplar suffix corrupted the sample value: %s = %g, want 3", bucketKey, got)
+	}
+	ex, ok := exs[bucketKey]
+	if !ok {
+		t.Fatalf("no exemplar surfaced for %s (got %v)", bucketKey, exs)
+	}
+	if ex.TraceID != rtExemplarTrace || ex.Value != 0.5 {
+		t.Errorf("exemplar = %+v, want {TraceID:%s Value:0.5}", ex, rtExemplarTrace)
+	}
+	if len(exs) != 1 {
+		t.Errorf("expected exactly one exemplar in the exposition, got %d: %v", len(exs), exs)
+	}
+
+	// Plain ParseText must agree with the exemplar-aware parse sample for
+	// sample — tolerance means ignoring the suffix, nothing else.
+	s2, err := ParseText(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseText on exemplar exposition: %v", err)
+	}
+	if len(s2) != len(s) {
+		t.Fatalf("ParseText and ParseTextWithExemplars disagree on sample count: %d vs %d", len(s2), len(s))
+	}
+	for k, v := range s {
+		if s2[k] != v {
+			t.Errorf("sample %q: ParseText=%g ParseTextWithExemplars=%g", k, s2[k], v)
+		}
+	}
+}
+
 // FuzzParseText hardens the scraper: arbitrary input must parse or error —
 // never panic — and a successful parse must be idempotent (re-rendering the
 // parsed samples and re-parsing yields the same map).
@@ -96,6 +149,8 @@ func FuzzParseText(f *testing.F) {
 	f.Add(`m{l="a b"} +Inf` + "\n")
 	f.Add("m NaN\nn -Inf\n")
 	f.Add("broken\n")
+	f.Add(`m_bucket{le="0.5"} 3 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.41` + "\n")
+	f.Add("m_bucket{le=\"+Inf\"} 7 # {trace_id=\"\"} 0\nm 1 # {trace_id=\"x\"} nope\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		s, err := ParseText(strings.NewReader(input))
 		if err != nil {

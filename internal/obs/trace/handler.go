@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler serves the collector's retained traces as JSON — the
+// /debug/traces endpoint every binary mounts through obs.Serve.
+//
+//	GET /debug/traces                 → newest retained traces (limit 20)
+//	GET /debug/traces?trace=<32 hex>  → one full tree (404 if not retained)
+//	GET /debug/traces?contract=<npg>  → traces touching that contract
+//	GET /debug/traces?outcome=<class> → error|shed|failopen|degraded|slow|
+//	                                    forced|probabilistic|incident
+//	GET /debug/traces?limit=<n>       → cap the result count
+//
+// The response is {"stats": {...}, "traces": [...]} so callers can tell an
+// empty store from a filtered-out query.
+func (c *Collector) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if id := q.Get("trace"); id != "" {
+			t, ok := c.Tree(id)
+			if !ok {
+				http.Error(w, fmt.Sprintf("trace %q not retained (sampled out, evicted, or never seen)", id), http.StatusNotFound)
+				return
+			}
+			writeJSON(w, map[string]interface{}{"stats": c.Stats(), "traces": []Tree{t}})
+			return
+		}
+		limit := 20
+		if s := q.Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				limit = n
+			}
+		}
+		trees := c.Traces(Query{Contract: q.Get("contract"), Outcome: q.Get("outcome"), Limit: limit})
+		if trees == nil {
+			trees = []Tree{}
+		}
+		writeJSON(w, map[string]interface{}{"stats": c.Stats(), "traces": trees})
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Render draws the trace as an indented ASCII tree ordered by start time,
+// one line per span: relative start offset, duration, service, name, and
+// any flags/notes. Spans whose parent is missing (lost to the ring, or a
+// remote fragment that was never joined) surface at the top level rather
+// than disappearing.
+func (t Tree) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s  (%d spans, kept: %s)\n", t.TraceID, len(t.Spans), t.Reason)
+	if len(t.Spans) == 0 {
+		return b.String()
+	}
+	base := t.Spans[0].StartNs
+	for _, s := range t.Spans {
+		if s.StartNs < base {
+			base = s.StartNs
+		}
+	}
+	children := map[string][]SpanRecord{}
+	have := map[string]bool{}
+	for _, s := range t.Spans {
+		have[s.SpanID] = true
+	}
+	var roots []SpanRecord
+	for _, s := range t.Spans {
+		if s.Parent == "" || !have[s.Parent] {
+			roots = append(roots, s)
+			continue
+		}
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	var walk func(s SpanRecord, depth int)
+	walk = func(s SpanRecord, depth int) {
+		indent := strings.Repeat("  ", depth)
+		extra := ""
+		if len(s.Flags) > 0 {
+			extra = "  [" + strings.Join(s.Flags, "|") + "]"
+		}
+		if s.Contract != "" {
+			extra += "  contract=" + s.Contract
+		}
+		if s.Note != "" {
+			extra += "  " + s.Note
+		}
+		fmt.Fprintf(&b, "%s+%-9s %-9s %s %s%s\n",
+			indent,
+			time.Duration(s.StartNs-base).Round(time.Microsecond).String(),
+			time.Duration(s.DurNs).Round(time.Microsecond).String(),
+			pad(s.Service, 12),
+			s.Name, extra)
+		kids := children[s.SpanID]
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].StartNs < kids[j].StartNs })
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	sort.SliceStable(roots, func(i, j int) bool { return roots[i].StartNs < roots[j].StartNs })
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}

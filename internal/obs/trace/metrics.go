@@ -1,0 +1,21 @@
+package trace
+
+import "entitlement/internal/obs"
+
+// Process-wide trace instruments, registered once in the obs Default
+// registry (all collectors in the process share them, mirroring how the
+// wire metrics aggregate across clients). Accounting identity: every span
+// that Finish publishes is counted in spans_total; it then either becomes
+// part of a retained trace (sampled_total counts traces, not spans) or is
+// eventually counted in dropped_total — tail-sampled out with its trace,
+// overwritten in the staging ring before a flush, truncated by the
+// per-trace span cap, or evicted with a trace that aged out of a bounded
+// store.
+var (
+	mSpans = obs.RegisterCounter("entitlement_trace_spans_total",
+		"spans finished into the trace collector staging ring")
+	mSampled = obs.RegisterCounter("entitlement_trace_sampled_total",
+		"traces retained by the tail-sampling decision")
+	mDropped = obs.RegisterCounter("entitlement_trace_dropped_total",
+		"spans dropped: tail-sampled out, ring-overwritten, span-capped, or evicted from a bounded store")
+)

@@ -124,6 +124,19 @@ func (c *Capture) Index() CaptureIndex {
 	return idx
 }
 
+// Spans returns the capture's recorded enforcement-cycle spans in record
+// order — the agent-side evidence `sloctl trace` and `sloctl replay` render
+// as causal paths.
+func (c *Capture) Spans() []CycleSpan {
+	var out []CycleSpan
+	for _, r := range c.records {
+		if r.T == "span" {
+			out = append(out, *r.Span)
+		}
+	}
+	return out
+}
+
 // Envelope returns the capture's closing attribution envelope, or nil when
 // the incident never closed (crash mid-capture, torn tail).
 func (c *Capture) Envelope() *Envelope {

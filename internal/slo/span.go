@@ -1,6 +1,10 @@
 package slo
 
-import "time"
+import (
+	"time"
+
+	"entitlement/internal/obs/trace"
+)
 
 // CycleSpan is one enforcement cycle's trace-stamped outcome, emitted by the
 // agent loop (internal/enforce) into the incident black box. Spans are the
@@ -24,6 +28,10 @@ type CycleSpan struct {
 	Enforced float64 `json:"enforced,omitempty"`
 	// Faults lists the cycle's component errors, oldest first.
 	Faults []string `json:"faults,omitempty"`
+	// Tree is the cycle's full span tree (root + phase children + wire
+	// RPCs), present when tail sampling retained the trace — incident cycles
+	// always are. Replay renders it as the causal path behind the outcome.
+	Tree []trace.SpanRecord `json:"tree,omitempty"`
 }
 
 // SpanSink receives cycle spans. The black box implements it; the enforce

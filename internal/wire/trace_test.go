@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"entitlement/internal/obs/trace"
 )
 
 // syncBuffer is a goroutine-safe log sink (the server logs from its
@@ -115,6 +117,134 @@ func TestSetTracePrefixesRequestIDs(t *testing.T) {
 	if strings.HasPrefix(ids[2][1], "host-7-c42.") {
 		t.Fatalf("request ID %q still carries a cleared trace", ids[2][1])
 	}
+}
+
+// TestCallPropagatesSpanTree is the cross-process tracing contract at the
+// wire layer: with a span attached via SetSpan, one Call yields a wire.call
+// span on the client parented under the caller's span, a wire.serve span on
+// the server parented under the wire.call span, and the handler receives
+// the serve span's context — one tree across both sides.
+func TestCallPropagatesSpanTree(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handlerCtx trace.Context
+	srv := NewServerCtx(l, func(tc trace.Context, method string, _ json.RawMessage) (interface{}, error) {
+		handlerCtx = tc
+		return nil, nil
+	}, ServerOptions{Service: "srv"})
+	defer srv.Close()
+	c, err := DialOpts(l.Addr().String(), ClientOptions{Service: "cli"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	col := trace.Default()
+	root := col.StartRoot("op")
+	c.SetSpan(root.Context())
+	if err := c.Call("ping", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !handlerCtx.Valid() {
+		t.Fatal("CtxHandler received a zero trace context for a traced call")
+	}
+	if handlerCtx.TraceID() != root.TraceID() {
+		t.Fatalf("handler context is on trace %s, caller is on %s", handlerCtx.TraceID(), root.TraceID())
+	}
+	root.SetError(errors.New("retain me")) // force tail sampling to keep the trace
+	root.Finish()
+
+	tree, ok := col.Tree(root.TraceID())
+	if !ok {
+		t.Fatalf("trace %s not retained", root.TraceID())
+	}
+	byName := map[string]trace.SpanRecord{}
+	for _, s := range tree.Spans {
+		byName[s.Name] = s
+	}
+	call, ok := byName["wire.call.ping"]
+	if !ok {
+		t.Fatalf("no wire.call.ping span in tree: %+v", tree.Spans)
+	}
+	serve, ok := byName["wire.serve.ping"]
+	if !ok {
+		t.Fatalf("no wire.serve.ping span in tree: %+v", tree.Spans)
+	}
+	rootRec := byName["op"]
+	if call.Parent != rootRec.SpanID {
+		t.Errorf("wire.call.ping parent = %s, want root span %s", call.Parent, rootRec.SpanID)
+	}
+	if serve.Parent != call.SpanID {
+		t.Errorf("wire.serve.ping parent = %s, want wire.call span %s", serve.Parent, call.SpanID)
+	}
+	if call.Service != "cli" || serve.Service != "srv" {
+		t.Errorf("span services = %q/%q, want cli/srv", call.Service, serve.Service)
+	}
+	if serve.SpanID != handlerCtx.SpanID() {
+		t.Errorf("handler context span %s is not the wire.serve span %s", handlerCtx.SpanID(), serve.SpanID)
+	}
+}
+
+// TestSetTraceRaceWithConcurrentCalls pins the lock-free trace state:
+// SetTrace/SetSpan swaps racing concurrent Calls must neither trip the race
+// detector nor produce a torn request ID (a traced ID always carries the
+// prefix of one complete snapshot).
+func TestSetTraceRaceWithConcurrentCalls(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(l, func(string, json.RawMessage) (interface{}, error) { return nil, nil })
+	defer srv.Close()
+	c, err := DialOpts(l.Addr().String(), ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sp := trace.Default().StartRoot("race-root")
+	defer sp.Finish()
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				c.SetTrace(fmt.Sprintf("t%d", i))
+			case 1:
+				c.SetSpan(sp.Context())
+			default:
+				c.SetTrace("")
+			}
+		}
+	}()
+	var callers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		callers.Add(1)
+		go func() {
+			defer callers.Done()
+			for i := 0; i < 50; i++ {
+				if err := c.Call("m", nil, nil); err != nil {
+					t.Errorf("Call under SetTrace race: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	callers.Wait()
+	close(stop)
+	swapper.Wait()
+	// Correctness here is "no race detector report and no failed call"; the
+	// atomic snapshot makes a torn prefix/context pair unrepresentable.
 }
 
 // TestRequestIDOnErrors: both RemoteError and TransientError surface the

@@ -24,6 +24,15 @@
 // enforcement cycle's RPC fan-out is correlatable end to end across
 // processes. Client.SetTrace prefixes subsequent IDs with a caller-chosen
 // trace ID (e.g. the enforcement cycle's), tying the fan-out together.
+//
+// On top of the request-ID correlation sits real distributed tracing:
+// Client.SetSpan attaches a trace context (internal/obs/trace) to the
+// client, every Call then starts a wire.call child span and propagates its
+// context in the frame's optional Trace field, and the server parents a
+// wire.serve span under it — so one operation's RPC fan-out is a single
+// span tree across processes, not just a grep-able token. Requests without
+// a Trace field behave exactly as before; the field is JSON-omitted when
+// empty, keeping the frame byte-compatible with old peers.
 package wire
 
 import (
@@ -40,6 +49,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"entitlement/internal/obs/trace"
 )
 
 // MaxMessageSize bounds a single frame; anything larger is a protocol error.
@@ -212,6 +223,12 @@ type Request struct {
 	// Response. Optional for wire compatibility with bare senders.
 	ID      string          `json:"id,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+	// Trace carries the caller's span context in W3C traceparent form
+	// ("00-<traceid>-<spanid>-<flags>") when the client has a span attached
+	// via SetSpan. Servers parent their handling span under it. Omitted when
+	// untraced, so old peers see byte-identical frames; unknown or malformed
+	// values are ignored, never an error.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Response is the RPC envelope returned by servers.
@@ -235,6 +252,12 @@ type Response struct {
 // response payload.
 type Handler func(method string, payload json.RawMessage) (interface{}, error)
 
+// CtxHandler is a Handler that also receives the server-side span context
+// for the request (zero when the request carried no trace), so handlers can
+// parent their own spans — queue wait, decision, journal write — under the
+// wire.serve span instead of starting a fresh trace.
+type CtxHandler func(tc trace.Context, method string, payload json.RawMessage) (interface{}, error)
+
 // ServerOptions harden a server against misbehaving peers.
 type ServerOptions struct {
 	// ReadIdleTimeout closes a connection whose next complete request does
@@ -246,13 +269,17 @@ type ServerOptions struct {
 	// request_id, took; Debug on success, Warn on handler error), carrying
 	// the client's request ID so the two sides' logs line up.
 	Logger *slog.Logger
+	// Service labels this server's wire.serve spans (e.g. "contractdb").
+	// Empty leaves the span on the process-wide collector default.
+	Service string
 }
 
 // Server accepts connections and dispatches requests to a Handler.
 type Server struct {
-	listener net.Listener
-	handler  Handler
-	opts     ServerOptions
+	listener   net.Listener
+	handler    Handler
+	ctxHandler CtxHandler // set instead of handler by NewServerCtx
+	opts       ServerOptions
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -272,6 +299,24 @@ func NewServerOpts(l net.Listener, h Handler, opts ServerOptions) *Server {
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
+}
+
+// NewServerCtx is NewServerOpts for trace-aware handlers: h receives the
+// span context of the request's wire.serve span, letting the handler grow
+// the same trace across its internal phases.
+func NewServerCtx(l net.Listener, h CtxHandler, opts ServerOptions) *Server {
+	s := &Server{listener: l, ctxHandler: h, opts: opts, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// dispatch invokes whichever handler flavor the server was built with.
+func (s *Server) dispatch(tc trace.Context, method string, payload json.RawMessage) (interface{}, error) {
+	if s.ctxHandler != nil {
+		return s.ctxHandler(tc, method, payload)
+	}
+	return s.handler(method, payload)
 }
 
 // Addr returns the listener address.
@@ -349,9 +394,20 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		mServerRequests.With(req.Method).Inc()
 		resp := Response{ID: req.ID} // echo the request ID for correlation
+		// A traced request grows a wire.serve span under the client's
+		// wire.call span; the handler's own spans parent under ours via the
+		// CtxHandler context. Untraced requests cost one failed Parse.
+		var sp trace.Span
+		if tc, ok := trace.Parse(req.Trace); ok {
+			sp = trace.Default().StartChild(tc, "wire.serve."+req.Method)
+			if s.opts.Service != "" {
+				sp.SetService(s.opts.Service)
+			}
+			sp.Annotate(req.ID)
+		}
 		mServerInflight.Inc()
 		start := time.Now()
-		result, err := s.handler(req.Method, req.Payload)
+		result, err := s.dispatch(sp.Context(), req.Method, req.Payload)
 		took := time.Since(start)
 		mServerInflight.Dec()
 		if err != nil {
@@ -361,7 +417,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			if errors.As(err, &ov) {
 				resp.Retryable = true
 				resp.RetryAfterMS = ov.RetryAfter.Milliseconds()
+				sp.Flag(trace.FlagShed)
 			}
+			sp.SetError(err)
 		} else if result != nil {
 			body, merr := json.Marshal(result)
 			if merr != nil {
@@ -384,6 +442,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				l.Debug("wire.serve", attrs...)
 			}
 		}
+		sp.Finish()
 		if !respond(&resp) {
 			return
 		}
@@ -440,6 +499,9 @@ type ClientOptions struct {
 	// Debug on success, Warn on failure). The request ID matches the span
 	// the server logs for the same call.
 	Logger *slog.Logger
+	// Service labels this client's wire.call spans (e.g. "grantd"). Empty
+	// leaves the span on the process-wide collector default.
+	Service string
 }
 
 func (o ClientOptions) withDefaults(addr string) ClientOptions {
@@ -488,12 +550,22 @@ type Client struct {
 	// of a broken connection.
 	everConnected bool
 
-	// Request-ID state: idBase identifies this client instance, reqSeq
-	// numbers its calls, and trace (guarded by mu) is the optional caller
-	// trace prefix set via SetTrace.
-	idBase string
-	reqSeq atomic.Uint64
-	trace  string
+	// Request-ID and trace state: idBase identifies this client instance,
+	// reqSeq numbers its calls, and traceState is the optional caller trace
+	// set via SetTrace/SetSpan. It uses the same lock-free atomics as the
+	// request counter — an immutable snapshot swapped wholesale — so
+	// concurrent Calls never see a torn prefix/context pair and never
+	// contend with the connection mutex for it.
+	idBase     string
+	reqSeq     atomic.Uint64
+	traceState atomic.Pointer[clientTrace]
+}
+
+// clientTrace is one immutable trace snapshot: the request-ID prefix plus,
+// when set via SetSpan, the span context propagated in the request frame.
+type clientTrace struct {
+	prefix string
+	ctx    trace.Context
 }
 
 // clientInstances distinguishes clients within one process; combined with
@@ -518,22 +590,35 @@ func newIDBase(addr string) string {
 // SetTrace sets a trace ID prefixed onto every subsequent request ID (use
 // "" to clear), so a multi-call operation — an enforcement cycle's fan-out
 // to the rate store and contract database — shares one grep-able token
-// across client and server logs.
-func (c *Client) SetTrace(trace string) {
-	c.mu.Lock()
-	c.trace = trace
-	c.mu.Unlock()
+// across client and server logs. It is now a shim over the span-context
+// API: a bare prefix with no propagated context. Use SetSpan to carry a
+// real span tree across the wire.
+func (c *Client) SetTrace(prefix string) {
+	if prefix == "" {
+		c.traceState.Store(nil)
+		return
+	}
+	c.traceState.Store(&clientTrace{prefix: prefix})
 }
 
-// nextRequestID mints the ID for one call: "<trace>.<base>-<seq>" with a
-// trace set, "<base>-<seq>" without.
-func (c *Client) nextRequestID() string {
+// SetSpan ties every subsequent Call to ctx until cleared (zero/invalid ctx
+// clears): request IDs gain the 32-hex trace ID prefix, each Call starts a
+// wire.call child span under ctx, and the request frame carries the child's
+// context so the server's wire.serve span joins the same tree.
+func (c *Client) SetSpan(ctx trace.Context) {
+	if !ctx.Valid() {
+		c.traceState.Store(nil)
+		return
+	}
+	c.traceState.Store(&clientTrace{prefix: ctx.TraceID(), ctx: ctx})
+}
+
+// requestID mints the ID for one call from a traceState snapshot:
+// "<trace>.<base>-<seq>" with a trace set, "<base>-<seq>" without.
+func (c *Client) requestID(st *clientTrace) string {
 	seq := c.reqSeq.Add(1)
-	c.mu.Lock()
-	trace := c.trace
-	c.mu.Unlock()
-	if trace != "" {
-		return fmt.Sprintf("%s.%s-%d", trace, c.idBase, seq)
+	if st != nil && st.prefix != "" {
+		return fmt.Sprintf("%s.%s-%d", st.prefix, c.idBase, seq)
 	}
 	return fmt.Sprintf("%s-%d", c.idBase, seq)
 }
@@ -666,7 +751,21 @@ func (c *Client) fail(conn net.Conn) {
 // Either way the error carries this call's request ID, matching the span
 // the server logged.
 func (c *Client) Call(method string, args interface{}, reply interface{}) (err error) {
-	id := c.nextRequestID()
+	st := c.traceState.Load()
+	id := c.requestID(st)
+	// With a span context attached, each Call is a wire.call child span
+	// whose context rides the request frame; errors and overload sheds flag
+	// the span, forcing tail sampling to keep the whole trace.
+	var sp trace.Span
+	var frameTrace string
+	if st != nil && st.ctx.Valid() {
+		sp = trace.Default().StartChild(st.ctx, "wire.call."+method)
+		if c.opts.Service != "" {
+			sp.SetService(c.opts.Service)
+		}
+		sp.Annotate(id)
+		frameTrace = sp.Context().String()
+	}
 	mClientCalls.With(method).Inc()
 	mClientInflight.Inc()
 	var spanStart time.Time
@@ -689,8 +788,11 @@ func (c *Client) Call(method string, args interface{}, reply interface{}) (err e
 				re.RequestID = id
 			} else if errors.As(err, &oe) {
 				oe.RequestID = id
+				sp.Flag(trace.FlagShed)
 			}
+			sp.SetError(err)
 		}
+		sp.Finish()
 		if l := c.opts.Logger; l != nil {
 			attrs := []any{
 				slog.String("method", method),
@@ -720,13 +822,20 @@ func (c *Client) Call(method string, args interface{}, reply interface{}) (err e
 	}
 	// Latency is measured only for calls that reached the transport;
 	// backoff fast-fails above would otherwise flood the histogram with
-	// near-zero samples.
+	// near-zero samples. Traced calls stamp their trace ID as the bucket's
+	// exemplar, linking a latency outlier straight to its span tree.
 	start := time.Now()
-	defer mClientCallSec.With(method).ObserveSince(start)
+	defer func() {
+		if tid := sp.TraceID(); tid != "" {
+			mClientCallSec.With(method).ObserveSinceExemplar(start, tid)
+		} else {
+			mClientCallSec.With(method).ObserveSince(start)
+		}
+	}()
 	if c.opts.CallTimeout > 0 {
 		conn.SetDeadline(c.opts.Now().Add(c.opts.CallTimeout))
 	}
-	n, err := writeMessageN(bw, &Request{Method: method, ID: id, Payload: payload})
+	n, err := writeMessageN(bw, &Request{Method: method, ID: id, Payload: payload, Trace: frameTrace})
 	if err != nil {
 		c.fail(conn)
 		return &TransientError{Err: err}
