@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet vet-metrics vet-imports test race chaos crash slo replay trace bench bench-smoke bench-delta bench-json cover figures examples grantd-demo
+.PHONY: all build vet vet-metrics vet-imports vet-schema vet-schema-update test race chaos crash slo replay trace wirecompat fuzz-smoke bench bench-smoke bench-delta bench-json bench-regress bench-rebaseline cover figures examples grantd-demo
 
-all: build vet vet-metrics vet-imports test
+all: build vet vet-metrics vet-imports vet-schema test
 
 race:
 	go test -race ./...
@@ -48,6 +48,18 @@ vet-metrics:
 # Guards the repo invariant that builds need no network and no vendoring.
 vet-imports:
 	go test -run TestVetStdlibImports -count=1 ./internal/obs/
+
+# Schema compatibility gate: re-derives a fingerprint for every wire schema
+# from the live Go types and fails if any shape drifted from the committed
+# schema/v1/schema.lock without a version bump. Compatible changes
+# regenerate the lock with vet-schema-update (the lock diff documents
+# exactly what changed on the wire); breaking changes need a new schema
+# version. Policy: schema/v1 package doc and DESIGN.md §14.
+vet-schema:
+	go run ./cmd/schemavet
+
+vet-schema-update:
+	go run ./cmd/schemavet -update
 
 test:
 	go test ./...
@@ -101,16 +113,62 @@ trace:
 	go test -race -count=1 -timeout 120s -run 'TestCallPropagatesSpanTree|TestSetTraceRaceWithConcurrentCalls' ./internal/wire/
 	go test -race -count=1 -timeout 180s -v -run 'TestDistributedTraceSpine|TestTailSamplingRetention' ./internal/integration/
 
+# Wire compatibility matrix: every codec pairing (binary client vs JSON
+# server and the reverse), old frames without Trace/ID, torn and oversized
+# binary frames answered with error responses, and the mid-connection
+# JSON-after-binary regression — all under the race detector, across the
+# wire and kvstore layers.
+wirecompat:
+	go test -race -count=1 -timeout 120s \
+		-run 'TestWireCompatMatrix|TestBinaryEnvelopeOverLegacyHandler|TestOldFrameWithoutTraceOrID|TestBinaryServerRejectsJSONFrameMidConnection|TestBinaryServerRejectsTornAndOversizedFrames|TestBinaryServerRejectsUnparseableJSONFrame|TestNegotiationFallbackToJSON|TestRenegotiateAfterReconnect|TestCrossCodecGolden|TestCallBinaryServerMisbehaves|TestClientNegotiateServerMisbehaves' \
+		./internal/wire/
+	go test -race -count=1 -timeout 120s \
+		-run 'TestClientCodecMatrix|TestBinaryPutKeysDoNotAliasFrameBuffer' \
+		./internal/kvstore/
+
+# Short fuzz pass over every parser that faces untrusted bytes: the wire
+# JSON framing and binary envelope, the journal replay path, the black-box
+# capture decoder, the traceparent codec, and the metrics text scraper.
+# ~30s per target keeps the whole pass under CI's patience while still
+# churning well past the seed corpus.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	go test -count=1 -run=NONE -fuzz 'FuzzReadMessage' -fuzztime $(FUZZTIME) ./internal/wire/
+	go test -count=1 -run=NONE -fuzz 'FuzzBinaryFrameDecode' -fuzztime $(FUZZTIME) ./internal/wire/
+	go test -count=1 -run=NONE -fuzz 'FuzzJournalReplay' -fuzztime $(FUZZTIME) ./internal/granting/
+	go test -count=1 -run=NONE -fuzz 'FuzzBlackboxDecode' -fuzztime $(FUZZTIME) ./internal/slo/
+	go test -count=1 -run=NONE -fuzz 'FuzzParseTraceContext' -fuzztime $(FUZZTIME) ./internal/obs/trace/
+	go test -count=1 -run=NONE -fuzz 'FuzzParseText' -fuzztime $(FUZZTIME) ./internal/obs/
+
 # Regenerate the perf-trajectory files: BENCH_risk.json (cold vs warm vs
 # delta Assess p50, allocator ns/op + allocs/op), BENCH_slo.json
 # (flight-recorder append, engine evaluate p50, black-box span append,
-# incident replay wall-clock), and BENCH_trace.json (span start/finish
-# ns/op against the 200ns budget, traceparent codec, tree assembly).
+# incident replay wall-clock), BENCH_trace.json (span start/finish ns/op
+# against the 200ns budget, traceparent codec, tree assembly), and
+# BENCH_wire.json (binary vs JSON codec, payload and socket level).
 bench-json:
-	go run ./cmd/benchjson -out BENCH_risk.json -slo-out BENCH_slo.json -trace-out BENCH_trace.json
+	go run ./cmd/benchjson -out BENCH_risk.json -slo-out BENCH_slo.json -trace-out BENCH_trace.json -wire-out BENCH_wire.json
+
+# Perf-regression gate: re-measure every BENCH_*.json into a scratch dir
+# and fail if any timing field regressed past 2x the committed baseline
+# (sub-1µs baselines are skipped as noise). Deliberate slowdowns
+# re-baseline with bench-rebaseline, so the new perf envelope is part of
+# the same diff.
+bench-regress:
+	mkdir -p .bench-fresh
+	go run ./cmd/benchjson -out .bench-fresh/BENCH_risk.json -slo-out .bench-fresh/BENCH_slo.json -trace-out .bench-fresh/BENCH_trace.json -wire-out .bench-fresh/BENCH_wire.json
+	go run ./cmd/benchgate -ratio 2 -min-baseline-ns 1000 \
+		BENCH_risk.json:.bench-fresh/BENCH_risk.json \
+		BENCH_slo.json:.bench-fresh/BENCH_slo.json \
+		BENCH_trace.json:.bench-fresh/BENCH_trace.json \
+		BENCH_wire.json:.bench-fresh/BENCH_wire.json
+
+# Escape hatch for deliberate perf changes: rewrite the committed baselines
+# from a fresh run and commit the diff.
+bench-rebaseline: bench-json
 
 cover:
-	go test -cover ./internal/...
+	go test -cover ./internal/... ./schema/...
 
 # Regenerate every evaluation figure (text). Use FIGURE=fig-25 to filter.
 figures:

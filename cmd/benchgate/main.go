@@ -1,0 +1,143 @@
+// benchgate is the perf-regression gate (`make bench-regress`): it compares
+// freshly measured BENCH_*.json files against the committed baselines and
+// fails when any timing field regressed by more than the allowed ratio.
+//
+//	benchgate [-ratio 2] [-min-baseline-ns 1000] baseline.json:fresh.json ...
+//
+// Comparison rules:
+//
+//   - Only timing leaves are gated: numeric JSON fields whose name contains
+//     "ns" (ns_per_op, p50_ns, wall_ns, ...). Counters, ratios, and alloc
+//     fields describe the workload and are reported but never gated.
+//   - A baseline below -min-baseline-ns is skipped: sub-microsecond numbers
+//     flap with scheduler noise, and a 2x regression on 40ns is 40ns.
+//   - The gate is one-sided. Fresh numbers may be faster without limit.
+//
+// Escape hatch: a deliberate slowdown (richer model, more work per op)
+// re-baselines with `make bench-rebaseline`, which rewrites the committed
+// BENCH_*.json files from a fresh run — the diff then documents the new
+// perf envelope in review. There is no bypass flag; the gate either passes
+// against the committed numbers or the numbers change in the same commit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	ratio := flag.Float64("ratio", 2.0, "maximum allowed fresh/baseline ratio per timing field")
+	minBaseline := flag.Int64("min-baseline-ns", 1000, "skip fields whose baseline is below this many ns (noise floor)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-ratio R] [-min-baseline-ns N] baseline.json:fresh.json ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, pair := range flag.Args() {
+		base, fresh, ok := strings.Cut(pair, ":")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: argument %q is not baseline.json:fresh.json\n", pair)
+			os.Exit(2)
+		}
+		regressions, checked, err := comparePair(base, fresh, *ratio, *minBaseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			failed = true
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "benchgate: REGRESSION %s: %s\n", base, r)
+			}
+		} else {
+			fmt.Printf("benchgate: %s ok (%d timing fields within %.1fx)\n", base, checked, *ratio)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchgate: deliberate slowdowns re-baseline with `make bench-rebaseline` and commit the new BENCH_*.json")
+		os.Exit(1)
+	}
+}
+
+func comparePair(basePath, freshPath string, ratio float64, minBaseline int64) (regressions []string, checked int, err error) {
+	base, err := loadTimings(basePath)
+	if err != nil {
+		return nil, 0, err
+	}
+	fresh, err := loadTimings(freshPath)
+	if err != nil {
+		return nil, 0, err
+	}
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := base[k]
+		f, ok := fresh[k]
+		if !ok {
+			// A field present in the baseline but missing from the fresh run
+			// means the bench shape changed without re-baselining.
+			regressions = append(regressions, fmt.Sprintf("%s missing from fresh run %s", k, freshPath))
+			continue
+		}
+		if b < float64(minBaseline) {
+			continue
+		}
+		checked++
+		if f > b*ratio {
+			regressions = append(regressions, fmt.Sprintf("%s: baseline %.0fns -> fresh %.0fns (%.2fx > %.1fx)", k, b, f, f/b, ratio))
+		}
+	}
+	return regressions, checked, nil
+}
+
+// loadTimings flattens a BENCH_*.json file to dotted-path -> value for every
+// numeric leaf whose field name mentions ns.
+func loadTimings(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc interface{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	flatten("", doc, out)
+	return out, nil
+}
+
+func flatten(prefix string, v interface{}, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]interface{}:
+		for k, child := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, child, out)
+		}
+	case float64:
+		if isTimingField(prefix) {
+			out[prefix] = t
+		}
+	}
+}
+
+// isTimingField matches the repo's timing naming convention: *_ns,
+// *_ns_per_op, *_p50_ns, *_wall_ns. "allocs", "bytes", counts, and ratios
+// stay out of the gate.
+func isTimingField(path string) bool {
+	leaf := path
+	if i := strings.LastIndex(path, "."); i >= 0 {
+		leaf = path[i+1:]
+	}
+	return strings.HasSuffix(leaf, "_ns") || strings.Contains(leaf, "_ns_per_op") || leaf == "ns_per_op"
+}

@@ -14,6 +14,10 @@
 // ns/op against the 200ns-per-half budget, traceparent encode/parse, and
 // full-tree assembly wall time.
 //
+// BENCH_wire.json: the binary wire codec vs JSON — payload encode/decode
+// ns/op and allocs/op, plus the full socket-level kvstore publish round
+// trip per negotiated codec.
+//
 // Run via `make bench-json`; future re-anchors read the speed curves from the
 // JSON instead of prose claims.
 package main
@@ -73,6 +77,7 @@ func main() {
 	out := flag.String("out", "BENCH_risk.json", "risk output path")
 	sloOut := flag.String("slo-out", "BENCH_slo.json", "SLO/black-box output path (empty skips)")
 	traceOut := flag.String("trace-out", "BENCH_trace.json", "tracing-spine output path (empty skips)")
+	wireOut := flag.String("wire-out", "BENCH_wire.json", "wire-codec output path (empty skips)")
 	samples := flag.Int("samples", 15, "timing samples per assess variant (p50 reported)")
 	scenarios := flag.Int("scenarios", 400, "failure scenarios per assessment")
 	flag.Parse()
@@ -89,6 +94,12 @@ func main() {
 	if *traceOut != "" {
 		if err := runTrace(*traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *wireOut != "" {
+		if err := runWire(*wireOut); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: wire: %v\n", err)
 			os.Exit(1)
 		}
 	}

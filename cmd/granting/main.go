@@ -26,6 +26,7 @@ import (
 	"entitlement/internal/risk"
 	"entitlement/internal/topology"
 	"entitlement/internal/trace"
+	"entitlement/internal/wire"
 )
 
 func main() {
@@ -39,15 +40,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	traceFile := flag.String("trace", "", "CSV traffic history (npg,class,src,dst,offset_seconds,bits_per_second) instead of synthetic demand")
 	submit := flag.String("submit", "", "grantd address: submit the prepared requests instead of deciding in-process")
+	codecName := flag.String("codec", "binary", "wire codec to offer grantd with -submit: binary (falls back to json against old servers) or json")
 	flag.Parse()
 
-	if err := run(*regions, *tail, *days, *rateTbps, *slo, *scenarios, *workers, *seed, *traceFile, *submit); err != nil {
+	codec, err := wire.ParseCodec(*codecName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "granting: %v\n", err)
+		os.Exit(2)
+	}
+
+	if err := run(*regions, *tail, *days, *rateTbps, *slo, *scenarios, *workers, *seed, *traceFile, *submit, codec); err != nil {
 		fmt.Fprintf(os.Stderr, "granting: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(regions, tail, days int, rateTbps, slo float64, scenarios, workers int, seed int64, traceFile, submit string) error {
+func run(regions, tail, days int, rateTbps, slo float64, scenarios, workers int, seed int64, traceFile, submit string, codec wire.Codec) error {
 	topoOpts := topology.DefaultBackboneOptions()
 	topoOpts.Regions = regions
 	topoOpts.Seed = seed
@@ -131,7 +139,7 @@ func run(regions, tail, days int, rateTbps, slo float64, scenarios, workers int,
 			return err
 		}
 	} else {
-		client, err := granting.Dial(submit)
+		client, err := granting.DialOpts(submit, wire.ClientOptions{Codec: codec, Service: "granting"})
 		if err != nil {
 			return err
 		}

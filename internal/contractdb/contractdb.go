@@ -20,6 +20,7 @@ import (
 	"entitlement/internal/obs/trace"
 	"entitlement/internal/topology"
 	"entitlement/internal/wire"
+	schemav1 "entitlement/schema/v1"
 )
 
 // Database is what enforcement agents depend on.
@@ -140,27 +141,11 @@ func (s *Store) EntitledRate(npg contract.NPG, class contract.Class, region topo
 
 // --- TCP server/client ----------------------------------------------------
 
-type rateArgs struct {
-	NPG    string `json:"npg"`
-	Class  string `json:"class"`
-	Region string `json:"region"`
-	Dir    string `json:"dir"`
-	AtUnix int64  `json:"at_unix"`
-}
-
-type rateReply struct {
-	Rate  float64 `json:"rate"`
-	Found bool    `json:"found"`
-}
-
-type sloArgs struct {
-	NPG string `json:"npg"`
-}
-
-type sloReply struct {
-	SLO   float64 `json:"slo"`
-	Found bool    `json:"found"`
-}
+// The query/reply shapes are versioned schema contracts (schema/v1, pinned
+// by `make vet-schema`): DBRateQuery/DBRateReply carry binary codecs (the
+// per-cycle entitlement fetch), DBSLOQuery/DBSLOReply stay JSON-only. The
+// put_contract/list payloads embed contract.Contract, registered as a
+// schema by SchemaDefs.
 
 // Server exposes a Store over TCP.
 type Server struct {
@@ -177,7 +162,7 @@ func NewServer(l net.Listener, store *Store) *Server {
 // options (the Logger surfaces client request IDs in this server's spans).
 func NewServerOpts(l net.Listener, store *Store, opts wire.ServerOptions) *Server {
 	s := &Server{store: store}
-	s.srv = wire.NewServerOpts(l, s.handle, opts)
+	s.srv = wire.NewServerPayload(l, s.handle, opts)
 	return s
 }
 
@@ -187,7 +172,7 @@ func (s *Server) Addr() string { return s.srv.Addr().String() }
 // Close shuts the server down.
 func (s *Server) Close() error { return s.srv.Close() }
 
-func (s *Server) handle(method string, payload json.RawMessage) (reply interface{}, err error) {
+func (s *Server) handle(tc trace.Context, method string, p wire.Payload) (reply interface{}, err error) {
 	mRequests.With(method).Inc()
 	defer func() {
 		if err != nil {
@@ -197,8 +182,8 @@ func (s *Server) handle(method string, payload json.RawMessage) (reply interface
 	}()
 	switch method {
 	case "entitled_rate":
-		var a rateArgs
-		if err := json.Unmarshal(payload, &a); err != nil {
+		var a schemav1.DBRateQuery
+		if err := p.Decode(&a); err != nil {
 			return nil, err
 		}
 		class, err := contract.ParseClass(a.Class)
@@ -214,17 +199,17 @@ func (s *Server) handle(method string, payload json.RawMessage) (reply interface
 		if err != nil {
 			return nil, err
 		}
-		return rateReply{Rate: rate, Found: found}, nil
+		return &schemav1.DBRateReply{Rate: rate, Found: found}, nil
 	case "get_slo":
-		var a sloArgs
-		if err := json.Unmarshal(payload, &a); err != nil {
+		var a schemav1.DBSLOQuery
+		if err := p.Decode(&a); err != nil {
 			return nil, err
 		}
 		slo, found := s.store.SLO(contract.NPG(a.NPG))
-		return sloReply{SLO: slo, Found: found}, nil
+		return &schemav1.DBSLOReply{SLO: slo, Found: found}, nil
 	case "put_contract":
 		var c contract.Contract
-		if err := json.Unmarshal(payload, &c); err != nil {
+		if err := p.Decode(&c); err != nil {
 			return nil, err
 		}
 		return nil, s.store.Put(c)
@@ -264,8 +249,8 @@ func Connect(addr string, opts wire.ClientOptions) *Client {
 
 // EntitledRate implements Database.
 func (c *Client) EntitledRate(npg contract.NPG, class contract.Class, region topology.Region, dir contract.Direction, at time.Time) (float64, bool, error) {
-	var r rateReply
-	err := c.c.Call("entitled_rate", rateArgs{
+	var r schemav1.DBRateReply
+	err := c.c.Call("entitled_rate", &schemav1.DBRateQuery{
 		NPG: string(npg), Class: class.String(), Region: string(region),
 		Dir: dir.String(), AtUnix: at.Unix(),
 	}, &r)
@@ -278,8 +263,8 @@ func (c *Client) EntitledRate(npg contract.NPG, class contract.Class, region top
 // SLO fetches npg's contractual availability objective from the approval
 // record.
 func (c *Client) SLO(npg contract.NPG) (float64, bool, error) {
-	var r sloReply
-	if err := c.c.Call("get_slo", sloArgs{NPG: string(npg)}, &r); err != nil {
+	var r schemav1.DBSLOReply
+	if err := c.c.Call("get_slo", &schemav1.DBSLOQuery{NPG: string(npg)}, &r); err != nil {
 		return 0, false, err
 	}
 	return r.SLO, r.Found, nil

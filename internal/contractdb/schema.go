@@ -1,0 +1,19 @@
+package contractdb
+
+import (
+	"reflect"
+
+	"entitlement/internal/contract"
+	schemav1 "entitlement/schema/v1"
+)
+
+// SchemaDefs returns the wire schemas this plane owns beyond the envelope
+// and query shapes in schema/v1: the contract payload carried by the
+// put_contract and list methods. It embeds the domain type, so it cannot
+// live in schema/v1 without an import cycle (wire imports schemav1);
+// cmd/schemavet aggregates it with schemav1.Defs() for the lock check.
+func SchemaDefs() []schemav1.Def {
+	return []schemav1.Def{
+		{Name: "contractdb.contract", Version: 1, Type: reflect.TypeOf(contract.Contract{})},
+	}
+}

@@ -1,0 +1,27 @@
+package granting
+
+import (
+	"reflect"
+
+	schemav1 "entitlement/schema/v1"
+)
+
+// SchemaDefs returns the granting plane's wire schemas: the submit/decide/
+// status/report argument and reply shapes, plus the Request and Decision
+// domain shapes they embed. They cannot live in schema/v1 without an import
+// cycle (wire imports schemav1, this package imports wire); cmd/schemavet
+// aggregates them with schemav1.Defs() for the lock check, so a field
+// change here trips `make vet-schema` exactly like an envelope change.
+func SchemaDefs() []schemav1.Def {
+	return []schemav1.Def{
+		{Name: "granting.submit", Version: 1, Type: reflect.TypeOf(submitArgs{})},
+		{Name: "granting.submit_reply", Version: 1, Type: reflect.TypeOf(submitReply{})},
+		{Name: "granting.decide", Version: 1, Type: reflect.TypeOf(decideArgs{})},
+		{Name: "granting.status", Version: 1, Type: reflect.TypeOf(statusArgs{})},
+		{Name: "granting.status_reply", Version: 1, Type: reflect.TypeOf(statusReply{})},
+		{Name: "granting.report", Version: 1, Type: reflect.TypeOf(reportArgs{})},
+		{Name: "granting.report_reply", Version: 1, Type: reflect.TypeOf(Report{})},
+		{Name: "granting.request", Version: 1, Type: reflect.TypeOf(Request{})},
+		{Name: "granting.decision", Version: 1, Type: reflect.TypeOf(Decision{})},
+	}
+}

@@ -1,0 +1,154 @@
+package kvstore
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"entitlement/internal/wire"
+)
+
+func startKVServer(t *testing.T, opts ServerOptions) *Server {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerOpts(l, New(), opts)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// Every kvstore verb behaves identically through both codecs.
+func TestClientCodecMatrix(t *testing.T) {
+	for _, codec := range []wire.Codec{wire.CodecJSON, wire.CodecBinary} {
+		t.Run(codec.String(), func(t *testing.T) {
+			srv := startKVServer(t, ServerOptions{CompactEvery: -1})
+			c, err := DialOpts(srv.Addr(), wire.ClientOptions{Codec: codec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.Put(RateKey("Ads", "c2_low", "A", "h1"), 10, time.Minute); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Put(RateKey("Ads", "c2_low", "A", "h2"), 20, time.Minute); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := c.Get(RateKey("Ads", "c2_low", "A", "h1"))
+			if err != nil || !ok || v != 10 {
+				t.Errorf("Get = %v %v %v", v, ok, err)
+			}
+			sum, err := c.SumPrefix(RatePrefix("Ads", "c2_low", "A"))
+			if err != nil || sum != 30 {
+				t.Errorf("SumPrefix = %v, %v", sum, err)
+			}
+			if err := c.Delete(RateKey("Ads", "c2_low", "A", "h1")); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := c.Get(RateKey("Ads", "c2_low", "A", "h1")); ok {
+				t.Error("deleted key still present")
+			}
+		})
+	}
+}
+
+// Binary-decoded keys alias the connection's frame buffer; Store.Put must
+// intern them before retaining, or later frames would rewrite stored keys
+// in place. Publishing many distinct keys through one connection and then
+// reading the store back catches any aliasing.
+func TestBinaryPutKeysDoNotAliasFrameBuffer(t *testing.T) {
+	srv := startKVServer(t, ServerOptions{CompactEvery: -1})
+	c, err := DialOpts(srv.Addr(), wire.ClientOptions{Codec: wire.CodecBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	keys := []string{}
+	for _, host := range []string{"host-a", "host-bb", "host-ccc", "host-dddd"} {
+		k := RateKey("svc", "c2_low", "A", host)
+		keys = append(keys, k)
+		if err := c.Put(k, float64(len(host)), time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stored := srv.store.Keys("rates/")
+	if len(stored) != len(keys) {
+		t.Fatalf("store has %d keys, want %d: %v", len(stored), len(keys), stored)
+	}
+	for i, k := range keys {
+		if stored[i] != k {
+			t.Errorf("stored[%d] = %q, want %q (frame-buffer aliasing?)", i, stored[i], k)
+		}
+		if v, ok, _ := srv.store.Get(k); !ok || v != float64(len(strings.TrimPrefix(k, RatePrefix("svc", "c2_low", "A")))) {
+			t.Errorf("Get(%q) = %v %v", k, v, ok)
+		}
+	}
+}
+
+// The publish hot path — Client.Put on a binary-negotiated connection into
+// a real server — performs zero heap allocations per call across all
+// goroutines (testing.AllocsPerRun counts the server's side too). This is
+// the end-to-end half of the ISSUE's bench bar; the 5x throughput half is
+// pinned at the codec layer in internal/wire.
+func TestClientPutBinaryZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	srv := startKVServer(t, ServerOptions{CompactEvery: -1})
+	c, err := DialOpts(srv.Addr(), wire.ClientOptions{Codec: wire.CodecBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	key := RateKey("Ads", "c2_low", "A", "host-017")
+	// Warm up: scratch buffers, arg pools, the server's method-intern table,
+	// and the store's interned key.
+	for i := 0; i < 100; i++ {
+		if err := c.Put(key, float64(i), time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.Put(key, 42.5, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("binary Put allocates %.1f/op end to end, want 0", allocs)
+	}
+	if v, ok, _ := srv.store.Get(key); !ok || v != 42.5 {
+		t.Errorf("store state after alloc run: %v %v", v, ok)
+	}
+}
+
+func benchClientPut(b *testing.B, codec wire.Codec) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServerOpts(l, New(), ServerOptions{CompactEvery: -1})
+	defer srv.Close()
+	c, err := DialOpts(srv.Addr(), wire.ClientOptions{Codec: codec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	key := RateKey("Ads", "c2_low", "A", "host-017")
+	if err := c.Put(key, 1, time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Put(key, float64(i), time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Socket-level publish benchmarks through the full kvstore client/server
+// stack (exported to BENCH_wire.json by cmd/benchjson -wire-out).
+func BenchmarkClientPutBinary(b *testing.B) { benchClientPut(b, wire.CodecBinary) }
+func BenchmarkClientPutJSON(b *testing.B)   { benchClientPut(b, wire.CodecJSON) }

@@ -11,7 +11,6 @@
 package kvstore
 
 import (
-	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,6 +19,7 @@ import (
 
 	"entitlement/internal/obs/trace"
 	"entitlement/internal/wire"
+	schemav1 "entitlement/schema/v1"
 
 	"net"
 )
@@ -37,8 +37,13 @@ type RateStore interface {
 	Delete(key string) error
 }
 
-// entry is one stored value.
+// entry is one stored value. It carries its own map key so Put can intern:
+// a repeat publish looks the old entry up first and reuses its stored key,
+// which keeps the server's put path allocation-free even when the incoming
+// key aliases a reused frame buffer (map lookups with string(bytes)-style
+// keys don't allocate; only genuinely new keys are cloned).
 type entry struct {
+	key     string
 	value   float64
 	expires time.Time // zero = never
 }
@@ -71,7 +76,15 @@ func (s *Store) Put(key string, value float64, ttl time.Duration) error {
 	if ttl > 0 {
 		e.expires = s.now().Add(ttl)
 	}
-	s.data[key] = e
+	// Intern the key (see entry): steady-state republishes hit the lookup
+	// and reuse the stored key; only first-time keys are cloned. The clone
+	// also protects the map when key aliases a caller-owned buffer.
+	if old, ok := s.data[key]; ok {
+		e.key = old.key
+	} else {
+		e.key = strings.Clone(key)
+	}
+	s.data[e.key] = e
 	return nil
 }
 
@@ -151,24 +164,18 @@ func (s *Store) expired(e entry) bool {
 
 // --- TCP server/client ----------------------------------------------------
 
-type putArgs struct {
-	Key   string  `json:"key"`
-	Value float64 `json:"value"`
-	TTLMs int64   `json:"ttl_ms"`
-}
+// The message shapes are versioned schema contracts (schema/v1, pinned by
+// `make vet-schema`): KVPut, KVKey, KVGetReply, KVSumReply. All four carry
+// binary codecs, so on a binary-negotiated connection the publish path
+// runs end to end without JSON.
 
-type keyArgs struct {
-	Key string `json:"key"`
-}
-
-type getReply struct {
-	Value float64 `json:"value"`
-	Found bool    `json:"found"`
-}
-
-type sumReply struct {
-	Sum float64 `json:"sum"`
-}
+// Arg/reply pools keep the put and aggregate paths allocation-free: passing
+// a pooled pointer through wire.Call's interface{} parameters stores the
+// pointer without boxing, where a stack-local struct would escape per call.
+var (
+	putPool = sync.Pool{New: func() interface{} { return new(schemav1.KVPut) }}
+	keyPool = sync.Pool{New: func() interface{} { return new(schemav1.KVKey) }}
+)
 
 // ServerOptions tune the TCP server.
 type ServerOptions struct {
@@ -198,7 +205,7 @@ func NewServer(l net.Listener, store *Store) *Server {
 // NewServerOpts serves store on l with explicit options.
 func NewServerOpts(l net.Listener, store *Store, opts ServerOptions) *Server {
 	s := &Server{store: store, stop: make(chan struct{})}
-	s.srv = wire.NewServerOpts(l, s.handle, opts.Wire)
+	s.srv = wire.NewServerPayload(l, s.handle, opts.Wire)
 	every := opts.CompactEvery
 	if every == 0 {
 		every = time.Minute
@@ -238,7 +245,7 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) handle(method string, payload json.RawMessage) (reply interface{}, err error) {
+func (s *Server) handle(tc trace.Context, method string, p wire.Payload) (reply interface{}, err error) {
 	mRequests.With(method).Inc()
 	defer func() {
 		if err != nil {
@@ -248,37 +255,56 @@ func (s *Server) handle(method string, payload json.RawMessage) (reply interface
 	}()
 	switch method {
 	case "put":
-		var a putArgs
-		if err := json.Unmarshal(payload, &a); err != nil {
+		// The system's hot path: pooled args (a stack struct would escape
+		// through Decode's interface{} parameter) and a nil reply, so a
+		// binary-codec publish is handled without a single allocation after
+		// warm-up. The decoded Key may alias the connection's frame buffer;
+		// Store.Put interns before retaining it.
+		a := putPool.Get().(*schemav1.KVPut)
+		if err := p.Decode(a); err != nil {
+			putPool.Put(a)
 			return nil, err
 		}
-		return nil, s.store.Put(a.Key, a.Value, time.Duration(a.TTLMs)*time.Millisecond)
+		err := s.store.Put(a.Key, a.Value, time.Duration(a.TTLMs)*time.Millisecond)
+		*a = schemav1.KVPut{}
+		putPool.Put(a)
+		return nil, err
 	case "get":
-		var a keyArgs
-		if err := json.Unmarshal(payload, &a); err != nil {
+		a := keyPool.Get().(*schemav1.KVKey)
+		if err := p.Decode(a); err != nil {
+			keyPool.Put(a)
 			return nil, err
 		}
 		v, ok, err := s.store.Get(a.Key)
+		*a = schemav1.KVKey{}
+		keyPool.Put(a)
 		if err != nil {
 			return nil, err
 		}
-		return getReply{Value: v, Found: ok}, nil
+		return &schemav1.KVGetReply{Value: v, Found: ok}, nil
 	case "sum":
-		var a keyArgs
-		if err := json.Unmarshal(payload, &a); err != nil {
+		a := keyPool.Get().(*schemav1.KVKey)
+		if err := p.Decode(a); err != nil {
+			keyPool.Put(a)
 			return nil, err
 		}
 		sum, err := s.store.SumPrefix(a.Key)
+		*a = schemav1.KVKey{}
+		keyPool.Put(a)
 		if err != nil {
 			return nil, err
 		}
-		return sumReply{Sum: sum}, nil
+		return &schemav1.KVSumReply{Sum: sum}, nil
 	case "delete":
-		var a keyArgs
-		if err := json.Unmarshal(payload, &a); err != nil {
+		a := keyPool.Get().(*schemav1.KVKey)
+		if err := p.Decode(a); err != nil {
+			keyPool.Put(a)
 			return nil, err
 		}
-		return nil, s.store.Delete(a.Key)
+		err := s.store.Delete(a.Key)
+		*a = schemav1.KVKey{}
+		keyPool.Put(a)
+		return nil, err
 	default:
 		return nil, fmt.Errorf("kvstore: unknown method %q", method)
 	}
@@ -323,15 +349,27 @@ func (c *Client) SetTrace(trace string) { c.c.SetTrace(trace) }
 // the request frame.
 func (c *Client) SetSpan(ctx trace.Context) { c.c.SetSpan(ctx) }
 
-// Put implements RateStore.
+// Put implements RateStore. On a binary-negotiated connection the pooled
+// args, the schema-binary codec, and the wire client's frame-buffer reuse
+// make the whole publish allocation-free.
 func (c *Client) Put(key string, value float64, ttl time.Duration) error {
-	return c.c.Call("put", putArgs{Key: key, Value: value, TTLMs: ttl.Milliseconds()}, nil)
+	a := putPool.Get().(*schemav1.KVPut)
+	a.Key, a.Value, a.TTLMs = key, value, ttl.Milliseconds()
+	err := c.c.Call("put", a, nil)
+	*a = schemav1.KVPut{}
+	putPool.Put(a)
+	return err
 }
 
 // Get implements RateStore.
 func (c *Client) Get(key string) (float64, bool, error) {
-	var r getReply
-	if err := c.c.Call("get", keyArgs{Key: key}, &r); err != nil {
+	a := keyPool.Get().(*schemav1.KVKey)
+	a.Key = key
+	var r schemav1.KVGetReply
+	err := c.c.Call("get", a, &r)
+	*a = schemav1.KVKey{}
+	keyPool.Put(a)
+	if err != nil {
 		return 0, false, err
 	}
 	return r.Value, r.Found, nil
@@ -339,8 +377,13 @@ func (c *Client) Get(key string) (float64, bool, error) {
 
 // SumPrefix implements RateStore.
 func (c *Client) SumPrefix(prefix string) (float64, error) {
-	var r sumReply
-	if err := c.c.Call("sum", keyArgs{Key: prefix}, &r); err != nil {
+	a := keyPool.Get().(*schemav1.KVKey)
+	a.Key = prefix
+	var r schemav1.KVSumReply
+	err := c.c.Call("sum", a, &r)
+	*a = schemav1.KVKey{}
+	keyPool.Put(a)
+	if err != nil {
 		return 0, err
 	}
 	return r.Sum, nil
@@ -348,7 +391,12 @@ func (c *Client) SumPrefix(prefix string) (float64, error) {
 
 // Delete implements RateStore.
 func (c *Client) Delete(key string) error {
-	return c.c.Call("delete", keyArgs{Key: key}, nil)
+	a := keyPool.Get().(*schemav1.KVKey)
+	a.Key = key
+	err := c.c.Call("delete", a, nil)
+	*a = schemav1.KVKey{}
+	keyPool.Put(a)
+	return err
 }
 
 // Close closes the client connection.

@@ -1,0 +1,7 @@
+//go:build race
+
+package kvstore
+
+// raceEnabled mirrors internal/wire: allocation assertions skip under the
+// race detector, whose instrumentation allocates on its own.
+const raceEnabled = true

@@ -1,0 +1,7 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// assertions skip under it (instrumentation allocates on its own).
+const raceEnabled = true

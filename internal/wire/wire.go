@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"entitlement/internal/obs/trace"
+	schemav1 "entitlement/schema/v1"
 )
 
 // MaxMessageSize bounds a single frame; anything larger is a protocol error.
@@ -216,36 +217,22 @@ func ReadMessage(r io.Reader, v interface{}) error {
 	return nil
 }
 
-// Request is the RPC envelope sent by clients.
-type Request struct {
-	Method string `json:"method"`
-	// ID is the client-generated request ID; the server echoes it in the
-	// Response. Optional for wire compatibility with bare senders.
-	ID      string          `json:"id,omitempty"`
-	Payload json.RawMessage `json:"payload,omitempty"`
-	// Trace carries the caller's span context in W3C traceparent form
-	// ("00-<traceid>-<spanid>-<flags>") when the client has a span attached
-	// via SetSpan. Servers parent their handling span under it. Omitted when
-	// untraced, so old peers see byte-identical frames; unknown or malformed
-	// values are ignored, never an error.
-	Trace string `json:"trace,omitempty"`
-}
+// Request is the RPC envelope sent by clients. The shape is a versioned
+// schema contract — it lives in schema/v1 and is fingerprint-pinned by
+// `make vet-schema`; this alias keeps the wire package's historical API.
+type Request = schemav1.Request
 
-// Response is the RPC envelope returned by servers.
-type Response struct {
-	// ID echoes the request's ID, correlating the two sides' logs (and
-	// letting the client detect a desynced stream).
-	ID      string          `json:"id,omitempty"`
-	Error   string          `json:"error,omitempty"`
-	Payload json.RawMessage `json:"payload,omitempty"`
-	// Retryable marks Error as overload shedding rather than rejection:
-	// the same request is worth retrying once load drains. Old servers
-	// never set it and old clients ignore it, so the field is compatible
-	// both ways.
-	Retryable bool `json:"retryable,omitempty"`
-	// RetryAfterMS carries the server's retry-after hint (milliseconds)
-	// when Retryable is set; zero means no hint.
-	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+// Response is the RPC envelope returned by servers (schema/v1 contract,
+// aliased like Request).
+type Response = schemav1.Response
+
+// jsonUnmarshalPayload decodes JSON payload bytes with the wire error
+// prefix handlers and clients have always reported.
+func jsonUnmarshalPayload(data []byte, v interface{}) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("wire: unmarshal payload: %w", err)
+	}
+	return nil
 }
 
 // Handler processes one request; the returned value is marshaled into the
@@ -257,6 +244,14 @@ type Handler func(method string, payload json.RawMessage) (interface{}, error)
 // parent their own spans — queue wait, decision, journal write — under the
 // wire.serve span instead of starting a fresh trace.
 type CtxHandler func(tc trace.Context, method string, payload json.RawMessage) (interface{}, error)
+
+// PayloadHandler is the codec-aware handler flavor: the payload arrives with
+// its encoding intact (Payload.Decode picks JSON or schema-binary), and the
+// result is re-encoded in the connection's codec — schema-binary when it
+// implements schemav1.AppendMarshaler and the client offered to accept it,
+// JSON otherwise. Binary payloads alias the connection's frame buffer and
+// are valid only for the duration of the call (see Payload).
+type PayloadHandler func(tc trace.Context, method string, p Payload) (interface{}, error)
 
 // ServerOptions harden a server against misbehaving peers.
 type ServerOptions struct {
@@ -272,14 +267,19 @@ type ServerOptions struct {
 	// Service labels this server's wire.serve spans (e.g. "contractdb").
 	// Empty leaves the span on the process-wide collector default.
 	Service string
+	// DisableBinary declines codec negotiation, pinning every connection to
+	// JSON. Offering clients fall back transparently; the compat tests use
+	// this to stand in for servers that predate the binary codec.
+	DisableBinary bool
 }
 
 // Server accepts connections and dispatches requests to a Handler.
 type Server struct {
-	listener   net.Listener
-	handler    Handler
-	ctxHandler CtxHandler // set instead of handler by NewServerCtx
-	opts       ServerOptions
+	listener       net.Listener
+	handler        Handler
+	ctxHandler     CtxHandler     // set instead of handler by NewServerCtx
+	payloadHandler PayloadHandler // set instead of both by NewServerPayload
+	opts           ServerOptions
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -311,12 +311,42 @@ func NewServerCtx(l net.Listener, h CtxHandler, opts ServerOptions) *Server {
 	return s
 }
 
-// dispatch invokes whichever handler flavor the server was built with.
+// NewServerPayload is NewServerOpts for codec-aware handlers: required for
+// services whose methods accept schema-binary payloads (legacy handlers on
+// this server would reject them), and the only flavor whose hot path can be
+// allocation-free end to end.
+func NewServerPayload(l net.Listener, h PayloadHandler, opts ServerOptions) *Server {
+	s := &Server{listener: l, payloadHandler: h, opts: opts, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// dispatch invokes whichever JSON-era handler flavor the server was built
+// with.
 func (s *Server) dispatch(tc trace.Context, method string, payload json.RawMessage) (interface{}, error) {
 	if s.ctxHandler != nil {
 		return s.ctxHandler(tc, method, payload)
 	}
 	return s.handler(method, payload)
+}
+
+// dispatchPayload routes one request to the server's handler. Payload-aware
+// servers see the payload with its codec intact; the legacy flavors only
+// understand JSON, so a schema-binary payload aimed at one is answered with
+// a clean error rather than fed through as garbled JSON.
+func (s *Server) dispatchPayload(tc trace.Context, method string, p Payload) (interface{}, error) {
+	if s.payloadHandler != nil {
+		return s.payloadHandler(tc, method, p)
+	}
+	if p.IsBinary() {
+		return nil, fmt.Errorf("wire: method %q has no binary payload codec on this server", method)
+	}
+	var raw json.RawMessage
+	if !p.Empty() {
+		raw = json.RawMessage(p.Bytes())
+	}
+	return s.dispatch(tc, method, raw)
 }
 
 // Addr returns the listener address.
@@ -352,8 +382,37 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	sc := &serverConn{s: s, conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	sc.serveJSON()
+}
+
+// serverConn is one connection's serving state: which codec it negotiated
+// plus the reusable scratch the binary loop needs to handle a request
+// without allocating.
+type serverConn struct {
+	s    *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	// Binary-mode scratch: frames are read into rbuf, responses built in
+	// wbuf, and methods interns method-name strings so steady-state
+	// dispatch allocates for neither the frame nor the name.
+	rbuf, wbuf []byte
+	methods    map[string]string
+}
+
+// maxInternedMethods caps the per-connection method-name cache; a peer
+// inventing method names cannot grow it without bound.
+const maxInternedMethods = 64
+
+// serveJSON is the connection's initial (and default) loop: length-prefixed
+// JSON frames, exactly the protocol every peer has spoken since the first
+// release. A "_negotiate" request may upgrade the connection to the binary
+// loop; everything else dispatches as before.
+func (sc *serverConn) serveJSON() {
+	s := sc.s
+	conn, br, bw := sc.conn, sc.br, sc.bw
 	respond := func(resp *Response) bool {
 		n, err := writeMessageN(bw, resp)
 		if err != nil {
@@ -392,6 +451,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			continue
 		}
+		if req.Method == NegotiateMethod {
+			upgraded, ok := sc.negotiate(&req, respond)
+			if !ok {
+				return
+			}
+			if upgraded {
+				sc.serveBinary()
+				return
+			}
+			continue
+		}
 		mServerRequests.With(req.Method).Inc()
 		resp := Response{ID: req.ID} // echo the request ID for correlation
 		// A traced request grows a wire.serve span under the client's
@@ -407,7 +477,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		mServerInflight.Inc()
 		start := time.Now()
-		result, err := s.dispatch(sp.Context(), req.Method, req.Payload)
+		result, err := s.dispatchPayload(sp.Context(), req.Method, JSONPayload(req.Payload))
 		took := time.Since(start)
 		mServerInflight.Dec()
 		if err != nil {
@@ -447,6 +517,187 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// negotiate answers one "_negotiate" request. It returns (upgraded,
+// connAlive): an accepted offer switches the connection to the binary loop;
+// a declined one (disabled, unknown codec, version mismatch) is answered
+// with an error response — exactly what an old server would say to an
+// unknown method — and the connection stays on JSON.
+func (sc *serverConn) negotiate(req *Request, respond func(*Response) bool) (bool, bool) {
+	mServerRequests.With(NegotiateMethod).Inc()
+	resp := Response{ID: req.ID}
+	var hello schemav1.Hello
+	accepted := false
+	if err := json.Unmarshal(req.Payload, &hello); err != nil {
+		resp.Error = fmt.Sprintf("wire: bad negotiation payload: %v", err)
+	} else if sc.s.opts.DisableBinary {
+		resp.Error = "wire: binary codec disabled on this server"
+	} else if hello.Codec != schemav1.CodecBinary || hello.Version != schemav1.Version {
+		resp.Error = fmt.Sprintf("wire: unsupported codec %q v%d", hello.Codec, hello.Version)
+	} else {
+		reply, err := json.Marshal(schemav1.HelloReply{Codec: schemav1.CodecBinary, Version: schemav1.Version})
+		if err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.Payload = reply
+			accepted = true
+		}
+	}
+	if accepted {
+		mServerNegotiated.With("binary").Inc()
+	} else {
+		mServerNegotiated.With("json").Inc()
+	}
+	return accepted, respond(&resp)
+}
+
+// serveBinary is the post-negotiation loop: binary envelopes read into the
+// connection's reusable frame buffer. Both codecs share the outer framing,
+// so even a frame in the wrong codec is consumed whole — the loop answers
+// it with an error response and keeps serving instead of desyncing.
+func (sc *serverConn) serveBinary() {
+	s := sc.s
+	sc.methods = make(map[string]string)
+	for {
+		if s.opts.ReadIdleTimeout > 0 {
+			sc.conn.SetReadDeadline(time.Now().Add(s.opts.ReadIdleTimeout))
+		}
+		body, rbuf, err := readFrameInto(sc.br, sc.rbuf)
+		sc.rbuf = rbuf
+		if errors.Is(err, ErrMessageTooLarge) {
+			// Same as the JSON loop: the header promised more bytes than we
+			// will read, so answer and hang up.
+			mServerErrors.Inc()
+			sc.writeBinaryError(nil, ErrMessageTooLarge.Error())
+			return
+		}
+		if err != nil {
+			return
+		}
+		mServerBytesIn.Add(int64(4 + len(body)))
+		if !sc.serveBinaryFrame(body) {
+			return
+		}
+	}
+}
+
+// serveBinaryFrame handles one length-delimited frame on a binary-negotiated
+// connection, returning false when the connection must close.
+func (sc *serverConn) serveBinaryFrame(body []byte) bool {
+	s := sc.s
+	req, derr := decodeBinRequest(body)
+	if derr != nil {
+		mServerErrors.Inc()
+		if len(body) > 0 && body[0] == '{' {
+			// A JSON frame after binary negotiation: a confused client or a
+			// middlebox splicing streams. Framing is intact (the body was
+			// length-delimited), so reject it without desyncing — and echo
+			// the request ID when the body parses, so the sender can
+			// correlate the rejection.
+			var jreq Request
+			if json.Unmarshal(body, &jreq) == nil && jreq.ID != "" {
+				return sc.writeBinaryError([]byte(jreq.ID), "wire: received JSON frame on binary-negotiated connection")
+			}
+			return sc.writeBinaryError(nil, "wire: received JSON frame on binary-negotiated connection")
+		}
+		return sc.writeBinaryError(nil, fmt.Sprintf("wire: bad request: %v", derr))
+	}
+	// Intern the method name: steady-state traffic repeats a handful of
+	// methods, so after warm-up neither dispatch nor the metrics allocate
+	// for the name.
+	method, ok := sc.methods[string(req.method)]
+	if !ok {
+		method = string(req.method)
+		if len(sc.methods) < maxInternedMethods {
+			sc.methods[method] = method
+		}
+	}
+	mServerRequests.With(method).Inc()
+	var sp trace.Span
+	if len(req.trace) > 0 {
+		if tc, ok := trace.Parse(string(req.trace)); ok {
+			sp = trace.Default().StartChild(tc, "wire.serve."+method)
+			if s.opts.Service != "" {
+				sp.SetService(s.opts.Service)
+			}
+			sp.Annotate(string(req.id))
+		}
+	}
+	p := Payload{data: req.payload, binary: req.flags&reqFlagBinaryPayload != 0}
+	mServerInflight.Inc()
+	start := time.Now()
+	result, err := s.dispatchPayload(sp.Context(), method, p)
+	took := time.Since(start)
+	mServerInflight.Dec()
+	var respFlags byte
+	errMsg := ""
+	var retryMS int64
+	if err != nil {
+		mServerErrors.Inc()
+		errMsg = err.Error()
+		var ov *Overloaded
+		if errors.As(err, &ov) {
+			respFlags |= respFlagRetryable
+			retryMS = ov.RetryAfter.Milliseconds()
+			sp.Flag(trace.FlagShed)
+		}
+		sp.SetError(err)
+	}
+	if l := s.opts.Logger; l != nil {
+		attrs := []any{
+			slog.String("method", method),
+			slog.String("request_id", string(req.id)),
+			slog.Duration("took", took),
+		}
+		if err != nil {
+			l.Warn("wire.serve", append(attrs, slog.Any("err", err))...)
+		} else {
+			l.Debug("wire.serve", attrs...)
+		}
+	}
+	sp.Finish()
+	// Build the response frame in the reusable write buffer: 4-byte length
+	// placeholder, envelope header, then the payload in whichever codec the
+	// result and the client's accept flag agree on.
+	w := append(sc.wbuf[:0], 0, 0, 0, 0)
+	if err != nil || result == nil {
+		w = appendBinResponseHeader(w, respFlags, req.id, errMsg, retryMS)
+	} else if am, ok := result.(schemav1.AppendMarshaler); ok && req.flags&reqFlagAcceptBinary != 0 {
+		respFlags |= respFlagBinaryPayload
+		w = appendBinResponseHeader(w, respFlags, req.id, "", 0)
+		w = am.AppendBinary(w)
+	} else if jb, merr := json.Marshal(result); merr != nil {
+		mServerErrors.Inc()
+		w = appendBinResponseHeader(w, respFlags, req.id, merr.Error(), 0)
+	} else {
+		w = appendBinResponseHeader(w, respFlags, req.id, "", 0)
+		w = append(w, jb...)
+	}
+	sc.wbuf = w[:0]
+	if len(w)-4 > MaxMessageSize {
+		return false
+	}
+	binary.BigEndian.PutUint32(w[:4], uint32(len(w)-4))
+	if _, werr := sc.conn.Write(w); werr != nil {
+		return false
+	}
+	mServerBytesOut.Add(int64(len(w)))
+	return true
+}
+
+// writeBinaryError sends a payload-less binary error response (id may be
+// nil when the request's ID could not be recovered).
+func (sc *serverConn) writeBinaryError(id []byte, msg string) bool {
+	w := append(sc.wbuf[:0], 0, 0, 0, 0)
+	w = appendBinResponseHeader(w, 0, id, msg, 0)
+	sc.wbuf = w[:0]
+	binary.BigEndian.PutUint32(w[:4], uint32(len(w)-4))
+	if _, err := sc.conn.Write(w); err != nil {
+		return false
+	}
+	mServerBytesOut.Add(int64(len(w)))
+	return true
 }
 
 // Close stops accepting and closes every live connection.
@@ -502,6 +753,11 @@ type ClientOptions struct {
 	// Service labels this client's wire.call spans (e.g. "grantd"). Empty
 	// leaves the span on the process-wide collector default.
 	Service string
+	// Codec is the wire encoding offered at dial time. CodecJSON (the zero
+	// value) keeps the historical behavior. CodecBinary negotiates the
+	// binary codec on every (re-)dial and falls back to JSON when the
+	// server declines or predates negotiation — old servers keep working.
+	Codec Codec
 }
 
 func (o ClientOptions) withDefaults(addr string) ClientOptions {
@@ -540,11 +796,18 @@ type Client struct {
 	conn       net.Conn
 	br         *bufio.Reader
 	bw         *bufio.Writer
+	connBinary bool // current connection negotiated the binary codec
 	addr       string
 	opts       ClientOptions
 	backoff    time.Duration
 	nextDialAt time.Time
 	closed     bool
+
+	// Scratch buffers for the binary call path, guarded by callMu (one call
+	// at a time): the request frame is built in wbuf, the response read into
+	// rbuf, the request ID rendered into idbuf. Reuse across calls is what
+	// makes the binary publish path allocation-free.
+	wbuf, rbuf, idbuf []byte
 	// everConnected distinguishes first connects from reconnects in the
 	// dial metrics: a successful dial after it is set counts as a repair
 	// of a broken connection.
@@ -613,10 +876,11 @@ func (c *Client) SetSpan(ctx trace.Context) {
 	c.traceState.Store(&clientTrace{prefix: ctx.TraceID(), ctx: ctx})
 }
 
-// requestID mints the ID for one call from a traceState snapshot:
-// "<trace>.<base>-<seq>" with a trace set, "<base>-<seq>" without.
-func (c *Client) requestID(st *clientTrace) string {
-	seq := c.reqSeq.Add(1)
+// requestID renders the ID for call seq from a traceState snapshot:
+// "<trace>.<base>-<seq>" with a trace set, "<base>-<seq>" without. The
+// binary hot path renders the same bytes via appendRequestID instead, so
+// this string is only materialized for spans, logs, and errors.
+func (c *Client) requestID(st *clientTrace, seq uint64) string {
 	if st != nil && st.prefix != "" {
 		return fmt.Sprintf("%s.%s-%d", st.prefix, c.idBase, seq)
 	}
@@ -665,7 +929,8 @@ func NewClient(conn net.Conn) *Client {
 	}
 }
 
-// dialLocked establishes the connection; c.mu must be held.
+// dialLocked establishes the connection (and negotiates the codec when the
+// client prefers binary); c.mu must be held.
 func (c *Client) dialLocked() error {
 	d := net.Dialer{}
 	if c.opts.DialTimeout > 0 {
@@ -678,16 +943,76 @@ func (c *Client) dialLocked() error {
 		c.bumpBackoffLocked()
 		return &TransientError{Err: err}
 	}
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	binaryMode := false
+	if c.opts.Codec == CodecBinary {
+		binaryMode, err = c.negotiate(conn, br, bw)
+		if err != nil {
+			// The server never answered the offer: treat it like a failed
+			// dial so the backoff gate engages rather than half-using a
+			// connection in an unknown codec state.
+			conn.Close()
+			mClientDialFails.Inc()
+			c.bumpBackoffLocked()
+			return &TransientError{Err: fmt.Errorf("codec negotiation: %w", err)}
+		}
+	}
 	if c.everConnected {
 		mClientReconnects.Inc()
 	}
 	c.everConnected = true
 	c.conn = conn
-	c.br = bufio.NewReader(conn)
-	c.bw = bufio.NewWriter(conn)
+	c.br = br
+	c.bw = bw
+	c.connBinary = binaryMode
 	c.backoff = 0
 	c.nextDialAt = time.Time{}
 	return nil
+}
+
+// negotiate offers the binary codec on a fresh connection with one JSON
+// round trip. An error response from the server — an old server answering
+// an unknown method, or a new one declining — is a clean JSON fallback;
+// only transport failures are returned as errors.
+func (c *Client) negotiate(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) (bool, error) {
+	if c.opts.CallTimeout > 0 {
+		conn.SetDeadline(c.opts.Now().Add(c.opts.CallTimeout))
+		defer conn.SetDeadline(time.Time{})
+	}
+	hello, err := json.Marshal(schemav1.Hello{Codec: schemav1.CodecBinary, Version: schemav1.Version})
+	if err != nil {
+		return false, err
+	}
+	id := fmt.Sprintf("%s-hello", c.idBase)
+	if err := WriteMessage(bw, &Request{Method: NegotiateMethod, ID: id, Payload: hello}); err != nil {
+		return false, err
+	}
+	if err := bw.Flush(); err != nil {
+		return false, err
+	}
+	var resp Response
+	if err := ReadMessage(br, &resp); err != nil {
+		return false, err
+	}
+	if resp.ID != "" && resp.ID != id {
+		return false, fmt.Errorf("negotiation response ID %q does not match %q", resp.ID, id)
+	}
+	if resp.Error != "" {
+		// Declined (or unknown method on an old server): stay on JSON.
+		mClientNegotiated.With("json").Inc()
+		return false, nil
+	}
+	var reply schemav1.HelloReply
+	if err := json.Unmarshal(resp.Payload, &reply); err != nil {
+		return false, fmt.Errorf("negotiation reply: %w", err)
+	}
+	if reply.Codec != schemav1.CodecBinary || reply.Version != schemav1.Version {
+		mClientNegotiated.With("json").Inc()
+		return false, nil
+	}
+	mClientNegotiated.With("binary").Inc()
+	return true, nil
 }
 
 // bumpBackoffLocked doubles the re-dial backoff (capped) and sets the next
@@ -708,29 +1033,42 @@ func (c *Client) bumpBackoffLocked() {
 	c.nextDialAt = c.opts.Now().Add(wait)
 }
 
-// ensureConn returns a live connection, re-dialing if allowed.
-func (c *Client) ensureConn() (net.Conn, *bufio.Reader, *bufio.Writer, error) {
+// ensureConn returns a live connection (and whether it negotiated the
+// binary codec), re-dialing if allowed.
+func (c *Client) ensureConn() (net.Conn, *bufio.Reader, *bufio.Writer, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, nil, nil, ErrClientClosed
+		return nil, nil, nil, false, ErrClientClosed
 	}
 	if c.conn != nil {
-		return c.conn, c.br, c.bw, nil
+		return c.conn, c.br, c.bw, c.connBinary, nil
 	}
 	if c.addr == "" || c.opts.DisableReconnect {
-		return nil, nil, nil, ErrBrokenConn
+		return nil, nil, nil, false, ErrBrokenConn
 	}
 	if now := c.opts.Now(); now.Before(c.nextDialAt) {
 		mClientBackoff.Inc()
-		return nil, nil, nil, &TransientError{
+		return nil, nil, nil, false, &TransientError{
 			Err: fmt.Errorf("reconnect to %s backed off for %s", c.addr, c.nextDialAt.Sub(now).Round(time.Millisecond)),
 		}
 	}
 	if err := c.dialLocked(); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, false, err
 	}
-	return c.conn, c.br, c.bw, nil
+	return c.conn, c.br, c.bw, c.connBinary, nil
+}
+
+// NegotiatedCodec reports the codec of the current connection: CodecBinary
+// after a successful binary negotiation, CodecJSON otherwise (including
+// when disconnected).
+func (c *Client) NegotiatedCodec() Codec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil && c.connBinary {
+		return CodecBinary
+	}
+	return CodecJSON
 }
 
 // fail marks conn broken so no later call can reuse a desynced stream.
@@ -739,6 +1077,7 @@ func (c *Client) fail(conn net.Conn) {
 	c.mu.Lock()
 	if c.conn == conn {
 		c.conn, c.br, c.bw = nil, nil, nil
+		c.connBinary = false
 		mClientBroken.Inc()
 	}
 	c.mu.Unlock()
@@ -752,7 +1091,14 @@ func (c *Client) fail(conn net.Conn) {
 // the server logged.
 func (c *Client) Call(method string, args interface{}, reply interface{}) (err error) {
 	st := c.traceState.Load()
-	id := c.requestID(st)
+	seq := c.reqSeq.Add(1)
+	// The ID string is materialized only off the hot path — spans, logs,
+	// error stamping. The binary transport renders the same bytes with
+	// appendRequestID and never builds the string on success.
+	id := ""
+	if (st != nil && st.ctx.Valid()) || c.opts.Logger != nil {
+		id = c.requestID(st, seq)
+	}
 	// With a span context attached, each Call is a wire.call child span
 	// whose context rides the request frame; errors and overload sheds flag
 	// the span, forcing tail sampling to keep the whole trace.
@@ -776,6 +1122,9 @@ func (c *Client) Call(method string, args interface{}, reply interface{}) (err e
 		mClientInflight.Dec()
 		if err != nil {
 			mClientErrors.With(classify(err)).Inc()
+			if id == "" {
+				id = c.requestID(st, seq)
+			}
 			// Stamp the ID onto the error for log correlation. Both error
 			// types are freshly allocated per failure, so this mutation
 			// cannot race another caller.
@@ -806,17 +1155,9 @@ func (c *Client) Call(method string, args interface{}, reply interface{}) (err e
 			}
 		}
 	}()
-	var payload json.RawMessage
-	if args != nil {
-		body, merr := json.Marshal(args)
-		if merr != nil {
-			return fmt.Errorf("wire: marshal args: %w", merr)
-		}
-		payload = body
-	}
 	c.callMu.Lock()
 	defer c.callMu.Unlock()
-	conn, br, bw, err := c.ensureConn()
+	conn, br, bw, isBinary, err := c.ensureConn()
 	if err != nil {
 		return err
 	}
@@ -834,6 +1175,20 @@ func (c *Client) Call(method string, args interface{}, reply interface{}) (err e
 	}()
 	if c.opts.CallTimeout > 0 {
 		conn.SetDeadline(c.opts.Now().Add(c.opts.CallTimeout))
+	}
+	if isBinary {
+		return c.callBinary(conn, br, st, seq, method, frameTrace, args, reply)
+	}
+	if id == "" {
+		id = c.requestID(st, seq)
+	}
+	var payload json.RawMessage
+	if args != nil {
+		body, merr := json.Marshal(args)
+		if merr != nil {
+			return fmt.Errorf("wire: marshal args: %w", merr)
+		}
+		payload = body
 	}
 	n, err := writeMessageN(bw, &Request{Method: method, ID: id, Payload: payload, Trace: frameTrace})
 	if err != nil {
@@ -879,6 +1234,110 @@ func (c *Client) Call(method string, args interface{}, reply interface{}) (err e
 		return json.Unmarshal(resp.Payload, reply)
 	}
 	return nil
+}
+
+// callBinary issues one call on a binary-negotiated connection. The frame
+// is built in the client's reusable scratch buffer — envelope header then
+// payload, schema-binary when args implements schemav1.AppendMarshaler,
+// JSON bytes otherwise — and the response is read into a second reusable
+// buffer, so a publish round trip allocates nothing after warm-up.
+// callMu is held; the per-call deadline was set by Call.
+func (c *Client) callBinary(conn net.Conn, br *bufio.Reader, st *clientTrace, seq uint64, method, frameTrace string, args, reply interface{}) error {
+	prefix := ""
+	if st != nil {
+		prefix = st.prefix
+	}
+	idb := appendRequestID(c.idbuf[:0], prefix, c.idBase, seq)
+	c.idbuf = idb[:0]
+	var flags byte
+	bm, binArgs := args.(schemav1.AppendMarshaler)
+	if args != nil && binArgs {
+		flags |= reqFlagBinaryPayload
+	}
+	if _, ok := reply.(schemav1.WireUnmarshaler); ok {
+		flags |= reqFlagAcceptBinary
+	}
+	w := append(c.wbuf[:0], 0, 0, 0, 0) // length prefix, fixed up below
+	w = appendBinRequestHeader(w, flags, method, idb, frameTrace)
+	if args != nil {
+		if binArgs {
+			w = bm.AppendBinary(w)
+		} else {
+			jb, merr := json.Marshal(args)
+			if merr != nil {
+				c.wbuf = w[:0]
+				return fmt.Errorf("wire: marshal args: %w", merr)
+			}
+			w = append(w, jb...)
+		}
+	}
+	c.wbuf = w[:0]
+	if len(w)-4 > MaxMessageSize {
+		return ErrMessageTooLarge
+	}
+	binary.BigEndian.PutUint32(w[:4], uint32(len(w)-4))
+	if _, err := conn.Write(w); err != nil {
+		c.fail(conn)
+		return &TransientError{Err: err}
+	}
+	mClientBytesOut.Add(int64(len(w)))
+	body, rbuf, err := readFrameInto(br, c.rbuf)
+	c.rbuf = rbuf
+	if err != nil {
+		c.fail(conn)
+		return &TransientError{Err: err}
+	}
+	mClientBytesIn.Add(int64(4 + len(body)))
+	resp, err := decodeBinResponse(body)
+	if err != nil {
+		// The body was length-delimited so framing is intact, but a server
+		// speaking the wrong codec mid-connection is not to be trusted.
+		c.fail(conn)
+		return &TransientError{Err: err}
+	}
+	if c.opts.CallTimeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	if len(resp.id) != 0 && !bytesEqual(resp.id, idb) {
+		c.fail(conn)
+		return &TransientError{Err: fmt.Errorf("wire: response ID %q does not match request %q", resp.id, idb)}
+	}
+	if len(resp.errMsg) != 0 {
+		if resp.flags&respFlagRetryable != 0 {
+			return &OverloadedError{
+				Method: method, Message: string(resp.errMsg),
+				RetryAfter: time.Duration(resp.retryAfterMS) * time.Millisecond,
+			}
+		}
+		return &RemoteError{Method: method, Message: string(resp.errMsg)}
+	}
+	if reply != nil && len(resp.payload) != 0 {
+		if resp.flags&respFlagBinaryPayload != 0 {
+			u, ok := reply.(schemav1.WireUnmarshaler)
+			if !ok {
+				// Servers only binary-encode when the request offered
+				// reqFlagAcceptBinary, so this is a server bug.
+				c.fail(conn)
+				return &TransientError{Err: fmt.Errorf("wire: unsolicited binary payload for %T", reply)}
+			}
+			return u.DecodeBinary(resp.payload)
+		}
+		return jsonUnmarshalPayload(resp.payload, reply)
+	}
+	return nil
+}
+
+// bytesEqual avoids pulling bytes.Equal into the hot path's import set.
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Close closes the underlying connection. It is safe to call concurrently

@@ -1,0 +1,243 @@
+// Binary payload codecs for the hot-path schemas. The encodings are
+// positional — fields in struct order, no names on the wire — which is why
+// the compatibility policy freezes these shapes: an append that would be
+// harmless in JSON silently shifts every later field here.
+//
+// Encoding primitives (all little-endian-free, varint-based):
+//
+//	string  = uvarint length, then raw bytes
+//	float64 = 8 bytes, big-endian IEEE-754 bits
+//	int64   = zig-zag varint
+//	bool    = one byte, 0 or 1
+//
+// Every codec is allocation-free in both directions: encoders append into a
+// caller-owned buffer, decoders read scalar fields in place and may alias
+// string fields to the input buffer via zero-copy views — see DecodeBinary's
+// aliasing contract.
+package schemav1
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// AppendMarshaler is implemented by schemas with a binary codec: the
+// encoder appends the positional encoding to dst and returns the extended
+// slice. It never fails and never allocates beyond dst's growth.
+type AppendMarshaler interface {
+	AppendBinary(dst []byte) []byte
+}
+
+// WireUnmarshaler is the decoding half: DecodeBinary parses the positional
+// encoding from src.
+//
+// Aliasing contract: decoded string fields may alias src (zero-copy) —
+// valid only until the caller's buffer is reused. Wire handlers decode and
+// act within one request, which is exactly that window; anything that
+// retains a decoded message beyond the handler must copy its strings.
+type WireUnmarshaler interface {
+	DecodeBinary(src []byte) error
+}
+
+// ErrShortBuffer reports a truncated binary payload.
+var ErrShortBuffer = errors.New("schemav1: truncated binary payload")
+
+// ErrTrailingBytes reports extra bytes after a complete binary payload —
+// almost always a shape mismatch between the two sides.
+var ErrTrailingBytes = errors.New("schemav1: trailing bytes after binary payload")
+
+// --- primitives -----------------------------------------------------------
+
+// AppendString appends a uvarint-length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendFloat64 appends the 8-byte big-endian IEEE-754 bits.
+func AppendFloat64(dst []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// AppendInt64 appends a zig-zag varint.
+func AppendInt64(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// AppendBool appends one byte.
+func AppendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// ReadString consumes a length-prefixed string, returning a zero-copy view
+// into src (see WireUnmarshaler's aliasing contract).
+func ReadString(src []byte) (string, []byte, error) {
+	n, w := binary.Uvarint(src)
+	if w <= 0 || n > uint64(len(src)-w) {
+		return "", nil, ErrShortBuffer
+	}
+	b := src[w : w+int(n)]
+	if len(b) == 0 {
+		return "", src[w:], nil
+	}
+	return unsafe.String(&b[0], len(b)), src[w+int(n):], nil
+}
+
+// ReadFloat64 consumes 8 big-endian bytes.
+func ReadFloat64(src []byte) (float64, []byte, error) {
+	if len(src) < 8 {
+		return 0, nil, ErrShortBuffer
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(src)), src[8:], nil
+}
+
+// ReadInt64 consumes a zig-zag varint.
+func ReadInt64(src []byte) (int64, []byte, error) {
+	v, w := binary.Varint(src)
+	if w <= 0 {
+		return 0, nil, ErrShortBuffer
+	}
+	return v, src[w:], nil
+}
+
+// ReadBool consumes one byte; anything but 0 or 1 is a shape error.
+func ReadBool(src []byte) (bool, []byte, error) {
+	if len(src) < 1 {
+		return false, nil, ErrShortBuffer
+	}
+	switch src[0] {
+	case 0:
+		return false, src[1:], nil
+	case 1:
+		return true, src[1:], nil
+	default:
+		return false, nil, fmt.Errorf("schemav1: invalid bool byte 0x%02x", src[0])
+	}
+}
+
+func done(rest []byte) error {
+	if len(rest) != 0 {
+		return ErrTrailingBytes
+	}
+	return nil
+}
+
+// --- kvstore --------------------------------------------------------------
+
+// AppendBinary implements AppendMarshaler.
+func (m *KVPut) AppendBinary(dst []byte) []byte {
+	dst = AppendString(dst, m.Key)
+	dst = AppendFloat64(dst, m.Value)
+	return AppendInt64(dst, m.TTLMs)
+}
+
+// DecodeBinary implements WireUnmarshaler.
+func (m *KVPut) DecodeBinary(src []byte) (err error) {
+	if m.Key, src, err = ReadString(src); err != nil {
+		return err
+	}
+	if m.Value, src, err = ReadFloat64(src); err != nil {
+		return err
+	}
+	if m.TTLMs, src, err = ReadInt64(src); err != nil {
+		return err
+	}
+	return done(src)
+}
+
+// AppendBinary implements AppendMarshaler.
+func (m *KVKey) AppendBinary(dst []byte) []byte {
+	return AppendString(dst, m.Key)
+}
+
+// DecodeBinary implements WireUnmarshaler.
+func (m *KVKey) DecodeBinary(src []byte) (err error) {
+	if m.Key, src, err = ReadString(src); err != nil {
+		return err
+	}
+	return done(src)
+}
+
+// AppendBinary implements AppendMarshaler.
+func (m *KVGetReply) AppendBinary(dst []byte) []byte {
+	dst = AppendFloat64(dst, m.Value)
+	return AppendBool(dst, m.Found)
+}
+
+// DecodeBinary implements WireUnmarshaler.
+func (m *KVGetReply) DecodeBinary(src []byte) (err error) {
+	if m.Value, src, err = ReadFloat64(src); err != nil {
+		return err
+	}
+	if m.Found, src, err = ReadBool(src); err != nil {
+		return err
+	}
+	return done(src)
+}
+
+// AppendBinary implements AppendMarshaler.
+func (m *KVSumReply) AppendBinary(dst []byte) []byte {
+	return AppendFloat64(dst, m.Sum)
+}
+
+// DecodeBinary implements WireUnmarshaler.
+func (m *KVSumReply) DecodeBinary(src []byte) (err error) {
+	if m.Sum, src, err = ReadFloat64(src); err != nil {
+		return err
+	}
+	return done(src)
+}
+
+// --- contractdb -----------------------------------------------------------
+
+// AppendBinary implements AppendMarshaler.
+func (m *DBRateQuery) AppendBinary(dst []byte) []byte {
+	dst = AppendString(dst, m.NPG)
+	dst = AppendString(dst, m.Class)
+	dst = AppendString(dst, m.Region)
+	dst = AppendString(dst, m.Dir)
+	return AppendInt64(dst, m.AtUnix)
+}
+
+// DecodeBinary implements WireUnmarshaler.
+func (m *DBRateQuery) DecodeBinary(src []byte) (err error) {
+	if m.NPG, src, err = ReadString(src); err != nil {
+		return err
+	}
+	if m.Class, src, err = ReadString(src); err != nil {
+		return err
+	}
+	if m.Region, src, err = ReadString(src); err != nil {
+		return err
+	}
+	if m.Dir, src, err = ReadString(src); err != nil {
+		return err
+	}
+	if m.AtUnix, src, err = ReadInt64(src); err != nil {
+		return err
+	}
+	return done(src)
+}
+
+// AppendBinary implements AppendMarshaler.
+func (m *DBRateReply) AppendBinary(dst []byte) []byte {
+	dst = AppendFloat64(dst, m.Rate)
+	return AppendBool(dst, m.Found)
+}
+
+// DecodeBinary implements WireUnmarshaler.
+func (m *DBRateReply) DecodeBinary(src []byte) (err error) {
+	if m.Rate, src, err = ReadFloat64(src); err != nil {
+		return err
+	}
+	if m.Found, src, err = ReadBool(src); err != nil {
+		return err
+	}
+	return done(src)
+}

@@ -1,0 +1,229 @@
+// Schema fingerprinting: a canonical, human-diffable rendering of each
+// message shape (field names, JSON tags, types, order) hashed to a stable
+// fingerprint. cmd/schemavet re-derives these from the live Go types and
+// compares them to the committed schema.lock, so a shape cannot drift
+// without the diff showing up in review.
+package schemav1
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Render returns the canonical rendering of one schema type: one line per
+// field ("  name json:<tag> <type>"), recursing into named struct types.
+// The rendering — not the Go source — is what the fingerprint covers, so
+// formatting or comment changes never trip the lock while any change to the
+// marshaled surface does.
+func Render(t reflect.Type) string {
+	var b strings.Builder
+	seen := map[reflect.Type]bool{}
+	renderType(&b, t, "", seen)
+	return b.String()
+}
+
+// Fingerprint hashes the canonical rendering.
+func Fingerprint(t reflect.Type) string {
+	sum := sha256.Sum256([]byte(Render(t)))
+	return "sha256:" + hex.EncodeToString(sum[:16])
+}
+
+var jsonMarshalerType = reflect.TypeOf((*json.Marshaler)(nil)).Elem()
+
+func renderType(b *strings.Builder, t reflect.Type, indent string, seen map[reflect.Type]bool) {
+	for t.Kind() == reflect.Pointer {
+		b.WriteString("*")
+		t = t.Elem()
+	}
+	// Types with custom JSON marshaling (time.Time and friends) are leaves:
+	// their wire form is their own contract, named rather than expanded.
+	if t.Kind() != reflect.Struct || t.Implements(jsonMarshalerType) || reflect.PointerTo(t).Implements(jsonMarshalerType) {
+		switch t.Kind() {
+		case reflect.Slice:
+			b.WriteString("[]")
+			renderType(b, t.Elem(), indent, seen)
+		case reflect.Array:
+			fmt.Fprintf(b, "[%d]", t.Len())
+			renderType(b, t.Elem(), indent, seen)
+		case reflect.Map:
+			b.WriteString("map[")
+			renderType(b, t.Key(), indent, seen)
+			b.WriteString("]")
+			renderType(b, t.Elem(), indent, seen)
+		default:
+			if name := typeName(t); name != "" {
+				b.WriteString(name)
+			} else {
+				b.WriteString(t.Kind().String())
+			}
+		}
+		return
+	}
+	if seen[t] {
+		// Recursive shape: name it and stop — the expansion already appears
+		// at its first occurrence.
+		fmt.Fprintf(b, "recursive(%s)", typeName(t))
+		return
+	}
+	seen[t] = true
+	defer delete(seen, t)
+	fmt.Fprintf(b, "struct{\n")
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue // invisible to every codec
+		}
+		tag := f.Tag.Get("json")
+		if tag == "-" {
+			continue // explicitly off the wire
+		}
+		fmt.Fprintf(b, "%s  %s json:%q ", indent, f.Name, tag)
+		renderType(b, f.Type, indent+"  ", seen)
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(b, "%s}", indent)
+}
+
+// typeName renders a named type as pkg.Name with the module prefix
+// stripped, keeping the lock file stable if the module is ever renamed.
+func typeName(t reflect.Type) string {
+	if t.Name() == "" {
+		return ""
+	}
+	pkg := t.PkgPath()
+	if pkg == "" {
+		return t.Name() // predeclared: string, int64, float64, bool...
+	}
+	if i := strings.LastIndex(pkg, "/"); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	return pkg + "." + t.Name()
+}
+
+// --- lock file ------------------------------------------------------------
+
+// LockEntry is one pinned schema in a lock file.
+type LockEntry struct {
+	Name        string
+	Version     int
+	Fingerprint string
+	Binary      bool
+	Rendering   string
+}
+
+// FormatLock renders defs (plus any extra entries from other planes) into
+// the lock-file format: a fingerprint header per schema followed by the
+// indented canonical rendering, so lock diffs read as schema diffs.
+func FormatLock(entries []LockEntry) string {
+	sorted := append([]LockEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	b.WriteString("# Wire schema lock. Regenerate with `make vet-schema-update` (cmd/schemavet -update).\n")
+	b.WriteString("# A mismatch here means a message shape changed without a version bump; see\n")
+	b.WriteString("# the compatibility policy in schema/v1 and DESIGN.md §14 before touching it.\n")
+	for _, e := range sorted {
+		codec := "json"
+		if e.Binary {
+			codec = "json+binary"
+		}
+		fmt.Fprintf(&b, "\nschema %s v%d codec=%s %s\n", e.Name, e.Version, codec, e.Fingerprint)
+		for _, line := range strings.Split(strings.TrimRight(e.Rendering, "\n"), "\n") {
+			fmt.Fprintf(&b, "\t%s\n", line)
+		}
+	}
+	return b.String()
+}
+
+// Entries derives the lock entries for a set of schema defs.
+func Entries(defs []Def) []LockEntry {
+	out := make([]LockEntry, 0, len(defs))
+	for _, d := range defs {
+		out = append(out, LockEntry{
+			Name:        d.Name,
+			Version:     d.Version,
+			Fingerprint: Fingerprint(d.Type),
+			Binary:      d.Binary,
+			Rendering:   Render(d.Type),
+		})
+	}
+	return out
+}
+
+// ParseLock extracts the pinned (name, version, fingerprint) triples from a
+// lock file's contents; renderings are carried along for diffing.
+func ParseLock(data string) []LockEntry {
+	var out []LockEntry
+	var cur *LockEntry
+	for _, line := range strings.Split(data, "\n") {
+		if strings.HasPrefix(line, "schema ") {
+			fields := strings.Fields(line)
+			if len(fields) != 5 {
+				continue
+			}
+			var v int
+			fmt.Sscanf(fields[2], "v%d", &v)
+			out = append(out, LockEntry{
+				Name:        fields[1],
+				Version:     v,
+				Binary:      fields[3] == "codec=json+binary",
+				Fingerprint: fields[4],
+			})
+			cur = &out[len(out)-1]
+			continue
+		}
+		if cur != nil && strings.HasPrefix(line, "\t") {
+			cur.Rendering += strings.TrimPrefix(line, "\t") + "\n"
+		}
+	}
+	return out
+}
+
+// Check compares live entries against a parsed lock, returning one problem
+// string per drifted, missing, or stale schema (empty means clean).
+func Check(live, locked []LockEntry) []string {
+	lockedBy := map[string]LockEntry{}
+	for _, e := range locked {
+		lockedBy[e.Name] = e
+	}
+	var problems []string
+	seen := map[string]bool{}
+	for _, l := range live {
+		seen[l.Name] = true
+		pin, ok := lockedBy[l.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("schema %q is not pinned in the lock file (new shape? run -update and review the diff)", l.Name))
+			continue
+		}
+		if pin.Version != l.Version {
+			problems = append(problems, fmt.Sprintf("schema %q is v%d in code but v%d in the lock file", l.Name, l.Version, pin.Version))
+		}
+		if pin.Fingerprint != l.Fingerprint {
+			problems = append(problems, fmt.Sprintf(
+				"schema %q changed without a version bump\n  locked:  %s\n  current: %s\n  locked rendering:\n%s  current rendering:\n%s",
+				l.Name, pin.Fingerprint, l.Fingerprint,
+				indent(pin.Rendering), indent(l.Rendering)))
+		}
+	}
+	for _, e := range locked {
+		if !seen[e.Name] {
+			problems = append(problems, fmt.Sprintf("lock file pins schema %q which no longer exists in code (removal is a breaking change; run -update only with a version bump)", e.Name))
+		}
+	}
+	return problems
+}
+
+func indent(s string) string {
+	if s == "" {
+		return "    (rendering unavailable)\n"
+	}
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		b.WriteString("    " + line + "\n")
+	}
+	return b.String()
+}
